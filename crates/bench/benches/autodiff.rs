@@ -1,0 +1,57 @@
+//! Criterion kernels: JVP/VJP and Fisher-product costs — the model-side
+//! overhead LCNG pays per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_linalg::random::{normal_cvector, normal_rvector};
+use photon_photonics::{fisher_vector_product, Architecture};
+
+fn bench_jvp_vjp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autodiff");
+    for k in [8usize, 16] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Architecture::two_mesh_classifier(k, k)
+            .unwrap()
+            .build_ideal();
+        let theta = net.init_params(&mut rng);
+        let x = normal_cvector(k, &mut rng);
+        let dtheta = normal_rvector(net.param_count(), &mut rng);
+        let (_, tape) = net.forward_tape(&x, &theta);
+        let g = normal_cvector(k, &mut rng);
+        let zero = photon_linalg::CVector::zeros(k);
+
+        group.bench_with_input(BenchmarkId::new("forward_tape", k), &k, |b, _| {
+            b.iter(|| net.forward_tape(std::hint::black_box(&x), &theta))
+        });
+        group.bench_with_input(BenchmarkId::new("jvp", k), &k, |b, _| {
+            b.iter(|| net.jvp(&tape, &theta, std::hint::black_box(&zero), &dtheta))
+        });
+        group.bench_with_input(BenchmarkId::new("vjp", k), &k, |b, _| {
+            b.iter(|| net.vjp(&tape, &theta, std::hint::black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fisher_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fisher");
+    group.sample_size(20);
+    for k in [8usize, 16] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Architecture::two_mesh_classifier(k, k)
+            .unwrap()
+            .build_ideal();
+        let theta = net.init_params(&mut rng);
+        let inputs: Vec<_> = (0..4).map(|_| normal_cvector(k, &mut rng)).collect();
+        let v = normal_rvector(net.param_count(), &mut rng);
+        group.bench_with_input(BenchmarkId::new("fvp_4_inputs", k), &k, |b, _| {
+            b.iter(|| fisher_vector_product(&net, &theta, &inputs, std::hint::black_box(&v)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jvp_vjp, bench_fisher_product);
+criterion_main!(benches);

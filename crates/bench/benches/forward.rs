@@ -1,0 +1,42 @@
+//! Criterion kernels: mesh forward-pass throughput scaling in K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_linalg::random::normal_cvector;
+use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_forward");
+    for k in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let arch = Architecture::two_mesh_classifier(k, k).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let theta = chip.init_params(&mut rng);
+        let x = normal_cvector(k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("two_mesh_classifier", k), &k, |b, _| {
+            b.iter(|| chip.forward(std::hint::black_box(&x), std::hint::black_box(&theta)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncated_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truncation");
+    let k = 16;
+    for l in [k, k / 2] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let arch = Architecture::single_mesh(k, l).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let theta = chip.init_params(&mut rng);
+        let x = normal_cvector(k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("clements_forward", l), &l, |b, _| {
+            b.iter(|| chip.forward(std::hint::black_box(&x), std::hint::black_box(&theta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_truncated_vs_full);
+criterion_main!(benches);

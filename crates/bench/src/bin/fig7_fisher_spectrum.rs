@@ -1,0 +1,119 @@
+//! **Figure 7** — isotropy diagnostics motivating the natural-gradient
+//! metric: eigenvalue spread of the module output covariance under
+//! identity-covariance versus Fisher-whitened parameter perturbations, for
+//! the full Clements(8,8) and truncated Clements(8,4) meshes.
+//!
+//! Writes `results/fig7_fisher_spectrum.csv` with the sorted eigenvalue
+//! series.
+//!
+//! ```text
+//! cargo run -p photon-bench --release --bin fig7_fisher_spectrum -- [--quick] [--seed N]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use photon_bench::harness::BenchArgs;
+use photon_core::{CsvWriter, RunSummary, TextTable};
+use photon_linalg::random::{normal_cvector, normal_rvector, sample_gaussian};
+use photon_linalg::{RCholesky, RVector};
+use photon_opt::sigma_from_fisher;
+use photon_photonics::{
+    anisotropy_ratio, covariance_eigenvalues, module_fisher_block, output_covariance, MeshModule,
+    OnnModule,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let r_in = args.pick(20, 100);
+    let q = args.pick(60, 200);
+    let rho = 0.1;
+
+    println!("Fig 7: output-covariance eigenvalue spread, identity vs Σ-shaped probes\n");
+    let mut csv = CsvWriter::new(&["mesh", "perturbation", "eig_index", "eigenvalue_mean"]);
+    let mut table = TextTable::new(&[
+        "mesh",
+        "anisotropy (identity)",
+        "anisotropy (sigma)",
+        "off-diag Fisher mass",
+    ]);
+
+    for (dim, layers) in [(8usize, 8usize), (8, 4)] {
+        let mesh = MeshModule::clements(dim, layers);
+        let n = mesh.param_count();
+        let theta: Vec<f64> = (0..n)
+            .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+            .collect();
+        let fisher_inputs: Vec<_> = (0..r_in.min(40))
+            .map(|_| normal_cvector(dim, &mut rng))
+            .collect();
+        let fisher = module_fisher_block(&mesh, &theta, &fisher_inputs);
+
+        // Off-diagonal interrelation mass (relative to the diagonal).
+        let mut off = 0.0;
+        let mut diag = 0.0;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    diag += fisher[(a, b)].abs();
+                } else {
+                    off += fisher[(a, b)].abs();
+                }
+            }
+        }
+        let off_ratio = off / diag.max(1e-12);
+
+        let sigma = sigma_from_fisher(&fisher, rho).expect("damped inverse exists");
+        let chol = RCholesky::new(&sigma).expect("sigma is PD");
+
+        // Eigenvalue spreads averaged over fresh inputs.
+        let mut ratios_iso = Vec::new();
+        let mut ratios_sig = Vec::new();
+        let mut eig_iso_acc: Option<RVector> = None;
+        let mut eig_sig_acc: Option<RVector> = None;
+        let trials = args.pick(10, 30);
+        for _ in 0..trials {
+            let x = normal_cvector(dim, &mut rng);
+            let iso: Vec<RVector> = (0..q).map(|_| normal_rvector(n, &mut rng)).collect();
+            let sig: Vec<RVector> = (0..q)
+                .map(|_| sample_gaussian(&chol, &mut rng).expect("dim matches"))
+                .collect();
+            let e_iso = covariance_eigenvalues(&output_covariance(&mesh, &x, &theta, &iso));
+            let e_sig = covariance_eigenvalues(&output_covariance(&mesh, &x, &theta, &sig));
+            ratios_iso.push(anisotropy_ratio(&e_iso, 1e-9));
+            ratios_sig.push(anisotropy_ratio(&e_sig, 1e-9));
+            let acc = eig_iso_acc.get_or_insert_with(|| RVector::zeros(dim));
+            acc.axpy(1.0 / trials as f64, &e_iso);
+            let acc = eig_sig_acc.get_or_insert_with(|| RVector::zeros(dim));
+            acc.axpy(1.0 / trials as f64, &e_sig);
+        }
+        let mesh_name = mesh.name();
+        for (label, eigs) in [
+            ("identity", eig_iso_acc.unwrap()),
+            ("sigma", eig_sig_acc.unwrap()),
+        ] {
+            for i in 0..dim {
+                csv.record(&[&mesh_name, label, &i.to_string(), &format!("{}", eigs[i])]);
+            }
+        }
+        let s_iso = RunSummary::from_values(&ratios_iso);
+        let s_sig = RunSummary::from_values(&ratios_sig);
+        table.row_owned(vec![
+            mesh_name.clone(),
+            s_iso.format(1),
+            s_sig.format(1),
+            format!("{off_ratio:.2}"),
+        ]);
+        println!(
+            "  {mesh_name}: anisotropy {:.1} → {:.1} (lower = more isotropic)",
+            s_iso.mean, s_sig.mean
+        );
+    }
+    println!("\n{}", table.render());
+    let path = args.out_dir.join("fig7_fisher_spectrum.csv");
+    csv.write_to(&path).expect("write csv");
+    println!("series written to {}", path.display());
+    println!("Expected shape: layered meshes have substantial off-diagonal Fisher");
+    println!("mass; Σ-shaped perturbations collapse the eigenvalue spread toward 1.");
+}

@@ -1,0 +1,94 @@
+//! **Tuning protocol** — the Optuna-substitute pass: per-method random
+//! search over the Adam learning rate (and CMA-ES σ₀) on a small task,
+//! mirroring the paper's per-(task, K, method) step-size tuning before the
+//! comparison runs.
+//!
+//! ```text
+//! cargo run -p photon-bench --release --bin tune_lr -- [--quick] [--seed N] [--runs N]
+//! ```
+//!
+//! `--runs` sets the number of search trials per method (default 8/16).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_bench::harness::BenchArgs;
+use photon_core::{build_task, Method, ModelChoice, TaskSpec, TextTable, TrainConfig, Trainer};
+use photon_opt::{random_search, LogUniform};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trials = args.runs_or(8, 16);
+    let k = args.pick(8, 12);
+    let spec = TaskSpec {
+        train_size: args.pick(120, 240),
+        test_size: args.pick(60, 120),
+        ..TaskSpec::quick(k)
+    };
+
+    println!("Learning-rate tuning, {trials} random-search trials per method (K={k})\n");
+    let mut table = TextTable::new(&["method", "best lr", "best final loss", "worst final loss"]);
+
+    let methods = [
+        Method::ZoGaussian,
+        Method::ZoCoordinate,
+        Method::ZoLc,
+        Method::Lcng {
+            model: ModelChoice::OracleTrue,
+        },
+    ];
+    for method in methods {
+        let mut eval = |lr: f64| -> f64 {
+            let task = build_task(&spec, args.seed).expect("task construction");
+            let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head)
+                .with_calibrated_model(task.chip.oracle_network());
+            let mut config = TrainConfig::quick(k);
+            config.epochs = args.pick(4, 10);
+            config.lr = lr;
+            let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7e57);
+            match trainer.train(method, &config, &mut rng) {
+                Ok(out) => out.history.last().map(|h| h.train_loss).unwrap_or(f64::MAX),
+                Err(_) => f64::MAX,
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x701e);
+        let results = random_search(LogUniform::new(1e-4, 0.5), trials, &mut eval, &mut rng);
+        table.row_owned(vec![
+            method.label(),
+            format!("{:.4}", results[0].value),
+            format!("{:.4}", results[0].score),
+            format!("{:.4}", results.last().unwrap().score),
+        ]);
+        println!("  {}: lr* = {:.4}", method.label(), results[0].value);
+    }
+
+    // CMA tunes σ₀ instead.
+    let mut eval_sigma = |sigma0: f64| -> f64 {
+        let task = build_task(&spec, args.seed).expect("task construction");
+        let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+        let mut config = TrainConfig::quick(k);
+        config.epochs = args.pick(3, 6);
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7e57);
+        match trainer.train(Method::Cma { sigma0 }, &config, &mut rng) {
+            Ok(out) => out.history.last().map(|h| h.train_loss).unwrap_or(f64::MAX),
+            Err(_) => f64::MAX,
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xc3a);
+    let results = random_search(
+        LogUniform::new(1e-3, 1.0),
+        trials.min(8),
+        &mut eval_sigma,
+        &mut rng,
+    );
+    table.row_owned(vec![
+        "CMA (σ₀)".into(),
+        format!("{:.4}", results[0].value),
+        format!("{:.4}", results[0].score),
+        format!("{:.4}", results.last().unwrap().score),
+    ]);
+
+    println!("\n{}", table.render());
+    println!("Use the tuned values via TrainConfig.lr / Method::Cma {{ sigma0 }} in the");
+    println!("table/figure binaries for a fully tuned comparison.");
+}

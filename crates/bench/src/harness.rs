@@ -1,0 +1,156 @@
+//! Shared plumbing for the table/figure reproduction binaries: CLI flags,
+//! result-directory layout and method grids.
+
+use std::path::PathBuf;
+
+use photon_core::{Method, ModelChoice};
+
+/// Command-line arguments shared by every experiment binary.
+///
+/// Flags: `--quick` (small sizes for smoke runs), `--seed N`, `--runs N`,
+/// `--out DIR` (default `results/`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Use reduced sizes/epochs so the binary finishes in seconds.
+    pub quick: bool,
+    /// Base seed for all runs.
+    pub seed: u64,
+    /// Independent runs per configuration (0 = use the binary's default).
+    pub runs: usize,
+    /// Output directory for CSV series.
+    pub out_dir: PathBuf,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed flag value (these are developer tools; loud
+    /// failure is the right behavior).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable form of [`Self::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed values or unknown flags.
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs {
+            quick: false,
+            seed: 42,
+            runs: 0,
+            out_dir: PathBuf::from("results"),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--runs" => {
+                    let v = it.next().expect("--runs needs a value");
+                    out.runs = v.parse().expect("--runs must be an integer");
+                }
+                "--out" => {
+                    let v = it.next().expect("--out needs a value");
+                    out.out_dir = PathBuf::from(v);
+                }
+                other => panic!("unknown flag {other}; known: --quick --seed --runs --out"),
+            }
+        }
+        out
+    }
+
+    /// Runs per configuration: the explicit `--runs`, else `quick_default`
+    /// in quick mode, else `full_default`.
+    pub fn runs_or(&self, quick_default: usize, full_default: usize) -> usize {
+        if self.runs > 0 {
+            self.runs
+        } else if self.quick {
+            quick_default
+        } else {
+            full_default
+        }
+    }
+
+    /// Picks between a quick and a full value.
+    pub fn pick<T: Copy>(&self, quick: T, full: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// The black-box method grid of the main comparison (Table 1 order).
+pub fn main_method_grid(include_cma: bool) -> Vec<Method> {
+    let mut methods = vec![
+        Method::ZoGaussian,
+        Method::ZoCoordinate,
+        Method::ZoLc,
+        Method::ZoNg {
+            model: ModelChoice::Ideal,
+        },
+        Method::Lcng {
+            model: ModelChoice::Ideal,
+        },
+        Method::Lcng {
+            model: ModelChoice::Calibrated,
+        },
+    ];
+    if include_cma {
+        methods.push(Method::Cma { sigma0: 0.1 });
+    }
+    methods
+}
+
+/// The reference (gradient) bounds reported below the black-box block.
+pub fn bound_method_grid() -> Vec<Method> {
+    vec![Method::BpIdeal, Method::BpOracle]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let a = BenchArgs::from_iter(Vec::<String>::new());
+        assert!(!a.quick);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.runs_or(2, 8), 8);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = BenchArgs::from_iter(
+            ["--quick", "--seed", "7", "--runs", "3", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(a.quick);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.runs_or(2, 8), 3);
+        assert_eq!(a.pick(1, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = BenchArgs::from_iter(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn grids() {
+        assert_eq!(main_method_grid(true).len(), 7);
+        assert_eq!(main_method_grid(false).len(), 6);
+        assert_eq!(bound_method_grid().len(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! The chip calibrator: estimates per-component fabrication errors from
+//! black-box power measurements.
+//!
+//! Protocol:
+//!
+//! 1. drive the chip with a [`crate::ProbePlan`] (basis + random inputs at
+//!    several random phase settings) and record detector powers;
+//! 2. fit the model's flat error vector `e = (γ…, attenuation…, phase…)` by
+//!    damped Gauss-Newton on the residual
+//!    `r(e) = [ |y_model(x_p; θ_s, e)|² − measured ]_{s,p}`;
+//! 3. return the estimated [`ErrorVector`] and the calibrated [`Network`].
+//!
+//! The fit touches only the software model — chip queries are spent solely
+//! on step 1, so calibration cost is exactly `plan.query_cost()` queries.
+
+use rand::Rng;
+
+use photon_linalg::{LinalgError, RVector};
+use photon_photonics::{ErrorVector, FabricatedChip, Network, NetworkError};
+
+use crate::gauss_newton::{levenberg_marquardt, LmSettings};
+use crate::probe::{measure_chip, Measurements, ProbePlan};
+
+/// Calibration hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationSettings {
+    /// Include the `K` basis inputs in the probe plan.
+    pub include_basis: bool,
+    /// Number of Haar-random unit inputs.
+    pub random_inputs: usize,
+    /// Number of random phase settings.
+    pub num_settings: usize,
+    /// Gauss-Newton settings for the model fit.
+    pub lm: LmSettings,
+}
+
+impl Default for CalibrationSettings {
+    fn default() -> Self {
+        CalibrationSettings {
+            include_basis: true,
+            random_inputs: 8,
+            num_settings: 3,
+            lm: LmSettings::default(),
+        }
+    }
+}
+
+impl CalibrationSettings {
+    /// A budget-scaled preset: roughly `budget` chip queries split over
+    /// inputs and settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is too small to fit one basis sweep.
+    pub fn with_query_budget(k: usize, budget: usize) -> Self {
+        assert!(
+            budget >= 2 * k,
+            "budget must cover at least two basis sweeps"
+        );
+        let num_settings = (budget / (2 * k)).clamp(2, 6);
+        let inputs_per_setting = budget / num_settings;
+        let random_inputs = inputs_per_setting.saturating_sub(k).max(2);
+        CalibrationSettings {
+            include_basis: true,
+            random_inputs,
+            num_settings,
+            lm: LmSettings::default(),
+        }
+    }
+}
+
+/// Errors raised by the calibrator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CalibError {
+    /// The least-squares solve failed.
+    Linalg(LinalgError),
+    /// Rebuilding the model from the fitted errors failed (never occurs for
+    /// plans generated from the chip's own architecture).
+    Network(NetworkError),
+}
+
+impl std::fmt::Display for CalibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibError::Linalg(e) => write!(f, "calibration solve failed: {e}"),
+            CalibError::Network(e) => write!(f, "calibrated model rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibError::Linalg(e) => Some(e),
+            CalibError::Network(e) => Some(e),
+        }
+    }
+}
+
+impl From<LinalgError> for CalibError {
+    fn from(e: LinalgError) -> Self {
+        CalibError::Linalg(e)
+    }
+}
+
+impl From<NetworkError> for CalibError {
+    fn from(e: NetworkError) -> Self {
+        CalibError::Network(e)
+    }
+}
+
+/// The outcome of a calibration run.
+#[derive(Debug)]
+pub struct CalibrationOutcome {
+    /// Estimated per-component error assignment.
+    pub errors: ErrorVector,
+    /// The calibrated software model (architecture + estimated errors).
+    pub model: Network,
+    /// Final fit cost `‖r‖²`.
+    pub fit_cost: f64,
+    /// Fit cost before optimization (ideal-model residual).
+    pub initial_cost: f64,
+    /// Gauss-Newton iterations used.
+    pub iterations: usize,
+    /// Chip queries consumed by the measurement sweep.
+    pub chip_queries: usize,
+}
+
+/// Calibrates `chip` with the given settings.
+///
+/// # Errors
+///
+/// See [`CalibError`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use rand::SeedableRng;
+/// use photon_calib::{calibrate, CalibrationSettings};
+/// use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
+///
+/// let arch = Architecture::single_mesh(4, 2)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+/// let outcome = calibrate(&chip, &CalibrationSettings::default(), &mut rng)?;
+/// assert!(outcome.fit_cost <= outcome.initial_cost);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn calibrate<R: Rng + ?Sized>(
+    chip: &FabricatedChip,
+    settings: &CalibrationSettings,
+    rng: &mut R,
+) -> Result<CalibrationOutcome, CalibError> {
+    let plan = ProbePlan::for_chip(
+        chip,
+        settings.include_basis,
+        settings.random_inputs,
+        settings.num_settings,
+        rng,
+    );
+    let measured = measure_chip(chip, &plan);
+    calibrate_from_measurements(chip, &plan, &measured, &settings.lm)
+}
+
+/// Calibrates from an existing measurement sweep (useful when the sweep is
+/// shared across calibration budgets in an experiment).
+///
+/// # Errors
+///
+/// See [`CalibError`].
+pub fn calibrate_from_measurements(
+    chip: &FabricatedChip,
+    plan: &ProbePlan,
+    measured: &Measurements,
+    lm: &LmSettings,
+) -> Result<CalibrationOutcome, CalibError> {
+    let arch = chip.architecture().clone();
+    let (n_bs, n_ps) = arch.error_slots();
+    let k_out = chip.output_dim();
+    let n_residuals = plan.residual_count(k_out);
+
+    let mut residual = |flat: &RVector| -> RVector {
+        let errors = ErrorVector::from_flat(n_bs, n_ps, flat.as_slice());
+        let model = arch
+            .build_with_errors(&errors)
+            .expect("flat layout matches the architecture");
+        let mut r = RVector::zeros(n_residuals);
+        let mut idx = 0;
+        for (s, theta) in plan.settings.iter().enumerate() {
+            for (p, x) in plan.inputs.iter().enumerate() {
+                let powers = model.forward(x, theta).powers();
+                let target = &measured.powers[s][p];
+                for d in 0..k_out {
+                    r[idx] = powers[d] - target[d];
+                    idx += 1;
+                }
+            }
+        }
+        r
+    };
+
+    let init = RVector::zeros(n_bs + 2 * n_ps);
+    let fit = levenberg_marquardt(&mut residual, &init, lm)?;
+    let errors = ErrorVector::from_flat(n_bs, n_ps, fit.params.as_slice());
+    let model = arch.build_with_errors(&errors)?;
+    Ok(CalibrationOutcome {
+        errors,
+        model,
+        fit_cost: fit.cost,
+        initial_cost: fit.initial_cost,
+        iterations: fit.iterations,
+        chip_queries: plan.query_cost(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::evaluate_model;
+    use photon_photonics::{ideal_model, Architecture, ErrorModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_improves_over_ideal_model() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(2.0), &mut rng);
+
+        let settings = CalibrationSettings {
+            random_inputs: 8,
+            num_settings: 3,
+            lm: LmSettings {
+                max_iters: 12,
+                ..LmSettings::default()
+            },
+            ..CalibrationSettings::default()
+        };
+        let outcome = calibrate(&chip, &settings, &mut rng).unwrap();
+        assert!(outcome.fit_cost < outcome.initial_cost);
+
+        // Held-out fidelity: calibrated model beats the ideal model.
+        let ideal = ideal_model(&arch);
+        let fid_ideal = evaluate_model(&chip, &ideal, 10, 2, &mut rng);
+        let fid_calib = evaluate_model(&chip, &outcome.model, 10, 2, &mut rng);
+        assert!(
+            fid_calib.power > fid_ideal.power,
+            "calibrated {} !> ideal {}",
+            fid_calib.power,
+            fid_ideal.power
+        );
+    }
+
+    #[test]
+    fn calibration_query_accounting() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        chip.reset_query_count();
+        let settings = CalibrationSettings {
+            random_inputs: 4,
+            num_settings: 2,
+            lm: LmSettings {
+                max_iters: 3,
+                ..LmSettings::default()
+            },
+            ..CalibrationSettings::default()
+        };
+        let outcome = calibrate(&chip, &settings, &mut rng).unwrap();
+        // All chip queries come from the measurement sweep: (4 basis + 4
+        // random) × 2 settings = 16; the Gauss-Newton fit is chip-free.
+        assert_eq!(outcome.chip_queries, 16);
+        assert_eq!(chip.query_count(), 16);
+    }
+
+    #[test]
+    fn zero_error_chip_calibrates_to_near_zero_errors() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let (n_bs, n_ps) = arch.error_slots();
+        let chip = FabricatedChip::with_errors(&arch, &ErrorVector::zeros(n_bs, n_ps)).unwrap();
+        let outcome = calibrate(&chip, &CalibrationSettings::default(), &mut rng).unwrap();
+        // The residual at zero errors is already zero; LM stays there.
+        assert!(outcome.fit_cost < 1e-15);
+        let flat = outcome.errors.to_flat();
+        assert!(flat.iter().all(|&e| e.abs() < 1e-6));
+    }
+
+    #[test]
+    fn budget_preset_scales() {
+        let s = CalibrationSettings::with_query_budget(8, 128);
+        assert!(s.num_settings >= 2);
+        let sweep = (8 + s.random_inputs) * s.num_settings;
+        assert!(sweep <= 160, "sweep {sweep} should be near budget");
+    }
+
+    #[test]
+    fn error_display_chain() {
+        let e = CalibError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,158 @@
+//! Calibration quality metrics: how faithfully a software model reproduces
+//! the chip.
+
+use rand::Rng;
+
+use photon_linalg::random::random_unit_cvector;
+use photon_linalg::CVector;
+
+use photon_photonics::{FabricatedChip, Network};
+
+/// Cosine-style field fidelity up to a global phase:
+/// `|⟨y_model, y_chip⟩| / (‖y_model‖·‖y_chip‖)`, in `[0, 1]`.
+///
+/// Returns 0 when either field is dark.
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{C64, CVector};
+/// use photon_calib::field_fidelity;
+///
+/// let y = CVector::from_vec(vec![C64::ONE, C64::I]);
+/// // A global phase does not reduce fidelity.
+/// let rotated = y.scale(C64::cis(1.2));
+/// assert!((field_fidelity(&y, &rotated) - 1.0).abs() < 1e-12);
+/// ```
+pub fn field_fidelity(y_model: &CVector, y_chip: &CVector) -> f64 {
+    let denom = y_model.norm() * y_chip.norm();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    y_model
+        .dot(y_chip)
+        .map(|ip| (ip.abs() / denom).min(1.0))
+        .unwrap_or(0.0)
+}
+
+/// Power-readout fidelity: `1 − ‖p_model − p_chip‖₁ / (‖p_chip‖₁ + ε)`,
+/// clamped to `[0, 1]`.
+pub fn power_fidelity(y_model: &CVector, y_chip: &CVector) -> f64 {
+    let pm = y_model.powers();
+    let pc = y_chip.powers();
+    let mut num = 0.0;
+    let mut den = 1e-12;
+    for i in 0..pm.len() {
+        num += (pm[i] - pc[i]).abs();
+        den += pc[i].abs();
+    }
+    (1.0 - num / den).clamp(0.0, 1.0)
+}
+
+/// Aggregate model-vs-chip fidelities on held-out random probes and
+/// held-out random phase settings (none of which the calibrator saw).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Mean field fidelity over the evaluation sweep.
+    pub field: f64,
+    /// Mean power fidelity over the evaluation sweep.
+    pub power: f64,
+    /// Probes × settings used.
+    pub evaluations: usize,
+}
+
+/// Evaluates a model against the chip on `probes × settings` fresh random
+/// conditions. Consumes chip queries.
+///
+/// # Panics
+///
+/// Panics when `probes == 0` or `settings == 0`.
+pub fn evaluate_model<R: Rng + ?Sized>(
+    chip: &FabricatedChip,
+    model: &Network,
+    probes: usize,
+    settings: usize,
+    rng: &mut R,
+) -> FidelityReport {
+    assert!(
+        probes > 0 && settings > 0,
+        "need a non-empty evaluation sweep"
+    );
+    let k = chip.input_dim();
+    let mut field_acc = 0.0;
+    let mut power_acc = 0.0;
+    let mut count = 0usize;
+    for _ in 0..settings {
+        let theta = chip.init_params(rng);
+        for _ in 0..probes {
+            let x = random_unit_cvector(k, rng);
+            let y_chip = chip.forward(&x, &theta);
+            let y_model = model.forward(&x, &theta);
+            field_acc += field_fidelity(&y_model, &y_chip);
+            power_acc += power_fidelity(&y_model, &y_chip);
+            count += 1;
+        }
+    }
+    FidelityReport {
+        field: field_acc / count as f64,
+        power: power_acc / count as f64,
+        evaluations: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_linalg::C64;
+    use photon_photonics::{ideal_model, Architecture, ErrorModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_fidelity_bounds() {
+        let a = CVector::from_vec(vec![C64::ONE, C64::ZERO]);
+        let b = CVector::from_vec(vec![C64::ZERO, C64::ONE]);
+        assert_eq!(field_fidelity(&a, &b), 0.0); // orthogonal
+        assert!((field_fidelity(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(field_fidelity(&a, &CVector::zeros(2)), 0.0); // dark
+    }
+
+    #[test]
+    fn power_fidelity_ignores_phase_entirely() {
+        let a = CVector::from_vec(vec![C64::ONE, C64::I]);
+        let b = CVector::from_vec(vec![-C64::ONE, C64::new(0.0, -1.0)]);
+        assert!((power_fidelity(&a, &b) - 1.0).abs() < 1e-12);
+        // Different powers hurt.
+        let c = CVector::from_vec(vec![C64::from_real(2.0), C64::ZERO]);
+        assert!(power_fidelity(&a, &c) < 0.6);
+    }
+
+    #[test]
+    fn oracle_model_has_perfect_fidelity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let oracle = chip.oracle_network();
+        let rep = evaluate_model(&chip, &oracle, 5, 2, &mut rng);
+        assert!((rep.field - 1.0).abs() < 1e-12);
+        assert!((rep.power - 1.0).abs() < 1e-12);
+        assert_eq!(rep.evaluations, 10);
+    }
+
+    #[test]
+    fn ideal_model_fidelity_degrades_with_beta() {
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let fid_at = |beta: f64| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(beta), &mut rng);
+            evaluate_model(&chip, &ideal_model(&arch), 10, 3, &mut rng).power
+        };
+        let f_small = fid_at(0.5);
+        let f_large = fid_at(8.0);
+        assert!(
+            f_small > f_large,
+            "fidelity should degrade with error size: {f_small} vs {f_large}"
+        );
+        assert!(f_small > 0.9);
+    }
+}

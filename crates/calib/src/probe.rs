@@ -1,0 +1,152 @@
+//! Calibration probe generation: the optical inputs and phase settings the
+//! calibrator drives the chip with.
+
+use rand::Rng;
+
+use photon_linalg::random::random_unit_cvector;
+use photon_linalg::{CVector, RVector};
+
+use photon_photonics::FabricatedChip;
+
+/// A calibration probe plan: input vectors × phase settings.
+///
+/// Each `(input, setting)` pair costs one chip query when measured. Basis
+/// inputs localize errors to optical paths; random superposition inputs
+/// constrain relative phases; multiple phase settings disambiguate
+/// parameter-dependent from parameter-independent effects.
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    /// Optical input vectors.
+    pub inputs: Vec<CVector>,
+    /// Phase-parameter settings the chip is programmed to.
+    pub settings: Vec<RVector>,
+}
+
+impl ProbePlan {
+    /// Builds a plan for `chip`: all `K` basis inputs (when
+    /// `include_basis`), `random_inputs` Haar-random unit inputs, and
+    /// `num_settings` random phase settings drawn from the standard
+    /// initialization distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan would be empty.
+    pub fn for_chip<R: Rng + ?Sized>(
+        chip: &FabricatedChip,
+        include_basis: bool,
+        random_inputs: usize,
+        num_settings: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num_settings > 0, "need at least one phase setting");
+        let k = chip.input_dim();
+        let mut inputs = Vec::new();
+        if include_basis {
+            for i in 0..k {
+                inputs.push(CVector::basis(k, i));
+            }
+        }
+        for _ in 0..random_inputs {
+            inputs.push(random_unit_cvector(k, rng));
+        }
+        assert!(!inputs.is_empty(), "probe plan needs at least one input");
+        let settings = (0..num_settings).map(|_| chip.init_params(rng)).collect();
+        ProbePlan { inputs, settings }
+    }
+
+    /// Total chip queries one measurement sweep costs.
+    pub fn query_cost(&self) -> usize {
+        self.inputs.len() * self.settings.len()
+    }
+
+    /// Number of scalar power residuals the plan produces for a chip with
+    /// `output_dim` detectors.
+    pub fn residual_count(&self, output_dim: usize) -> usize {
+        self.query_cost() * output_dim
+    }
+}
+
+/// The measured chip responses for a [`ProbePlan`]: per-setting, per-input
+/// output power vectors, flattened in plan order.
+#[derive(Debug, Clone)]
+pub struct Measurements {
+    /// `powers[s][p]` = detector powers for setting `s`, input `p`.
+    pub powers: Vec<Vec<RVector>>,
+}
+
+/// Runs the plan against the chip, consuming `plan.query_cost()` queries.
+pub fn measure_chip(chip: &FabricatedChip, plan: &ProbePlan) -> Measurements {
+    let powers = plan
+        .settings
+        .iter()
+        .map(|theta| {
+            plan.inputs
+                .iter()
+                .map(|x| chip.forward_powers(x, theta))
+                .collect()
+        })
+        .collect();
+    Measurements { powers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_photonics::{Architecture, ErrorModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chip() -> (FabricatedChip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        (chip, rng)
+    }
+
+    #[test]
+    fn plan_shapes() {
+        let (chip, mut rng) = chip();
+        let plan = ProbePlan::for_chip(&chip, true, 3, 2, &mut rng);
+        assert_eq!(plan.inputs.len(), 4 + 3);
+        assert_eq!(plan.settings.len(), 2);
+        assert_eq!(plan.query_cost(), 14);
+        assert_eq!(plan.residual_count(4), 56);
+        // All inputs unit power.
+        for x in &plan.inputs {
+            assert!((x.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn measurement_counts_queries() {
+        let (chip, mut rng) = chip();
+        let plan = ProbePlan::for_chip(&chip, true, 2, 3, &mut rng);
+        chip.reset_query_count();
+        let meas = measure_chip(&chip, &plan);
+        assert_eq!(chip.query_count() as usize, plan.query_cost());
+        assert_eq!(meas.powers.len(), 3);
+        assert_eq!(meas.powers[0].len(), 6);
+        assert_eq!(meas.powers[0][0].len(), 4);
+    }
+
+    #[test]
+    fn powers_are_physical() {
+        let (chip, mut rng) = chip();
+        let plan = ProbePlan::for_chip(&chip, true, 4, 2, &mut rng);
+        let meas = measure_chip(&chip, &plan);
+        for setting in &meas.powers {
+            for p in setting {
+                // Non-negative and total power ≤ input power (attenuation only).
+                assert!(p.iter().all(|&v| v >= 0.0));
+                assert!(p.sum() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_plan_rejected() {
+        let (chip, mut rng) = chip();
+        let _ = ProbePlan::for_chip(&chip, false, 0, 1, &mut rng);
+    }
+}

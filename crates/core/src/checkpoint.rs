@@ -1,0 +1,412 @@
+//! Checkpointing: persist and restore `(architecture, parameters,
+//! error assignment)` triples.
+//!
+//! Training a chip is expensive in queries; calibrating one is expensive in
+//! lab time. Checkpoints make both resumable. The format is a
+//! self-contained, versioned plain-text layout (the approved dependency set
+//! has no serialization *format* crate, so the writer/parser live here).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+
+use photon_linalg::RVector;
+use photon_photonics::{Architecture, ErrorVector, ModuleSpec};
+
+/// A restorable training/calibration snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use photon_core::Checkpoint;
+/// use photon_linalg::RVector;
+/// use photon_photonics::Architecture;
+///
+/// let arch = Architecture::single_mesh(4, 2)?;
+/// let theta = RVector::zeros(arch.param_count());
+/// let ckpt = Checkpoint::new(arch, theta, None);
+/// let text = ckpt.to_string();
+/// let back: Checkpoint = text.parse()?;
+/// assert_eq!(back, ckpt);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The network blueprint.
+    pub architecture: Architecture,
+    /// Trained parameter vector.
+    pub theta: RVector,
+    /// Calibrated (or oracle) error assignment, when available.
+    pub errors: Option<ErrorVector>,
+}
+
+/// Errors raised when reading a checkpoint.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The text is not a valid checkpoint.
+    Parse {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const MAGIC: &str = "photon-zo-checkpoint v1";
+
+impl Checkpoint {
+    /// Bundles a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `theta.len()` does not match the architecture's
+    /// parameter count.
+    pub fn new(architecture: Architecture, theta: RVector, errors: Option<ErrorVector>) -> Self {
+        assert_eq!(
+            theta.len(),
+            architecture.param_count(),
+            "theta length must match the architecture"
+        );
+        Checkpoint {
+            architecture,
+            theta,
+            errors,
+        }
+    }
+
+    /// Writes the checkpoint to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_string())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] or [`CheckpointError::Parse`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        fs::read_to_string(path)?.parse()
+    }
+}
+
+impl fmt::Display for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{MAGIC}")?;
+        writeln!(f, "arch {}", self.architecture.specs().len())?;
+        for spec in self.architecture.specs() {
+            match *spec {
+                ModuleSpec::Clements { dim, layers } => writeln!(f, "clements {dim} {layers}")?,
+                ModuleSpec::Reck { dim } => writeln!(f, "reck {dim}")?,
+                ModuleSpec::PhaseDiag { dim } => writeln!(f, "phasediag {dim}")?,
+                ModuleSpec::ModRelu { dim } => writeln!(f, "modrelu {dim}")?,
+                ModuleSpec::ElectroOptic { dim, alpha, gain } => {
+                    writeln!(f, "electrooptic {dim} {alpha:?} {gain:?}")?
+                }
+            }
+        }
+        writeln!(f, "theta {}", self.theta.len())?;
+        for v in self.theta.iter() {
+            // {:e} keeps full round-trip precision via the debug fallback.
+            writeln!(f, "{v:?}")?;
+        }
+        match &self.errors {
+            None => writeln!(f, "errors none")?,
+            Some(ev) => {
+                writeln!(
+                    f,
+                    "errors {} {}",
+                    ev.n_beam_splitters(),
+                    ev.n_phase_shifters()
+                )?;
+                for v in ev.to_flat() {
+                    writeln!(f, "{v:?}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Checkpoint {
+    type Err = CheckpointError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lines = s.lines().enumerate();
+        let mut next = |expect: &str| -> Result<(usize, String), CheckpointError> {
+            lines
+                .next()
+                .map(|(i, l)| (i + 1, l.trim().to_string()))
+                .ok_or_else(|| CheckpointError::Parse {
+                    line: 0,
+                    message: format!("unexpected end of file, expected {expect}"),
+                })
+        };
+        let parse_err = |line: usize, message: String| CheckpointError::Parse { line, message };
+
+        let (line, magic) = next("magic header")?;
+        if magic != MAGIC {
+            return Err(parse_err(line, format!("bad magic {magic:?}")));
+        }
+
+        let (line, arch_header) = next("arch header")?;
+        let n_specs: usize = arch_header
+            .strip_prefix("arch ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| parse_err(line, "expected `arch <count>`".into()))?;
+        let mut specs = Vec::with_capacity(n_specs);
+        for _ in 0..n_specs {
+            let (line, l) = next("module spec")?;
+            let parts: Vec<&str> = l.split_whitespace().collect();
+            let spec = match parts.as_slice() {
+                ["clements", dim, layers] => {
+                    let dim = dim.parse().map_err(|_| parse_err(line, "bad dim".into()))?;
+                    let layers = layers
+                        .parse()
+                        .map_err(|_| parse_err(line, "bad layers".into()))?;
+                    ModuleSpec::Clements { dim, layers }
+                }
+                ["reck", dim] => ModuleSpec::Reck {
+                    dim: dim.parse().map_err(|_| parse_err(line, "bad dim".into()))?,
+                },
+                ["phasediag", dim] => ModuleSpec::PhaseDiag {
+                    dim: dim.parse().map_err(|_| parse_err(line, "bad dim".into()))?,
+                },
+                ["modrelu", dim] => ModuleSpec::ModRelu {
+                    dim: dim.parse().map_err(|_| parse_err(line, "bad dim".into()))?,
+                },
+                ["electrooptic", dim, alpha, gain] => ModuleSpec::ElectroOptic {
+                    dim: dim.parse().map_err(|_| parse_err(line, "bad dim".into()))?,
+                    alpha: alpha
+                        .parse()
+                        .map_err(|_| parse_err(line, "bad alpha".into()))?,
+                    gain: gain
+                        .parse()
+                        .map_err(|_| parse_err(line, "bad gain".into()))?,
+                },
+                _ => return Err(parse_err(line, format!("unknown module spec {l:?}"))),
+            };
+            specs.push(spec);
+        }
+        let architecture = Architecture::new(specs)
+            .map_err(|e| parse_err(0, format!("invalid architecture: {e}")))?;
+
+        let (line, theta_header) = next("theta header")?;
+        let n_theta: usize = theta_header
+            .strip_prefix("theta ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| parse_err(line, "expected `theta <count>`".into()))?;
+        let mut theta = Vec::with_capacity(n_theta);
+        for _ in 0..n_theta {
+            let (line, l) = next("theta value")?;
+            theta.push(
+                l.parse::<f64>()
+                    .map_err(|_| parse_err(line, format!("bad float {l:?}")))?,
+            );
+        }
+        let theta = RVector::from_vec(theta);
+        if theta.len() != architecture.param_count() {
+            return Err(parse_err(
+                0,
+                format!(
+                    "theta has {} values but architecture needs {}",
+                    theta.len(),
+                    architecture.param_count()
+                ),
+            ));
+        }
+
+        let (line, err_header) = next("errors header")?;
+        let errors = if err_header == "errors none" {
+            None
+        } else {
+            let rest = err_header
+                .strip_prefix("errors ")
+                .ok_or_else(|| parse_err(line, "expected `errors …`".into()))?;
+            let mut it = rest.split_whitespace();
+            let n_bs: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(line, "bad beam-splitter count".into()))?;
+            let n_ps: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| parse_err(line, "bad phase-shifter count".into()))?;
+            let total = n_bs + 2 * n_ps;
+            let mut flat = Vec::with_capacity(total);
+            for _ in 0..total {
+                let (line, l) = next("error value")?;
+                flat.push(
+                    l.parse::<f64>()
+                        .map_err(|_| parse_err(line, format!("bad float {l:?}")))?,
+                );
+            }
+            let expected = architecture.error_slots();
+            if (n_bs, n_ps) != expected {
+                return Err(parse_err(
+                    0,
+                    format!(
+                        "error slots {:?} do not match architecture {expected:?}",
+                        (n_bs, n_ps)
+                    ),
+                ));
+            }
+            Some(ErrorVector::from_flat(n_bs, n_ps, &flat))
+        };
+
+        Ok(Checkpoint {
+            architecture,
+            theta,
+            errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_photonics::ErrorModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_checkpoint(with_errors: bool) -> Checkpoint {
+        let mut rng = StdRng::seed_from_u64(5);
+        let arch = Architecture::two_mesh_classifier(4, 2).unwrap();
+        let theta = arch.build_ideal().init_params(&mut rng);
+        let errors = with_errors.then(|| {
+            let (n_bs, n_ps) = arch.error_slots();
+            ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(1.0), &mut rng)
+        });
+        Checkpoint::new(arch, theta, errors)
+    }
+
+    #[test]
+    fn text_roundtrip_without_errors() {
+        let ckpt = sample_checkpoint(false);
+        let back: Checkpoint = ckpt.to_string().parse().unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn text_roundtrip_with_errors_is_exact() {
+        let ckpt = sample_checkpoint(true);
+        let back: Checkpoint = ckpt.to_string().parse().unwrap();
+        // Bit-exact floats via the debug-format round trip.
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ckpt = sample_checkpoint(true);
+        let dir = std::env::temp_dir().join("photon_zo_ckpt_test");
+        let path = dir.join("nested/run1.ckpt");
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eo_activation_roundtrips() {
+        let arch = Architecture::two_mesh_eo_classifier(4, 2, 0.125, 1.75).unwrap();
+        let theta = RVector::zeros(arch.param_count());
+        let ckpt = Checkpoint::new(arch, theta, None);
+        let back: Checkpoint = ckpt.to_string().parse().unwrap();
+        assert_eq!(back, ckpt);
+        assert!(ckpt.to_string().contains("electrooptic 4 0.125 1.75"));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/photon.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = "not a checkpoint".parse::<Checkpoint>().unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_theta_rejected() {
+        let ckpt = sample_checkpoint(false);
+        let text = ckpt.to_string();
+        let truncated: String = text.lines().take(8).collect::<Vec<_>>().join("\n");
+        assert!(truncated.parse::<Checkpoint>().is_err());
+    }
+
+    #[test]
+    fn wrong_theta_count_rejected() {
+        let mut text = String::from(MAGIC);
+        text.push_str("\narch 1\nphasediag 3\ntheta 2\n0.0\n0.0\nerrors none\n");
+        let err = text.parse::<Checkpoint>().unwrap_err();
+        assert!(err.to_string().contains("architecture needs"));
+    }
+
+    #[test]
+    fn rebuilding_network_from_checkpoint_matches() {
+        // The intended workflow: restore a calibrated model + theta and get
+        // identical forward behavior.
+        let ckpt = sample_checkpoint(true);
+        let back: Checkpoint = ckpt.to_string().parse().unwrap();
+        let net_a = ckpt
+            .architecture
+            .build_with_errors(ckpt.errors.as_ref().unwrap())
+            .unwrap();
+        let net_b = back
+            .architecture
+            .build_with_errors(back.errors.as_ref().unwrap())
+            .unwrap();
+        let x = photon_linalg::CVector::basis(4, 1);
+        let ya = net_a.forward(&x, &ckpt.theta);
+        let yb = net_b.forward(&x, &back.theta);
+        assert!((&ya - &yb).max_abs() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta length")]
+    fn mismatched_theta_panics() {
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let _ = Checkpoint::new(arch, RVector::zeros(1), None);
+    }
+}

@@ -1,0 +1,299 @@
+//! Losses over ONN outputs: the optical power-readout classification head
+//! and an MSE regression head.
+
+use photon_linalg::{CVector, RVector};
+
+/// The classification head of the evaluation pipeline: extract the central
+/// `num_classes` output ports, read their optical powers, scale by the
+/// detector gain, and apply softmax cross-entropy.
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{C64, CVector};
+/// use photon_core::ClassificationHead;
+///
+/// let head = ClassificationHead::new(16, 10, 10.0)?;
+/// // All power in the port of class 3 → class 3 wins.
+/// let mut y = CVector::zeros(16);
+/// y[head.port_of_class(3)] = C64::ONE;
+/// assert_eq!(head.predict(&y), 3);
+/// assert!(head.loss(&y, 3) < head.loss(&y, 5));
+/// # Ok::<(), photon_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassificationHead {
+    output_dim: usize,
+    num_classes: usize,
+    offset: usize,
+    gain: f64,
+}
+
+/// Errors raised by `photon-core` configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The network output has fewer ports than there are classes.
+    HeadTooWide {
+        /// Output ports available.
+        output_dim: usize,
+        /// Classes requested.
+        num_classes: usize,
+    },
+    /// An invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::HeadTooWide {
+                output_dim,
+                num_classes,
+            } => write!(
+                f,
+                "cannot read {num_classes} classes from {output_dim} output ports"
+            ),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl ClassificationHead {
+    /// Creates a head reading `num_classes` central ports of an
+    /// `output_dim`-port circuit with the given detector gain.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::HeadTooWide`] when `num_classes > output_dim`;
+    /// [`CoreError::InvalidConfig`] for a non-positive gain or zero classes.
+    pub fn new(output_dim: usize, num_classes: usize, gain: f64) -> Result<Self, CoreError> {
+        if num_classes == 0 {
+            return Err(CoreError::InvalidConfig("need at least one class".into()));
+        }
+        if num_classes > output_dim {
+            return Err(CoreError::HeadTooWide {
+                output_dim,
+                num_classes,
+            });
+        }
+        if gain <= 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "detector gain must be positive".into(),
+            ));
+        }
+        Ok(ClassificationHead {
+            output_dim,
+            num_classes,
+            offset: (output_dim - num_classes) / 2,
+            gain,
+        })
+    }
+
+    /// Number of classes read out.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The output port carrying class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= num_classes`.
+    pub fn port_of_class(&self, c: usize) -> usize {
+        assert!(c < self.num_classes, "class out of range");
+        self.offset + c
+    }
+
+    /// Scaled power logits of the central ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y.len() != output_dim`.
+    pub fn logits(&self, y: &CVector) -> RVector {
+        assert_eq!(y.len(), self.output_dim, "output dimension mismatch");
+        RVector::from_fn(self.num_classes, |c| {
+            self.gain * y[self.offset + c].norm_sqr()
+        })
+    }
+
+    /// Softmax probabilities over classes.
+    pub fn probabilities(&self, y: &CVector) -> RVector {
+        softmax(&self.logits(y))
+    }
+
+    /// Predicted class (argmax logit).
+    pub fn predict(&self, y: &CVector) -> usize {
+        self.logits(y)
+            .argmax()
+            .expect("head has at least one class")
+    }
+
+    /// Cross-entropy loss of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= num_classes`.
+    pub fn loss(&self, y: &CVector, label: usize) -> f64 {
+        assert!(label < self.num_classes, "label out of range");
+        let p = self.probabilities(y);
+        -(p[label].max(1e-300)).ln()
+    }
+
+    /// Loss plus the Wirtinger output cotangent
+    /// `g = ∂ℓ/∂Re(y) + j·∂ℓ/∂Im(y)`, suitable for `Network::vjp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= num_classes`.
+    pub fn loss_and_grad(&self, y: &CVector, label: usize) -> (f64, CVector) {
+        assert!(label < self.num_classes, "label out of range");
+        let p = self.probabilities(y);
+        let loss = -(p[label].max(1e-300)).ln();
+        let mut g = CVector::zeros(self.output_dim);
+        for c in 0..self.num_classes {
+            let dl_dlogit = p[c] - if c == label { 1.0 } else { 0.0 };
+            // logit = gain·|y|² ⇒ ∂logit/∂Re(y) = 2·gain·Re(y), likewise Im.
+            let m = self.offset + c;
+            g[m] = y[m].scale(2.0 * self.gain * dl_dlogit);
+        }
+        (loss, g)
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &RVector) -> RVector {
+    let max = logits.max();
+    let exps = RVector::from_fn(logits.len(), |i| (logits[i] - max).exp());
+    let sum = exps.sum();
+    exps.scale(1.0 / sum)
+}
+
+/// Mean-squared-error regression head: `ℓ = ‖y − t‖²`.
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{C64, CVector};
+/// use photon_core::mse_loss_and_grad;
+///
+/// let y = CVector::from_vec(vec![C64::ONE]);
+/// let t = CVector::from_vec(vec![C64::ZERO]);
+/// let (loss, g) = mse_loss_and_grad(&y, &t);
+/// assert!((loss - 1.0).abs() < 1e-12);
+/// assert!((g[0] - C64::from_real(2.0)).abs() < 1e-12);
+/// ```
+pub fn mse_loss_and_grad(y: &CVector, target: &CVector) -> (f64, CVector) {
+    assert_eq!(y.len(), target.len(), "target dimension mismatch");
+    let diff = y - target;
+    let loss = diff.norm_sqr();
+    // ∂‖y−t‖²/∂Re(y_m) = 2·Re(y_m − t_m), likewise Im ⇒ g = 2·(y − t).
+    let g = diff.scale_real(2.0);
+    (loss, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_linalg::C64;
+
+    fn head() -> ClassificationHead {
+        ClassificationHead::new(16, 10, 10.0).unwrap()
+    }
+
+    #[test]
+    fn central_ports_are_selected() {
+        let h = head();
+        assert_eq!(h.port_of_class(0), 3);
+        assert_eq!(h.port_of_class(9), 12);
+        let exact = ClassificationHead::new(10, 10, 1.0).unwrap();
+        assert_eq!(exact.port_of_class(0), 0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            ClassificationHead::new(4, 10, 1.0),
+            Err(CoreError::HeadTooWide { .. })
+        ));
+        assert!(ClassificationHead::new(10, 10, 0.0).is_err());
+        assert!(ClassificationHead::new(10, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let s = softmax(&RVector::from_slice(&[1.0, 2.0, 3.0]));
+        assert!((s.sum() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+        // Stability with huge logits.
+        let s2 = softmax(&RVector::from_slice(&[1e4, 1e4 + 1.0]));
+        assert!(s2.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn loss_prefers_correct_class() {
+        let h = head();
+        let mut y = CVector::zeros(16);
+        y[h.port_of_class(7)] = C64::from_polar(1.0, 0.3);
+        assert_eq!(h.predict(&y), 7);
+        assert!(h.loss(&y, 7) < h.loss(&y, 2));
+        let p = h.probabilities(&y);
+        assert!((p.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let h = head();
+        let mut y = CVector::zeros(16);
+        for c in 0..16 {
+            y[c] = C64::new(0.1 * (c as f64 + 1.0), -0.05 * c as f64);
+        }
+        let label = 4;
+        let (_, g) = h.loss_and_grad(&y, label);
+        let eps = 1e-6;
+        for m in 0..16 {
+            for part in 0..2 {
+                let mut yp = y.clone();
+                let mut ym = y.clone();
+                if part == 0 {
+                    yp[m] = yp[m] + eps;
+                    ym[m] = ym[m] - eps;
+                } else {
+                    yp[m] = yp[m] + C64::new(0.0, eps);
+                    ym[m] = ym[m] - C64::new(0.0, eps);
+                }
+                let fd = (h.loss(&yp, label) - h.loss(&ym, label)) / (2.0 * eps);
+                let analytic = if part == 0 { g[m].re } else { g[m].im };
+                assert!(
+                    (fd - analytic).abs() < 1e-6,
+                    "port {m} part {part}: fd {fd} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let y = CVector::from_vec(vec![C64::new(0.5, -0.3), C64::new(-1.0, 0.2)]);
+        let t = CVector::from_vec(vec![C64::new(0.1, 0.1), C64::new(0.0, 0.0)]);
+        let (_, g) = mse_loss_and_grad(&y, &t);
+        let eps = 1e-6;
+        for m in 0..2 {
+            let mut yp = y.clone();
+            yp[m] = yp[m] + eps;
+            let mut ym = y.clone();
+            ym[m] = ym[m] - eps;
+            let fd = (mse_loss_and_grad(&yp, &t).0 - mse_loss_and_grad(&ym, &t).0) / (2.0 * eps);
+            assert!((fd - g[m].re).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let h = head();
+        let _ = h.loss(&CVector::zeros(16), 10);
+    }
+}

@@ -1,0 +1,290 @@
+//! Evaluation metrics: batch losses, accuracy, confusion matrices.
+
+use photon_data::Dataset;
+use photon_linalg::{CVector, RVector};
+use photon_photonics::{FabricatedChip, Network};
+
+use crate::loss::ClassificationHead;
+
+/// Batches smaller than this are evaluated serially; larger batches fan out
+/// across threads (per-sample losses are still summed in index order, so
+/// the result is bit-identical either way).
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// Mean chip loss over the samples at `indices` (each sample = one chip
+/// query).
+///
+/// Large batches are evaluated on multiple threads; the reduction order is
+/// fixed, so results are deterministic regardless of thread count.
+///
+/// # Panics
+///
+/// Panics when `indices` is empty or out of range.
+pub fn chip_batch_loss(
+    chip: &FabricatedChip,
+    data: &Dataset,
+    indices: &[usize],
+    head: &ClassificationHead,
+    theta: &RVector,
+) -> f64 {
+    assert!(!indices.is_empty(), "batch must be non-empty");
+    let losses = per_sample_losses(indices, |i| {
+        let (x, label) = data.sample(i);
+        let y = chip.forward(x, theta);
+        head.loss(&y, label)
+    });
+    losses.iter().sum::<f64>() / indices.len() as f64
+}
+
+/// Evaluates `f` for every index, in parallel for large batches, returning
+/// the results in index order.
+fn per_sample_losses<F>(indices: &[usize], f: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if indices.len() < PARALLEL_THRESHOLD || threads < 2 {
+        return indices.iter().map(|&i| f(i)).collect();
+    }
+    let chunk = indices.len().div_ceil(threads);
+    let mut out = vec![0.0; indices.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (o, &i) in slot.iter_mut().zip(idx_chunk) {
+                    *o = f(i);
+                }
+            });
+        }
+    })
+    .expect("loss workers never panic on valid indices");
+    out
+}
+
+/// Mean model loss over the samples at `indices` (no chip queries).
+///
+/// # Panics
+///
+/// Panics when `indices` is empty or out of range.
+pub fn model_batch_loss(
+    model: &Network,
+    data: &Dataset,
+    indices: &[usize],
+    head: &ClassificationHead,
+    theta: &RVector,
+) -> f64 {
+    assert!(!indices.is_empty(), "batch must be non-empty");
+    let mut acc = 0.0;
+    for &i in indices {
+        let (x, label) = data.sample(i);
+        let y = model.forward(x, theta);
+        acc += head.loss(&y, label);
+    }
+    acc / indices.len() as f64
+}
+
+/// Mean backprop loss and gradient over a batch on a white-box model.
+///
+/// # Panics
+///
+/// Panics when `indices` is empty or out of range.
+pub fn model_batch_loss_and_grad(
+    model: &Network,
+    data: &Dataset,
+    indices: &[usize],
+    head: &ClassificationHead,
+    theta: &RVector,
+) -> (f64, RVector) {
+    assert!(!indices.is_empty(), "batch must be non-empty");
+    let mut loss_acc = 0.0;
+    let mut grad_acc = RVector::zeros(theta.len());
+    for &i in indices {
+        let (x, label) = data.sample(i);
+        let (y, tape) = model.forward_tape(x, theta);
+        let (loss, gy) = head.loss_and_grad(&y, label);
+        let (_, grad) = model.vjp(&tape, theta, &gy);
+        loss_acc += loss;
+        grad_acc += &grad;
+    }
+    let scale = 1.0 / indices.len() as f64;
+    (loss_acc * scale, grad_acc.scale(scale))
+}
+
+/// Accuracy and mean loss of the chip over a whole dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Fraction of correctly classified samples.
+    pub accuracy: f64,
+    /// Mean cross-entropy loss.
+    pub loss: f64,
+    /// Samples evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates the chip on every sample of `data` (costs `data.len()` chip
+/// queries).
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+pub fn evaluate_chip(
+    chip: &FabricatedChip,
+    data: &Dataset,
+    head: &ClassificationHead,
+    theta: &RVector,
+) -> Evaluation {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let mut correct = 0usize;
+    let mut loss_acc = 0.0;
+    for i in 0..data.len() {
+        let (x, label) = data.sample(i);
+        let y = chip.forward(x, theta);
+        if head.predict(&y) == label {
+            correct += 1;
+        }
+        loss_acc += head.loss(&y, label);
+    }
+    Evaluation {
+        accuracy: correct as f64 / data.len() as f64,
+        loss: loss_acc / data.len() as f64,
+        samples: data.len(),
+    }
+}
+
+/// Confusion matrix `counts[truth][predicted]` of the chip on a dataset.
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+pub fn confusion_matrix(
+    chip: &FabricatedChip,
+    data: &Dataset,
+    head: &ClassificationHead,
+    theta: &RVector,
+) -> Vec<Vec<usize>> {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let c = head.num_classes();
+    let mut counts = vec![vec![0usize; c]; c];
+    for i in 0..data.len() {
+        let (x, label) = data.sample(i);
+        let y = chip.forward(x, theta);
+        counts[label][head.predict(&y)] += 1;
+    }
+    counts
+}
+
+/// Helper: the feature vectors of the samples at `indices` (the Fisher
+/// inputs of the LCNG metric).
+pub fn batch_inputs(data: &Dataset, indices: &[usize]) -> Vec<CVector> {
+    indices.iter().map(|&i| data.sample(i).0.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::ClassificationHead;
+    use photon_data::GaussianClusters;
+    use photon_photonics::{Architecture, ErrorModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FabricatedChip, Dataset, ClassificationHead, RVector) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let data = GaussianClusters::new(4, 4, 0.1)
+            .generate(20, &mut rng)
+            .unwrap();
+        let head = ClassificationHead::new(4, 4, 10.0).unwrap();
+        let theta = chip.init_params(&mut rng);
+        (chip, data, head, theta)
+    }
+
+    #[test]
+    fn chip_and_oracle_losses_agree() {
+        let (chip, data, head, theta) = setup();
+        let idx: Vec<usize> = (0..10).collect();
+        let l_chip = chip_batch_loss(&chip, &data, &idx, &head, &theta);
+        let l_model = model_batch_loss(&chip.oracle_network(), &data, &idx, &head, &theta);
+        assert!((l_chip - l_model).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backprop_gradient_matches_finite_difference() {
+        let (chip, data, head, theta) = setup();
+        let model = chip.oracle_network();
+        let idx = [0usize, 3, 7];
+        let (_, grad) = model_batch_loss_and_grad(&model, &data, &idx, &head, &theta);
+        let eps = 1e-6;
+        for k in [0usize, 5, theta.len() - 1] {
+            let mut tp = theta.clone();
+            tp[k] += eps;
+            let mut tm = theta.clone();
+            tm[k] -= eps;
+            let fd = (model_batch_loss(&model, &data, &idx, &head, &tp)
+                - model_batch_loss(&model, &data, &idx, &head, &tm))
+                / (2.0 * eps);
+            assert!(
+                (fd - grad[k]).abs() < 1e-5,
+                "param {k}: {fd} vs {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_counts() {
+        let (chip, data, head, theta) = setup();
+        let ev = evaluate_chip(&chip, &data, &head, &theta);
+        assert_eq!(ev.samples, 20);
+        assert!((0.0..=1.0).contains(&ev.accuracy));
+        assert!(ev.loss.is_finite() && ev.loss > 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_class_counts() {
+        let (chip, data, head, theta) = setup();
+        let cm = confusion_matrix(&chip, &data, &head, &theta);
+        let counts = data.class_counts();
+        for (c, row) in cm.iter().enumerate() {
+            assert_eq!(row.iter().sum::<usize>(), counts[c]);
+        }
+    }
+
+    #[test]
+    fn batch_inputs_extracts_features() {
+        let (_, data, _, _) = setup();
+        let inputs = batch_inputs(&data, &[1, 4]);
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(inputs[0], data.sample(1).0.clone());
+    }
+
+    #[test]
+    fn parallel_and_serial_losses_agree_bitwise() {
+        // Build a batch big enough to trip the parallel path and compare
+        // with a forced-serial evaluation.
+        let mut rng = StdRng::seed_from_u64(77);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let data = GaussianClusters::new(4, 4, 0.1)
+            .generate(256, &mut rng)
+            .unwrap();
+        let head = ClassificationHead::new(4, 4, 10.0).unwrap();
+        let theta = chip.init_params(&mut rng);
+        let idx: Vec<usize> = (0..256).collect();
+
+        let parallel = chip_batch_loss(&chip, &data, &idx, &head, &theta);
+        let mut serial_sum = 0.0;
+        for &i in &idx {
+            let (x, label) = data.sample(i);
+            serial_sum += head.loss(&chip.forward(x, &theta), label);
+        }
+        let serial = serial_sum / idx.len() as f64;
+        assert_eq!(parallel, serial, "parallel reduction must be bit-stable");
+        // Query counter includes all parallel forwards.
+        assert_eq!(chip.query_count(), 2 * 256);
+    }
+}

@@ -1,0 +1,313 @@
+//! Plain-text tables and CSV series — the output format of the experiment
+//! binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A fixed-width plain-text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use photon_core::TextTable;
+///
+/// let mut t = TextTable::new(&["method", "accuracy"]);
+/// t.row(&["ZO-LCNG", "94.7%"]);
+/// let s = t.render();
+/// assert!(s.contains("method"));
+/// assert!(s.contains("ZO-LCNG"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty; extra cells are kept).
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A CSV series writer for figure data (one header row, then records).
+///
+/// Values are written with full precision; strings containing commas or
+/// quotes are quoted.
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    headers: Vec<String>,
+    records: Vec<Vec<String>>,
+}
+
+impl CsvWriter {
+    /// Creates a writer with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        CsvWriter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record of raw string cells.
+    pub fn record(&mut self, cells: &[&str]) {
+        self.records
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a record of numeric cells.
+    pub fn record_values(&mut self, cells: &[f64]) {
+        self.records
+            .push(cells.iter().map(|v| format!("{v}")).collect());
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no records were added.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+
+    /// Serializes to CSV text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let write_line = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| Self::escape(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        };
+        write_line(&mut out, &self.headers);
+        for rec in &self.records {
+            write_line(&mut out, rec);
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+}
+
+/// Renders a numeric series as a Unicode sparkline (`▁▂▃▄▅▆▇█`), for
+/// at-a-glance convergence curves in terminal output.
+///
+/// Returns an empty string for an empty series; a constant series renders
+/// at mid height.
+///
+/// # Examples
+///
+/// ```
+/// use photon_core::sparkline;
+///
+/// let s = sparkline(&[3.0, 2.0, 1.0, 0.5, 0.2]);
+/// assert_eq!(s.chars().count(), 5);
+/// assert!(s.starts_with('█'));
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return "·".repeat(values.len());
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '·'
+            } else if span <= 0.0 {
+                BARS[4]
+            } else {
+                let t = ((v - min) / span * 7.0).round() as usize;
+                BARS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `max_points` by striding, always keeping
+/// the final point — used to fit long training histories into a sparkline.
+pub fn downsample(values: &[f64], max_points: usize) -> Vec<f64> {
+    assert!(max_points > 0, "need at least one point");
+    if values.len() <= max_points {
+        return values.to_vec();
+    }
+    let stride = values.len().div_ceil(max_points);
+    let mut out: Vec<f64> = values.iter().copied().step_by(stride).collect();
+    if let Some(&last) = values.last() {
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[1.0, 1.0, 1.0]);
+        assert_eq!(flat.chars().count(), 3);
+        assert!(flat.chars().all(|c| c == '▅'));
+        let s = sparkline(&[0.0, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        // NaN renders as a placeholder, finite neighbours still scale.
+        let with_nan = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert!(with_nan.contains('·'));
+    }
+
+    #[test]
+    fn downsample_preserves_last() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&v, 10);
+        assert!(d.len() <= 11);
+        assert_eq!(*d.last().unwrap(), 99.0);
+        // Short series pass through unchanged.
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn downsample_zero_points_panics() {
+        let _ = downsample(&[1.0], 0);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(&["xxxxxx", "1"]);
+        t.row_owned(vec!["y".into(), "2".into(), "extra".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(&["col"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut w = CsvWriter::new(&["epoch", "loss"]);
+        w.record_values(&[1.0, 0.5]);
+        w.record(&["2", "0.25"]);
+        let s = w.render();
+        assert_eq!(s, "epoch,loss\n1,0.5\n2,0.25\n");
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut w = CsvWriter::new(&["name"]);
+        w.record(&["has,comma"]);
+        w.record(&["has\"quote"]);
+        let s = w.render();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("photon_zo_csv_test");
+        let path = dir.join("nested/out.csv");
+        let mut w = CsvWriter::new(&["x"]);
+        w.record_values(&[42.0]);
+        w.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("42"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

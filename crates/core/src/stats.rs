@@ -1,0 +1,256 @@
+//! Run statistics: summaries over repeated seeds and the Mann-Whitney U
+//! test used for the significance annotations in the paper's tables and
+//! box plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / extrema of a set of run results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The raw values, in run order.
+    pub values: Vec<f64>,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single run).
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl RunSummary {
+    /// Summarizes a non-empty set of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize zero runs");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let std = if values.len() > 1 {
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        RunSummary {
+            values: values.to_vec(),
+            mean,
+            std,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Formats as `mean ± std` with the given precision.
+    pub fn format(&self, decimals: usize) -> String {
+        format!("{:.*} ±{:.*}", decimals, self.mean, decimals, self.std)
+    }
+}
+
+/// Result of a two-sided Mann-Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Standard-normal z-score (tie-corrected, continuity-corrected).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_value: f64,
+}
+
+impl MannWhitney {
+    /// The paper's significance legend: `***` for `p ≤ 10⁻³`, `**` for
+    /// `p ≤ 10⁻²`, `*` for `p ≤ 0.05`, `ns` otherwise.
+    pub fn annotation(&self) -> &'static str {
+        if self.p_value <= 1e-3 {
+            "***"
+        } else if self.p_value <= 1e-2 {
+            "**"
+        } else if self.p_value <= 0.05 {
+            "*"
+        } else {
+            "ns"
+        }
+    }
+}
+
+/// Two-sided Mann-Whitney U test via the normal approximation with tie
+/// correction — adequate for the ≥8-run samples used in the experiments.
+///
+/// # Panics
+///
+/// Panics when either sample is empty.
+///
+/// # Examples
+///
+/// ```
+/// use photon_core::mann_whitney_u;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// let b = [11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0];
+/// let test = mann_whitney_u(&a, &b);
+/// assert!(test.p_value < 0.01); // clearly different samples
+/// let same = mann_whitney_u(&a, &a);
+/// assert!(same.p_value > 0.9);
+/// ```
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(b.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    let total = pooled.len();
+    let mut ranks = vec![0.0f64; total];
+    let mut tie_term = 0.0f64;
+    let mut i = 0;
+    while i < total {
+        let mut j = i;
+        while j + 1 < total && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = midrank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean_u = n1 * n2 / 2.0;
+    let n = n1 + n2;
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        // All values identical: no evidence of difference.
+        return MannWhitney {
+            u: u1,
+            z: 0.0,
+            p_value: 1.0,
+        };
+    }
+    // Continuity correction toward the mean.
+    let diff = u1 - mean_u;
+    let z = (diff.abs() - 0.5).max(0.0) / var_u.sqrt() * diff.signum();
+    let p = 2.0 * normal_sf(z.abs());
+    MannWhitney {
+        u: u1,
+        z,
+        p_value: p.min(1.0),
+    }
+}
+
+/// Standard normal survival function `P(Z > z)` via the complementary error
+/// function (Abramowitz-Stegun 7.1.26 rational approximation, |ε| < 1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let val = poly * (-x_abs * x_abs).exp();
+    if sign_neg {
+        2.0 - val
+    } else {
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = RunSummary::from_values(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.format(2), "2.00 ±1.00");
+        let single = RunSummary::from_values(&[5.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn normal_sf_reference_values() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.024998).abs() < 1e-4);
+        assert!((normal_sf(3.0) - 0.001350).abs() < 1e-5);
+        assert!((normal_sf(-1.0) - 0.841345).abs() < 1e-4);
+    }
+
+    #[test]
+    fn u_test_detects_separation() {
+        let a = [0.1, 0.2, 0.15, 0.12, 0.18, 0.11, 0.16, 0.14];
+        let b = [0.4, 0.5, 0.45, 0.42, 0.48, 0.41, 0.46, 0.44];
+        let t = mann_whitney_u(&a, &b);
+        assert!(t.p_value < 1e-3, "p {}", t.p_value);
+        assert_eq!(t.annotation(), "***");
+    }
+
+    #[test]
+    fn u_test_symmetric() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let t_ab = mann_whitney_u(&a, &b);
+        let t_ba = mann_whitney_u(&b, &a);
+        assert!((t_ab.p_value - t_ba.p_value).abs() < 1e-12);
+        assert_eq!(t_ab.annotation(), "ns");
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [2.0; 6];
+        let t = mann_whitney_u(&a, &a);
+        assert_eq!(t.p_value, 1.0);
+        assert_eq!(t.annotation(), "ns");
+    }
+
+    #[test]
+    fn overlapping_samples_moderate_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let t = mann_whitney_u(&a, &b);
+        assert!(t.p_value > 0.01 && t.p_value < 1.0, "p {}", t.p_value);
+    }
+
+    #[test]
+    fn annotation_thresholds() {
+        let make = |p| MannWhitney {
+            u: 0.0,
+            z: 0.0,
+            p_value: p,
+        };
+        assert_eq!(make(0.0005).annotation(), "***");
+        assert_eq!(make(0.005).annotation(), "**");
+        assert_eq!(make(0.03).annotation(), "*");
+        assert_eq!(make(0.2).annotation(), "ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = mann_whitney_u(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,722 @@
+//! The two-stage training orchestrator.
+//!
+//! Stage 1 (warm start): a few epochs of backpropagation on the *ideal*
+//! software model — fast but systematically wrong about the fabricated
+//! chip's errors.
+//!
+//! Stage 2 (black-box fine-tune): the compared method runs against the
+//! chip, seeing only loss values. Methods:
+//!
+//! | label        | description |
+//! |--------------|-------------|
+//! | `ZO-I`       | vanilla ZO, `N(0, I)` probes, Adam |
+//! | `ZO-co`      | coordinate-wise ZO probes, Adam |
+//! | `ZO-Σ`       | ZO with layered covariance-shaped probes (extension) |
+//! | `ZO-LC`      | linear combination, identity metric (ablation) |
+//! | `ZO-NG`      | vanilla ZO + block natural-gradient preconditioning |
+//! | `ZO-LCNG`    | **the paper's method**: linear combination natural gradient with a model Fisher metric |
+//! | `CMA`        | CMA-ES over all parameters |
+//! | `BP-ideal`   | backprop on the ideal model (never queries the chip) |
+//! | `BP-calib`   | backprop on the calibrated model |
+//! | `BP-oracle`  | backprop with perfect error information (upper bound) |
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use photon_data::{Batcher, Dataset};
+use photon_linalg::RVector;
+use photon_opt::{
+    estimate_gradient, layered_sigma_segments, lcng_direction, Adam, BlockNaturalPreconditioner,
+    CmaEs, LcngSettings, MetricSource, Optimizer, Perturbation, ZoSettings,
+};
+use photon_photonics::{ideal_model, FabricatedChip, Network};
+
+use crate::loss::{ClassificationHead, CoreError};
+use crate::metrics::{
+    batch_inputs, chip_batch_loss, evaluate_chip, model_batch_loss_and_grad, Evaluation,
+};
+
+/// Which software model supplies curvature / error information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// Error-free model (no measurements needed).
+    Ideal,
+    /// Calibrated model attached via [`Trainer::with_calibrated_model`].
+    Calibrated,
+    /// Oracle model with the chip's true errors (upper-bound ablation).
+    OracleTrue,
+}
+
+impl ModelChoice {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelChoice::Ideal => "ideal",
+            ModelChoice::Calibrated => "calib",
+            ModelChoice::OracleTrue => "oracle",
+        }
+    }
+}
+
+/// A stage-2 training method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Vanilla ZO with Gaussian probes ("ZO-I").
+    ZoGaussian,
+    /// Coordinate-wise ZO ("ZO-co").
+    ZoCoordinate,
+    /// ZO with layered covariance-shaped probes ("ZO-Σ", extension).
+    ZoShaped {
+        /// Metric-model source for the probe covariance.
+        model: ModelChoice,
+    },
+    /// Linear combination with identity metric ("ZO-LC", ablation).
+    ZoLc,
+    /// Vanilla ZO preconditioned by block Fisher ("ZO-NG", ablation).
+    ZoNg {
+        /// Metric-model source for the preconditioner.
+        model: ModelChoice,
+    },
+    /// Linear combination natural gradient ("ZO-LCNG", the paper's method).
+    Lcng {
+        /// Metric-model source for the Gram curvature.
+        model: ModelChoice,
+    },
+    /// CMA-ES baseline.
+    Cma {
+        /// Initial global step size σ₀.
+        sigma0: f64,
+    },
+    /// Backprop on the ideal model (never touches the chip in stage 2).
+    BpIdeal,
+    /// Backprop on the calibrated model.
+    BpCalibrated,
+    /// Backprop with perfect error information (upper bound).
+    BpOracle,
+}
+
+impl Method {
+    /// The label used in tables and figures.
+    pub fn label(&self) -> String {
+        match self {
+            Method::ZoGaussian => "ZO-I".into(),
+            Method::ZoCoordinate => "ZO-co".into(),
+            Method::ZoShaped { model } => format!("ZO-S({})", model.label()),
+            Method::ZoLc => "ZO-LC".into(),
+            Method::ZoNg { model } => format!("ZO-NG({})", model.label()),
+            Method::Lcng { model } => format!("ZO-LCNG({})", model.label()),
+            Method::Cma { .. } => "CMA".into(),
+            Method::BpIdeal => "BP-ideal".into(),
+            Method::BpCalibrated => "BP-calib".into(),
+            Method::BpOracle => "BP-oracle".into(),
+        }
+    }
+
+    /// Whether stage 2 consumes chip queries for training.
+    pub fn queries_chip(&self) -> bool {
+        !matches!(
+            self,
+            Method::BpIdeal | Method::BpCalibrated | Method::BpOracle
+        )
+    }
+}
+
+/// Hyperparameters shared by the two training stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Stage-1 warm-start epochs (backprop on the ideal model).
+    pub warm_epochs: usize,
+    /// Stage-1 learning rate.
+    pub warm_lr: f64,
+    /// Stage-2 epochs.
+    pub epochs: usize,
+    /// Mini-batch size `B`.
+    pub batch_size: usize,
+    /// Probe count `Q` per ZO estimate.
+    pub q: usize,
+    /// Stage-2 learning rate (Adam).
+    pub lr: f64,
+    /// Damping `ρ` for natural-gradient blocks and shaped covariances.
+    pub rho: f64,
+    /// Relative ridge for the LCNG Gram solve.
+    pub ridge: f64,
+    /// Refresh cadence `T_ud` (iterations) of preconditioners / covariances.
+    pub t_update: usize,
+    /// Number of Fisher-metric input vectors `R_in` per refresh.
+    pub r_in: usize,
+    /// Evaluate on the test set every this many epochs (0 = only at the
+    /// end).
+    pub eval_every: usize,
+    /// Override of the ZO smoothing step `μ` (default `1e-3/√N`). Raise it
+    /// when the chip has measurement noise: quotients average the noise
+    /// over a larger loss difference.
+    pub mu_override: Option<f64>,
+}
+
+impl TrainConfig {
+    /// Paper-line defaults scaled to a network with `n` parameters and
+    /// input dimension `k`: `B = 100`, `Q = K`, `T_ud = 100`, `ρ = 0.1`.
+    pub fn for_network(n: usize, k: usize) -> Self {
+        let _ = n;
+        TrainConfig {
+            warm_epochs: 10,
+            warm_lr: 0.02,
+            epochs: 100,
+            batch_size: 100,
+            q: k.max(2),
+            lr: 0.01,
+            rho: 0.1,
+            ridge: 0.1,
+            t_update: 100,
+            r_in: 8,
+            eval_every: 0,
+            mu_override: None,
+        }
+    }
+
+    /// A fast preset for tests and examples.
+    pub fn quick(k: usize) -> Self {
+        TrainConfig {
+            warm_epochs: 3,
+            warm_lr: 0.02,
+            epochs: 5,
+            batch_size: 16,
+            q: k.max(2),
+            lr: 0.02,
+            rho: 0.1,
+            ridge: 0.1,
+            t_update: 10,
+            r_in: 4,
+            eval_every: 0,
+            mu_override: None,
+        }
+    }
+}
+
+/// One epoch's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Stage-2 epoch index (1-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Test evaluation, when scheduled this epoch.
+    pub test: Option<Evaluation>,
+    /// Cumulative *training* chip queries at the end of the epoch
+    /// (evaluation sweeps excluded).
+    pub training_queries: u64,
+    /// Wall-clock seconds since stage 2 started.
+    pub elapsed: f64,
+}
+
+/// The result of a full two-stage run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Method label.
+    pub method: String,
+    /// Per-epoch records.
+    pub history: Vec<EpochRecord>,
+    /// Final test evaluation on the chip.
+    pub final_eval: Evaluation,
+    /// Final parameters.
+    pub theta: RVector,
+    /// Total training chip queries (stage 2, excluding evaluations).
+    pub training_queries: u64,
+}
+
+/// Orchestrates two-stage training of one chip on one task.
+#[derive(Debug)]
+pub struct Trainer<'a> {
+    chip: &'a FabricatedChip,
+    train: &'a Dataset,
+    test: &'a Dataset,
+    head: ClassificationHead,
+    calibrated: Option<Network>,
+}
+
+impl<'a> Trainer<'a> {
+    /// Creates a trainer for `chip` on the given train/test split.
+    pub fn new(
+        chip: &'a FabricatedChip,
+        train: &'a Dataset,
+        test: &'a Dataset,
+        head: ClassificationHead,
+    ) -> Self {
+        Trainer {
+            chip,
+            train,
+            test,
+            head,
+            calibrated: None,
+        }
+    }
+
+    /// Attaches a calibrated model (required by `ModelChoice::Calibrated`
+    /// and `Method::BpCalibrated`).
+    pub fn with_calibrated_model(mut self, model: Network) -> Self {
+        self.calibrated = Some(model);
+        self
+    }
+
+    /// The classification head in use.
+    pub fn head(&self) -> &ClassificationHead {
+        &self.head
+    }
+
+    fn model_for(&self, choice: ModelChoice) -> Result<Network, CoreError> {
+        match choice {
+            ModelChoice::Ideal => Ok(ideal_model(self.chip.architecture())),
+            ModelChoice::OracleTrue => Ok(self.chip.oracle_network()),
+            ModelChoice::Calibrated => self.calibrated.clone().ok_or_else(|| {
+                CoreError::InvalidConfig(
+                    "calibrated model not attached; call with_calibrated_model".into(),
+                )
+            }),
+        }
+    }
+
+    /// Stage 1: backprop warm start on the ideal model. Costs no chip
+    /// queries.
+    pub fn warm_start<R: Rng + ?Sized>(&self, config: &TrainConfig, rng: &mut R) -> RVector {
+        let model = ideal_model(self.chip.architecture());
+        let mut theta = model.init_params(rng);
+        let mut adam = Adam::new(config.warm_lr);
+        let mut batcher = Batcher::new(self.train.len(), config.batch_size);
+        for _ in 0..config.warm_epochs {
+            for batch in batcher.epoch(rng) {
+                let (_, grad) =
+                    model_batch_loss_and_grad(&model, self.train, &batch, &self.head, &theta);
+                adam.step(&mut theta, &grad);
+            }
+        }
+        theta
+    }
+
+    /// Runs both stages for `method` and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when a calibrated model is required but
+    /// not attached, or an internal solve fails irrecoverably.
+    pub fn train<R: Rng + ?Sized>(
+        &self,
+        method: Method,
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Result<TrainOutcome, CoreError> {
+        let mut theta = self.warm_start(config, rng);
+        self.finetune(method, config, &mut theta, rng)
+    }
+
+    /// Runs only stage 2 from the given parameters (shared warm starts let
+    /// experiments compare methods from identical initial conditions).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::train`].
+    pub fn finetune<R: Rng + ?Sized>(
+        &self,
+        method: Method,
+        config: &TrainConfig,
+        theta: &mut RVector,
+        rng: &mut R,
+    ) -> Result<TrainOutcome, CoreError> {
+        let n = theta.len();
+        let start_queries = self.chip.query_count();
+        let mut eval_queries: u64 = 0;
+        let start = Instant::now();
+        let mut history = Vec::with_capacity(config.epochs);
+
+        let zo = ZoSettings {
+            q: config.q,
+            mu: config.mu_override.unwrap_or(1e-3 / (n as f64).sqrt()),
+            lambda: 1.0 / n as f64,
+        };
+        let lcng_settings = LcngSettings {
+            zo,
+            ridge: config.ridge,
+        };
+
+        let metric_model = match method {
+            Method::ZoShaped { model } | Method::ZoNg { model } | Method::Lcng { model } => {
+                Some(self.model_for(model)?)
+            }
+            Method::BpCalibrated => Some(self.model_for(ModelChoice::Calibrated)?),
+            Method::BpIdeal => Some(self.model_for(ModelChoice::Ideal)?),
+            Method::BpOracle => Some(self.model_for(ModelChoice::OracleTrue)?),
+            _ => None,
+        };
+
+        let mut adam = Adam::new(config.lr);
+        let mut batcher = Batcher::new(self.train.len(), config.batch_size);
+        let mut cma: Option<CmaEs> = match method {
+            Method::Cma { sigma0 } => Some(CmaEs::new(theta, sigma0)),
+            _ => None,
+        };
+        let mut preconditioner: Option<BlockNaturalPreconditioner> = None;
+        let mut sigma_segments: Option<Vec<(usize, photon_linalg::RCholesky)>> = None;
+        let mut iteration: usize = 0;
+        let mut coord_offset: usize = 0;
+
+        for epoch in 1..=config.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for batch in batcher.epoch(rng) {
+                let fisher_inputs =
+                    batch_inputs(self.train, &batch[..batch.len().min(config.r_in)]);
+                let refresh = iteration % config.t_update.max(1) == 0;
+                let batch_for_loss = batch.clone();
+                let chip = self.chip;
+                let data = self.train;
+                let head = self.head;
+                let mut chip_loss =
+                    |t: &RVector| chip_batch_loss(chip, data, &batch_for_loss, &head, t);
+
+                let loss_val = match method {
+                    Method::ZoGaussian
+                    | Method::ZoCoordinate
+                    | Method::ZoShaped { .. }
+                    | Method::ZoNg { .. } => {
+                        let base = chip_loss(theta);
+                        let pert_storage;
+                        let pert: Perturbation<'_> = match method {
+                            Method::ZoGaussian | Method::ZoNg { .. } => Perturbation::Gaussian,
+                            Method::ZoCoordinate => {
+                                let p = Perturbation::Coordinate {
+                                    offset: coord_offset,
+                                };
+                                coord_offset = (coord_offset + config.q) % n;
+                                p
+                            }
+                            Method::ZoShaped { .. } => {
+                                if refresh || sigma_segments.is_none() {
+                                    let model =
+                                        metric_model.as_ref().expect("model resolved above");
+                                    sigma_segments = Some(
+                                        layered_sigma_segments(
+                                            model,
+                                            theta,
+                                            &fisher_inputs,
+                                            config.rho,
+                                        )
+                                        .map_err(|e| {
+                                            CoreError::InvalidConfig(format!(
+                                                "sigma refresh failed: {e}"
+                                            ))
+                                        })?,
+                                    );
+                                }
+                                pert_storage = sigma_segments.as_ref().unwrap();
+                                Perturbation::Shaped {
+                                    segments: pert_storage,
+                                }
+                            }
+                            _ => unreachable!(),
+                        };
+                        let est = estimate_gradient(&mut chip_loss, theta, base, &zo, &pert, rng);
+                        let grad = if let Method::ZoNg { .. } = method {
+                            if refresh || preconditioner.is_none() {
+                                let model = metric_model.as_ref().expect("model resolved above");
+                                preconditioner = Some(
+                                    BlockNaturalPreconditioner::assemble(
+                                        model,
+                                        theta,
+                                        &fisher_inputs,
+                                        config.rho,
+                                        true,
+                                    )
+                                    .map_err(|e| {
+                                        CoreError::InvalidConfig(format!(
+                                            "preconditioner refresh failed: {e}"
+                                        ))
+                                    })?,
+                                );
+                            }
+                            preconditioner.as_ref().unwrap().apply(&est.gradient)
+                        } else {
+                            est.gradient
+                        };
+                        adam.step(theta, &grad);
+                        base
+                    }
+                    Method::ZoLc | Method::Lcng { .. } => {
+                        let base = chip_loss(theta);
+                        let metric = match (&method, metric_model.as_ref()) {
+                            (Method::ZoLc, _) => MetricSource::Identity,
+                            (Method::Lcng { .. }, Some(model)) => MetricSource::Model {
+                                model,
+                                inputs: &fisher_inputs,
+                            },
+                            _ => unreachable!(),
+                        };
+                        let step = lcng_direction(
+                            &mut chip_loss,
+                            theta,
+                            base,
+                            &lcng_settings,
+                            &Perturbation::Gaussian,
+                            &metric,
+                            rng,
+                        )
+                        .map_err(|e| CoreError::InvalidConfig(format!("LCNG solve failed: {e}")))?;
+                        // Feed the negative direction to Adam as a surrogate
+                        // gradient (the protocol the research line uses).
+                        let surrogate = (&step.direction).scale(-1.0);
+                        adam.step(theta, &surrogate);
+                        base
+                    }
+                    Method::Cma { .. } => {
+                        let es = cma.as_mut().expect("initialized above");
+                        let xs = es.ask(rng);
+                        let losses: Vec<f64> = xs.iter().map(|x| chip_loss(x)).collect();
+                        es.tell(&xs, &losses).map_err(|e| {
+                            CoreError::InvalidConfig(format!("CMA-ES update failed: {e}"))
+                        })?;
+                        *theta = es.mean().clone();
+                        losses.iter().copied().fold(f64::INFINITY, f64::min)
+                    }
+                    Method::BpIdeal | Method::BpCalibrated | Method::BpOracle => {
+                        let model = metric_model.as_ref().expect("model resolved above");
+                        let (loss, grad) =
+                            model_batch_loss_and_grad(model, self.train, &batch, &self.head, theta);
+                        adam.step(theta, &grad);
+                        loss
+                    }
+                };
+                epoch_loss += loss_val;
+                batches += 1;
+                iteration += 1;
+            }
+
+            let test = if config.eval_every > 0 && epoch % config.eval_every == 0 {
+                let before = self.chip.query_count();
+                let ev = evaluate_chip(self.chip, self.test, &self.head, theta);
+                eval_queries += self.chip.query_count() - before;
+                Some(ev)
+            } else {
+                None
+            };
+            history.push(EpochRecord {
+                epoch,
+                train_loss: epoch_loss / batches.max(1) as f64,
+                test,
+                training_queries: self.chip.query_count() - start_queries - eval_queries,
+                elapsed: start.elapsed().as_secs_f64(),
+            });
+        }
+
+        let before = self.chip.query_count();
+        let final_eval = evaluate_chip(self.chip, self.test, &self.head, theta);
+        eval_queries += self.chip.query_count() - before;
+
+        Ok(TrainOutcome {
+            method: method.label(),
+            history,
+            final_eval,
+            theta: theta.clone(),
+            training_queries: self.chip.query_count() - start_queries - eval_queries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_data::GaussianClusters;
+    use photon_photonics::{Architecture, ErrorModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (FabricatedChip, Dataset, Dataset, ClassificationHead) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let all = GaussianClusters::new(4, 4, 0.15)
+            .generate(120, &mut rng)
+            .unwrap();
+        let (train, test) = all.split(0.75, &mut rng);
+        let head = ClassificationHead::new(4, 4, 10.0).unwrap();
+        (chip, train, test, head)
+    }
+
+    #[test]
+    fn warm_start_reduces_model_loss() {
+        let (chip, train, test, head) = setup(1);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = TrainConfig::quick(4);
+        let model = ideal_model(chip.architecture());
+        let theta0 = model.init_params(&mut rng);
+        let idx: Vec<usize> = (0..train.len()).collect();
+        let loss0 = crate::metrics::model_batch_loss(&model, &train, &idx, &head, &theta0);
+        let theta = trainer.warm_start(&config, &mut rng);
+        let loss1 = crate::metrics::model_batch_loss(&model, &train, &idx, &head, &theta);
+        assert!(loss1 < loss0, "{loss1} !< {loss0}");
+    }
+
+    #[test]
+    fn zo_gaussian_trains_above_chance() {
+        let (chip, train, test, head) = setup(3);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut config = TrainConfig::quick(4);
+        config.epochs = 8;
+        let out = trainer
+            .train(Method::ZoGaussian, &config, &mut rng)
+            .unwrap();
+        assert!(
+            out.final_eval.accuracy > 0.3,
+            "acc {}",
+            out.final_eval.accuracy
+        );
+        assert!(out.training_queries > 0);
+        assert_eq!(out.history.len(), 8);
+        assert_eq!(out.method, "ZO-I");
+    }
+
+    #[test]
+    fn lcng_with_oracle_metric_trains() {
+        let (chip, train, test, head) = setup(5);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut config = TrainConfig::quick(4);
+        config.epochs = 8;
+        let out = trainer
+            .train(
+                Method::Lcng {
+                    model: ModelChoice::OracleTrue,
+                },
+                &config,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            out.final_eval.accuracy > 0.3,
+            "acc {}",
+            out.final_eval.accuracy
+        );
+        assert_eq!(out.method, "ZO-LCNG(oracle)");
+    }
+
+    #[test]
+    fn calibrated_choice_requires_attachment() {
+        let (chip, train, test, head) = setup(7);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = TrainConfig::quick(4);
+        let err = trainer.train(
+            Method::Lcng {
+                model: ModelChoice::Calibrated,
+            },
+            &config,
+            &mut rng,
+        );
+        assert!(err.is_err());
+        // Attaching the oracle network as a stand-in fixes it.
+        let trainer = trainer.with_calibrated_model(chip.oracle_network());
+        let ok = trainer.train(
+            Method::Lcng {
+                model: ModelChoice::Calibrated,
+            },
+            &config,
+            &mut rng,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn bp_ideal_never_queries_chip_during_training() {
+        let (chip, train, test, head) = setup(9);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(10);
+        let config = TrainConfig::quick(4);
+        let out = trainer.train(Method::BpIdeal, &config, &mut rng).unwrap();
+        assert_eq!(out.training_queries, 0);
+        assert!(!Method::BpIdeal.queries_chip());
+        assert!(Method::ZoGaussian.queries_chip());
+    }
+
+    #[test]
+    fn bp_oracle_beats_bp_ideal_on_noisy_chip() {
+        // With large fabrication errors the ideal-model gradients mislead;
+        // perfect error information must win.
+        let mut rng = StdRng::seed_from_u64(11);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(10.0), &mut rng);
+        let all = GaussianClusters::new(4, 4, 0.15)
+            .generate(160, &mut rng)
+            .unwrap();
+        let (train, test) = all.split(0.75, &mut rng);
+        let head = ClassificationHead::new(4, 4, 10.0).unwrap();
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut config = TrainConfig::quick(4);
+        config.epochs = 12;
+        config.warm_epochs = 5;
+
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let oracle = trainer
+            .train(Method::BpOracle, &config, &mut rng_a)
+            .unwrap();
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let ideal = trainer.train(Method::BpIdeal, &config, &mut rng_b).unwrap();
+        assert!(
+            oracle.final_eval.loss <= ideal.final_eval.loss * 1.05,
+            "oracle {} should beat ideal {}",
+            oracle.final_eval.loss,
+            ideal.final_eval.loss
+        );
+    }
+
+    #[test]
+    fn cma_trains_on_tiny_problem() {
+        let (chip, train, test, head) = setup(13);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut config = TrainConfig::quick(4);
+        config.epochs = 3;
+        let out = trainer
+            .train(Method::Cma { sigma0: 0.3 }, &config, &mut rng)
+            .unwrap();
+        assert_eq!(out.method, "CMA");
+        assert!(out.final_eval.accuracy >= 0.2);
+    }
+
+    #[test]
+    fn eval_every_records_test_points() {
+        let (chip, train, test, head) = setup(15);
+        let trainer = Trainer::new(&chip, &train, &test, head);
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut config = TrainConfig::quick(4);
+        config.epochs = 4;
+        config.eval_every = 2;
+        let out = trainer
+            .train(Method::ZoGaussian, &config, &mut rng)
+            .unwrap();
+        assert!(out.history[1].test.is_some());
+        assert!(out.history[0].test.is_none());
+        // Training queries exclude evaluation sweeps: monotone per epoch.
+        assert!(out.history[3].training_queries >= out.history[0].training_queries);
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(Method::ZoCoordinate.label(), "ZO-co");
+        assert_eq!(Method::ZoLc.label(), "ZO-LC");
+        assert_eq!(
+            Method::ZoNg {
+                model: ModelChoice::Ideal
+            }
+            .label(),
+            "ZO-NG(ideal)"
+        );
+        assert_eq!(
+            Method::ZoShaped {
+                model: ModelChoice::OracleTrue
+            }
+            .label(),
+            "ZO-S(oracle)"
+        );
+        assert_eq!(Method::BpCalibrated.label(), "BP-calib");
+    }
+}

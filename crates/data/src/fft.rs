@@ -1,0 +1,254 @@
+//! Discrete Fourier transforms: radix-2 Cooley-Tukey plus Bluestein's
+//! algorithm for arbitrary lengths.
+//!
+//! The feature extractor needs a 784-point DFT (28×28 images); 784 is not a
+//! power of two, so the crate implements Bluestein's chirp-z reduction to a
+//! zero-padded power-of-two convolution.
+
+use photon_linalg::{CVector, C64};
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// `inverse` selects the sign convention; the inverse transform includes the
+/// `1/n` normalization.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a power of two.
+pub fn fft_pow2(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    assert!(
+        is_pow2(n),
+        "fft_pow2 requires a power-of-two length, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = C64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = C64::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+    }
+}
+
+/// Forward DFT of arbitrary length:
+/// `X_k = Σ_n x_n · e^{−j·2πkn/N}`.
+///
+/// Power-of-two lengths use radix-2 directly; other lengths use Bluestein's
+/// algorithm (O(N log N)).
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{C64, CVector};
+/// use photon_data::dft;
+///
+/// // DFT of a constant signal concentrates everything in bin 0.
+/// let x = CVector::from_real_slice(&[1.0; 6]);
+/// let spectrum = dft(&x);
+/// assert!((spectrum[0] - C64::from_real(6.0)).abs() < 1e-10);
+/// assert!(spectrum[1].abs() < 1e-10);
+/// ```
+pub fn dft(x: &CVector) -> CVector {
+    let n = x.len();
+    if n == 0 {
+        return CVector::zeros(0);
+    }
+    if is_pow2(n) {
+        let mut buf = x.as_slice().to_vec();
+        fft_pow2(&mut buf, false);
+        return CVector::from_vec(buf);
+    }
+    bluestein(x, false)
+}
+
+/// Inverse DFT of arbitrary length (includes the `1/N` normalization).
+pub fn idft(x: &CVector) -> CVector {
+    let n = x.len();
+    if n == 0 {
+        return CVector::zeros(0);
+    }
+    if is_pow2(n) {
+        let mut buf = x.as_slice().to_vec();
+        fft_pow2(&mut buf, true);
+        return CVector::from_vec(buf);
+    }
+    let y = bluestein(x, true);
+    y.scale_real(1.0 / n as f64)
+}
+
+/// Bluestein chirp-z: re-expresses an arbitrary-length DFT as a circular
+/// convolution of length `m = 2^⌈log₂(2N−1)⌉`.
+fn bluestein(x: &CVector, inverse: bool) -> CVector {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp factors w_k = e^{sign·jπk²/N}; k² mod 2N keeps the angle exact.
+    let chirp: Vec<C64> = (0..n)
+        .map(|k| {
+            let kk = (k as u128 * k as u128) % (2 * n as u128);
+            C64::cis(sign * std::f64::consts::PI * kk as f64 / n as f64)
+        })
+        .collect();
+
+    let mut m = 1usize;
+    while m < 2 * n - 1 {
+        m <<= 1;
+    }
+    let mut a = vec![C64::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+    }
+    let mut b = vec![C64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    fft_pow2(&mut a, true);
+    CVector::from_fn(n, |k| a[k] * chirp[k])
+}
+
+/// Reference O(N²) DFT used for validation.
+pub fn dft_naive(x: &CVector) -> CVector {
+    let n = x.len();
+    CVector::from_fn(n, |k| {
+        let mut acc = C64::ZERO;
+        for (i, &xi) in x.iter().enumerate() {
+            let ang = -std::f64::consts::TAU * (k as f64) * (i as f64) / n as f64;
+            acc += xi * C64::cis(ang);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_linalg::random::normal_cvector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pow2_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x = normal_cvector(n, &mut rng);
+            let fast = dft(&x);
+            let slow = dft_naive(&x);
+            assert!((&fast - &slow).max_abs() < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [3usize, 5, 6, 7, 12, 28, 100, 784] {
+            let x = normal_cvector(n, &mut rng);
+            let fast = dft(&x);
+            let slow = dft_naive(&x);
+            assert!((&fast - &slow).max_abs() < 1e-6, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [8usize, 28, 784] {
+            let x = normal_cvector(n, &mut rng);
+            let back = idft(&dft(&x));
+            assert!((&back - &x).max_abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = normal_cvector(100, &mut rng);
+        let spec = dft(&x);
+        assert!((spec.norm_sqr() / 100.0 - x.norm_sqr()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let x = CVector::basis(13, 0);
+        let spec = dft(&x);
+        for k in 0..13 {
+            assert!((spec[k] - C64::ONE).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 32;
+        let x = CVector::from_fn(n, |i| {
+            C64::cis(std::f64::consts::TAU * 3.0 * i as f64 / n as f64)
+        });
+        let spec = dft(&x);
+        assert!((spec[3] - C64::from_real(n as f64)).abs() < 1e-8);
+        for k in 0..n {
+            if k != 3 {
+                assert!(spec[k].abs() < 1e-8, "leakage in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_unit_lengths() {
+        assert_eq!(dft(&CVector::zeros(0)).len(), 0);
+        let one = CVector::from_real_slice(&[5.0]);
+        assert!((dft(&one)[0] - C64::from_real(5.0)).abs() < 1e-12);
+        assert!((idft(&one)[0] - C64::from_real(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn fft_pow2_rejects_odd_length() {
+        let mut buf = vec![C64::ZERO; 6];
+        fft_pow2(&mut buf, false);
+    }
+}

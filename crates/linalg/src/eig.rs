@@ -1,0 +1,369 @@
+//! Jacobi eigensolvers for real symmetric and complex Hermitian matrices.
+
+use crate::c64::C64;
+use crate::cmatrix::CMatrix;
+use crate::error::{LinalgError, Result};
+use crate::rmatrix::RMatrix;
+use crate::rvector::RVector;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a real symmetric matrix.
+///
+/// Eigenvalues are sorted ascending; `vectors.col(i)` is the eigenvector of
+/// `values[i]`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEig {
+    /// Eigenvalues, ascending.
+    pub values: RVector,
+    /// Orthogonal matrix whose columns are the eigenvectors.
+    pub vectors: RMatrix,
+}
+
+/// Eigendecomposition `A = V·diag(λ)·Vᴴ` of a complex Hermitian matrix.
+///
+/// Eigenvalues are real and sorted ascending.
+#[derive(Debug, Clone)]
+pub struct HermitianEig {
+    /// Eigenvalues, ascending (real for Hermitian matrices).
+    pub values: RVector,
+    /// Unitary matrix whose columns are the eigenvectors.
+    pub vectors: CMatrix,
+}
+
+/// Computes the eigendecomposition of a real symmetric matrix by cyclic
+/// Jacobi rotations.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass fails to vanish
+/// within the sweep budget (does not occur for finite symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{RMatrix, symmetric_eig};
+///
+/// let a = RMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let eig = symmetric_eig(&a)?;
+/// assert!((eig.values[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 3.0).abs() < 1e-10);
+/// # Ok::<(), photon_linalg::LinalgError>(())
+/// ```
+pub fn symmetric_eig(a: &RMatrix) -> Result<SymmetricEig> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = RMatrix::identity(n);
+    let scale = m.max_abs().max(1.0);
+    let tol = f64::EPSILON * scale * n as f64;
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            return Ok(sorted_sym(m, v));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    if k == p || k == q {
+                        continue;
+                    }
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(p, k)] = m[(k, p)];
+                    m[(k, q)] = s * akp + c * akq;
+                    m[(q, k)] = m[(k, q)];
+                }
+                m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+                m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn sorted_sym(m: RMatrix, v: RMatrix) -> SymmetricEig {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
+    let values = RVector::from_fn(n, |i| m[(idx[i], idx[i])]);
+    let vectors = RMatrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
+    SymmetricEig { values, vectors }
+}
+
+/// Computes the eigendecomposition of a complex Hermitian matrix by cyclic
+/// complex Jacobi rotations.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass fails to vanish
+/// within the sweep budget.
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{C64, CMatrix, hermitian_eig};
+///
+/// let a = CMatrix::from_rows(&[
+///     vec![C64::from_real(2.0), C64::new(0.0, 1.0)],
+///     vec![C64::new(0.0, -1.0), C64::from_real(2.0)],
+/// ]);
+/// let eig = hermitian_eig(&a)?;
+/// assert!((eig.values[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 3.0).abs() < 1e-10);
+/// # Ok::<(), photon_linalg::LinalgError>(())
+/// ```
+pub fn hermitian_eig(a: &CMatrix) -> Result<HermitianEig> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    // Enforce exact Hermitian symmetry to stabilize the sweeps.
+    let mut m = CMatrix::from_fn(n, n, |r, c| (a[(r, c)] + a[(c, r)].conj()).scale(0.5));
+    let mut v = CMatrix::identity(n);
+    let scale = m.max_abs().max(1.0);
+    let tol = f64::EPSILON * scale * n as f64;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            return Ok(sorted_herm(m, v));
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let gamma = m[(p, q)];
+                let g = gamma.abs();
+                if g <= tol * 1e-2 {
+                    continue;
+                }
+                // Phase e = γ/|γ| reduces the 2x2 block to a real problem.
+                let e = gamma / g;
+                let alpha = m[(p, p)].re;
+                let beta = m[(q, q)].re;
+                let tau = (beta - alpha) / (2.0 * g);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                let se = e.scale(s); // s·e
+                let se_conj = e.conj().scale(s); // s·e*
+
+                // Rotation J: J_pp = c, J_pq = s·e, J_qp = -s·e*, J_qq = c.
+                for k in 0..n {
+                    if k == p || k == q {
+                        continue;
+                    }
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    // (A·J) columns p, q for row k.
+                    let new_kp = akp.scale(c) - akq * se_conj;
+                    let new_kq = akp * se + akq.scale(c);
+                    m[(k, p)] = new_kp;
+                    m[(p, k)] = new_kp.conj();
+                    m[(k, q)] = new_kq;
+                    m[(q, k)] = new_kq.conj();
+                }
+                let new_pp = c * c * alpha - 2.0 * s * c * g + s * s * beta;
+                let new_qq = s * s * alpha + 2.0 * s * c * g + c * c * beta;
+                m[(p, p)] = C64::from_real(new_pp);
+                m[(q, q)] = C64::from_real(new_qq);
+                m[(p, q)] = C64::ZERO;
+                m[(q, p)] = C64::ZERO;
+
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp.scale(c) - vkq * se_conj;
+                    v[(k, q)] = vkp * se + vkq.scale(c);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn sorted_herm(m: CMatrix, v: CMatrix) -> HermitianEig {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| m[(i, i)].re.partial_cmp(&m[(j, j)].re).unwrap());
+    let values = RVector::from_fn(n, |i| m[(idx[i], idx[i])].re);
+    let vectors = CMatrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
+    HermitianEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cvector::CVector;
+
+    #[test]
+    fn sym_eig_known_values() {
+        let a = RMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let eig = symmetric_eig(&a).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sym_eig_reconstructs() {
+        let a = RMatrix::from_rows(&[
+            vec![4.0, 1.0, -0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![-0.5, 0.25, 1.0],
+        ]);
+        let eig = symmetric_eig(&a).unwrap();
+        let d = RMatrix::from_diagonal(&eig.values);
+        let recon = eig
+            .vectors
+            .mul_mat(&d)
+            .unwrap()
+            .mul_mat(&eig.vectors.transpose())
+            .unwrap();
+        assert!((&recon - &a).max_abs() < 1e-9);
+        // Eigenvector orthogonality.
+        let vtv = eig.vectors.transpose().mul_mat(&eig.vectors).unwrap();
+        assert!((&vtv - &RMatrix::identity(3)).max_abs() < 1e-10);
+        // Ascending order.
+        assert!(eig.values[0] <= eig.values[1] && eig.values[1] <= eig.values[2]);
+    }
+
+    #[test]
+    fn sym_eig_diagonal_passthrough() {
+        let a = RMatrix::from_diagonal(&RVector::from_slice(&[3.0, -1.0, 2.0]));
+        let eig = symmetric_eig(&a).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-12);
+        assert!((eig.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sym_eig_rejects_non_square() {
+        assert!(symmetric_eig(&RMatrix::zeros(2, 3)).is_err());
+        assert!(hermitian_eig(&CMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn herm_eig_known_values() {
+        let a = CMatrix::from_rows(&[
+            vec![C64::from_real(2.0), C64::new(0.0, 1.0)],
+            vec![C64::new(0.0, -1.0), C64::from_real(2.0)],
+        ]);
+        let eig = hermitian_eig(&a).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn herm_eig_reconstructs_and_unitary() {
+        let a = CMatrix::from_rows(&[
+            vec![
+                C64::from_real(3.0),
+                C64::new(1.0, -0.5),
+                C64::new(0.0, 0.25),
+            ],
+            vec![
+                C64::new(1.0, 0.5),
+                C64::from_real(1.0),
+                C64::new(-0.75, 0.0),
+            ],
+            vec![
+                C64::new(0.0, -0.25),
+                C64::new(-0.75, 0.0),
+                C64::from_real(2.0),
+            ],
+        ]);
+        assert!(a.is_hermitian(1e-12));
+        let eig = hermitian_eig(&a).unwrap();
+        assert!(eig.vectors.is_unitary(1e-9));
+        let d = CMatrix::from_diagonal(&CVector::from_real_slice(eig.values.as_slice()));
+        let recon = eig
+            .vectors
+            .mul_mat(&d)
+            .unwrap()
+            .mul_mat(&eig.vectors.adjoint())
+            .unwrap();
+        assert!((&recon - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn herm_eig_trace_preserved() {
+        let a = CMatrix::from_rows(&[
+            vec![C64::from_real(5.0), C64::new(2.0, 1.0)],
+            vec![C64::new(2.0, -1.0), C64::from_real(-3.0)],
+        ]);
+        let eig = hermitian_eig(&a).unwrap();
+        assert!((eig.values.sum() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eig_of_gram_matrix_nonnegative() {
+        // Gram matrices are PSD; all eigenvalues must be >= 0 (up to fp).
+        let b = CMatrix::from_fn(4, 3, |r, c| {
+            C64::new((r + 1) as f64 * 0.3, (c as f64) - 1.0)
+        });
+        let g = b.gram();
+        let eig = hermitian_eig(&g).unwrap();
+        for i in 0..3 {
+            assert!(
+                eig.values[i] > -1e-9,
+                "negative eigenvalue {}",
+                eig.values[i]
+            );
+        }
+    }
+}

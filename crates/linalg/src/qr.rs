@@ -1,0 +1,205 @@
+//! Householder QR decomposition of complex matrices.
+
+use crate::c64::C64;
+use crate::cmatrix::CMatrix;
+use crate::error::{LinalgError, Result};
+
+/// QR decomposition `A = Q·R` with unitary `Q` and upper-triangular `R`.
+///
+/// Used by [`crate::random::haar_unitary`] to turn a Ginibre matrix into a
+/// Haar-distributed random unitary.
+///
+/// # Examples
+///
+/// ```
+/// use photon_linalg::{C64, CMatrix, CQr};
+///
+/// let a = CMatrix::from_rows(&[
+///     vec![C64::from_real(1.0), C64::from_real(2.0)],
+///     vec![C64::from_real(3.0), C64::from_real(4.0)],
+/// ]);
+/// let qr = CQr::new(&a)?;
+/// let recon = qr.q().mul_mat(qr.r())?;
+/// assert!((&recon - &a).max_abs() < 1e-10);
+/// assert!(qr.q().is_unitary(1e-10));
+/// # Ok::<(), photon_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CQr {
+    q: CMatrix,
+    r: CMatrix,
+}
+
+impl CQr {
+    /// Factorizes a matrix with `rows >= cols` using Householder reflectors.
+    ///
+    /// Produces the "thick" factorization: `Q` is `rows × rows` unitary and
+    /// `R` is `rows × cols` upper-triangular.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::InvalidArgument`] when `rows < cols` or the matrix is
+    /// empty.
+    pub fn new(a: &CMatrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "cannot factorize an empty matrix".into(),
+            ));
+        }
+        if m < n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "QR requires rows >= cols, found {m}x{n}"
+            )));
+        }
+        let mut r = a.clone();
+        let mut q = CMatrix::identity(m);
+
+        for k in 0..n.min(m - 1) {
+            // Householder vector for column k below (and including) row k.
+            let mut norm_sqr = 0.0;
+            for i in k..m {
+                norm_sqr += r[(i, k)].norm_sqr();
+            }
+            let norm = norm_sqr.sqrt();
+            if norm < f64::EPSILON {
+                continue; // column already zero below the diagonal
+            }
+            let x0 = r[(k, k)];
+            // alpha = -e^{j·arg(x0)}·‖x‖ avoids cancellation.
+            let phase = if x0.abs() < f64::EPSILON {
+                C64::ONE
+            } else {
+                x0 / x0.abs()
+            };
+            let alpha = -phase * norm;
+            // v = x - alpha·e1
+            let mut v = vec![C64::ZERO; m - k];
+            v[0] = x0 - alpha;
+            for i in k + 1..m {
+                v[i - k] = r[(i, k)];
+            }
+            let vnorm_sqr: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+            if vnorm_sqr < f64::EPSILON * f64::EPSILON {
+                continue;
+            }
+            let beta = 2.0 / vnorm_sqr;
+
+            // R ← H·R where H = I - beta·v·vᴴ (acting on rows k..m).
+            for c in k..n {
+                let mut dot = C64::ZERO;
+                for i in k..m {
+                    dot += v[i - k].conj() * r[(i, c)];
+                }
+                let f = dot.scale(beta);
+                for i in k..m {
+                    let sub = v[i - k] * f;
+                    r[(i, c)] -= sub;
+                }
+            }
+            // Q ← Q·H (accumulate reflectors on the right).
+            for row in 0..m {
+                let mut dot = C64::ZERO;
+                for i in k..m {
+                    dot += q[(row, i)] * v[i - k];
+                }
+                let f = dot.scale(beta);
+                for i in k..m {
+                    let sub = f * v[i - k].conj();
+                    q[(row, i)] -= sub;
+                }
+            }
+        }
+        // Zero out numerical noise below the diagonal of R.
+        for c in 0..n {
+            for rix in c + 1..m {
+                r[(rix, c)] = C64::ZERO;
+            }
+        }
+        Ok(CQr { q, r })
+    }
+
+    /// The unitary factor.
+    pub fn q(&self) -> &CMatrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor.
+    pub fn r(&self) -> &CMatrix {
+        &self.r
+    }
+
+    /// Consumes the decomposition, returning `(Q, R)`.
+    pub fn into_parts(self) -> (CMatrix, CMatrix) {
+        (self.q, self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix(m: usize, n: usize) -> CMatrix {
+        // Deterministic pseudo-random complex entries.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        CMatrix::from_fn(m, n, |_, _| C64::new(next(), next()))
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = sample_matrix(5, 5);
+        let qr = CQr::new(&a).unwrap();
+        let recon = qr.q().mul_mat(qr.r()).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-10);
+        assert!(qr.q().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = sample_matrix(6, 3);
+        let qr = CQr::new(&a).unwrap();
+        let recon = qr.q().mul_mat(qr.r()).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-10);
+        assert!(qr.q().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = sample_matrix(4, 4);
+        let qr = CQr::new(&a).unwrap();
+        for c in 0..4 {
+            for r in c + 1..4 {
+                assert_eq!(qr.r()[(r, c)], C64::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_and_empty_rejected() {
+        assert!(CQr::new(&CMatrix::zeros(2, 3)).is_err());
+        assert!(CQr::new(&CMatrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let id = CMatrix::identity(3);
+        let qr = CQr::new(&id).unwrap();
+        let recon = qr.q().mul_mat(qr.r()).unwrap();
+        assert!((&recon - &id).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_parts() {
+        let a = sample_matrix(3, 3);
+        let qr = CQr::new(&a).unwrap();
+        let (q, r) = qr.into_parts();
+        let recon = q.mul_mat(&r).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-10);
+    }
+}

@@ -1,0 +1,178 @@
+//! Hyperparameter tuning: a small random-search tuner standing in for the
+//! paper's Optuna runs.
+//!
+//! The experimental protocol tunes each method's step size per (task,
+//! dimensionality, method) combination before the comparison runs; this
+//! module provides the log-uniform random search that fills that role.
+
+use rand::Rng;
+
+/// A log-uniform range `[lo, hi]`, the natural prior for learning rates and
+/// CMA-ES step sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl LogUniform {
+    /// Creates the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "require 0 < lo < hi");
+        LogUniform { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        (self.lo.ln() + u * (self.hi.ln() - self.lo.ln())).exp()
+    }
+}
+
+/// One tuning trial result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// The sampled hyperparameter value.
+    pub value: f64,
+    /// The objective score (lower is better).
+    pub score: f64,
+}
+
+/// Random-search tuner: draws `trials` values from `range`, scores each with
+/// `objective` (lower is better) and returns all trials with the best first.
+///
+/// The first trial always probes the geometric midpoint so a single-trial
+/// budget is deterministic.
+///
+/// # Panics
+///
+/// Panics when `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use photon_opt::{random_search, LogUniform};
+///
+/// // Score is minimized at lr = 0.01.
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let trials = random_search(
+///     LogUniform::new(1e-4, 1.0),
+///     20,
+///     &mut |lr| (lr.ln() - 0.01f64.ln()).abs(),
+///     &mut rng,
+/// );
+/// assert!((trials[0].value - 0.01).abs() < 0.05);
+/// ```
+pub fn random_search<R: Rng + ?Sized>(
+    range: LogUniform,
+    trials: usize,
+    objective: &mut dyn FnMut(f64) -> f64,
+    rng: &mut R,
+) -> Vec<Trial> {
+    assert!(trials > 0, "need at least one trial");
+    let mut results = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let value = if t == 0 {
+            (range.lo.ln() * 0.5 + range.hi.ln() * 0.5).exp()
+        } else {
+            range.sample(rng)
+        };
+        let score = objective(value);
+        results.push(Trial { value, score });
+    }
+    results.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+    results
+}
+
+/// Convenience wrapper returning only the best hyperparameter value.
+///
+/// # Panics
+///
+/// Panics when `trials == 0`.
+pub fn tune<R: Rng + ?Sized>(
+    range: LogUniform,
+    trials: usize,
+    objective: &mut dyn FnMut(f64) -> f64,
+    rng: &mut R,
+) -> f64 {
+    random_search(range, trials, objective, rng)[0].value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let r = LogUniform::new(1e-3, 1e-1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.sample(&mut rng);
+            assert!((1e-3..=1e-1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_uniform_is_log_spread() {
+        // Roughly half of samples below the geometric midpoint.
+        let r = LogUniform::new(1e-4, 1.0);
+        let mid = 1e-2;
+        let mut rng = StdRng::seed_from_u64(2);
+        let below = (0..2000).filter(|_| r.sample(&mut rng) < mid).count();
+        assert!((800..1200).contains(&below), "below={below}");
+    }
+
+    #[test]
+    fn search_finds_minimum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut obj = |v: f64| (v.ln() - 0.05f64.ln()).powi(2);
+        let trials = random_search(LogUniform::new(1e-4, 10.0), 40, &mut obj, &mut rng);
+        assert_eq!(trials.len(), 40);
+        // Sorted ascending by score.
+        for w in trials.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+        let best = trials[0].value;
+        assert!(best > 0.01 && best < 0.25, "best {best}");
+    }
+
+    #[test]
+    fn single_trial_is_deterministic_midpoint() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut obj = |_| 0.0;
+        let r = LogUniform::new(1e-4, 1.0);
+        let t = random_search(r, 1, &mut obj, &mut rng);
+        assert!((t[0].value - 1e-2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tune_returns_best_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut obj = |v: f64| (v - 0.1).abs();
+        let best = tune(LogUniform::new(1e-3, 1.0), 50, &mut obj, &mut rng);
+        assert!((best - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn bad_range_rejected() {
+        let _ = LogUniform::new(1.0, 0.5);
+    }
+}

@@ -1,0 +1,479 @@
+//! The black-box chip abstraction.
+//!
+//! A [`FabricatedChip`] wraps a [`Network`] whose fabrication errors were
+//! sampled at "fabrication time" and are *hidden* from training algorithms:
+//! the public surface exposes only forward evaluations (optical field or
+//! detector powers) and a query counter — exactly what a physical chip in
+//! the lab offers. The gradient-free optimizers in `photon-opt` and the
+//! calibrator in `photon-calib` interact with the chip solely through this
+//! surface.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use photon_linalg::random::standard_normal;
+use photon_linalg::{CVector, RVector, C64};
+
+use crate::error::{ErrorModel, ErrorVector};
+use crate::network::{Architecture, Network, NetworkError};
+
+/// Optional measurement-noise model of the chip's readout chain.
+///
+/// Real labs never see noiseless detector values; this model adds
+/// signal-dependent shot noise plus a noise floor to power readouts and
+/// complex Gaussian noise to coherent field readouts. ZO training must
+/// remain functional under it (the difference quotients become noisy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementNoise {
+    /// Shot-noise coefficient: power readouts get `σ_shot·√p·r` added.
+    pub shot: f64,
+    /// Additive noise floor on power readouts.
+    pub floor: f64,
+    /// Per-quadrature standard deviation of coherent field readout noise.
+    pub field: f64,
+}
+
+impl MeasurementNoise {
+    /// A realistic mild-readout-noise preset.
+    pub fn realistic() -> Self {
+        MeasurementNoise {
+            shot: 5e-3,
+            floor: 1e-4,
+            field: 2e-3,
+        }
+    }
+}
+
+/// A simulated fabricated ONN chip with hidden fabrication errors.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use photon_linalg::CVector;
+/// use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
+///
+/// let arch = Architecture::single_mesh(4, 4)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+///
+/// let theta = chip.init_params(&mut rng);
+/// let y = chip.forward(&CVector::basis(4, 0), &theta);
+/// assert_eq!(y.len(), 4);
+/// assert_eq!(chip.query_count(), 1);
+/// # Ok::<(), photon_photonics::NetworkError>(())
+/// ```
+#[derive(Debug)]
+pub struct FabricatedChip {
+    network: Network,
+    queries: AtomicU64,
+    noise: Option<MeasurementNoise>,
+    noise_rng: Mutex<StdRng>,
+    crosstalk: f64,
+}
+
+impl FabricatedChip {
+    /// "Fabricates" a chip: samples an error assignment from `model` and
+    /// bakes it into the architecture.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for architectures produced by [`Architecture::new`]
+    /// (slot counts always match the freshly sampled error vector).
+    pub fn fabricate<R: Rng + ?Sized>(
+        arch: &Architecture,
+        model: &ErrorModel,
+        rng: &mut R,
+    ) -> Self {
+        let (n_bs, n_ps) = arch.error_slots();
+        let errors = ErrorVector::sample(n_bs, n_ps, model, rng);
+        let network = arch
+            .build_with_errors(&errors)
+            .expect("sampled error vector always matches the architecture");
+        FabricatedChip {
+            network,
+            queries: AtomicU64::new(0),
+            noise: None,
+            noise_rng: Mutex::new(StdRng::seed_from_u64(rng.gen())),
+            crosstalk: 0.0,
+        }
+    }
+
+    /// Wraps an explicit error assignment (useful in tests and when
+    /// replaying a known chip).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::ErrorSlotMismatch`] when `errors` does not match the
+    /// architecture.
+    pub fn with_errors(arch: &Architecture, errors: &ErrorVector) -> Result<Self, NetworkError> {
+        Ok(FabricatedChip {
+            network: arch.build_with_errors(errors)?,
+            queries: AtomicU64::new(0),
+            noise: None,
+            noise_rng: Mutex::new(StdRng::seed_from_u64(0)),
+            crosstalk: 0.0,
+        })
+    }
+
+    /// Enables nearest-neighbour thermal heater crosstalk: every
+    /// measurement uses the effective phases
+    /// `θ_eff = θ + coupling·(chain neighbours)` — see
+    /// [`Network::apply_thermal_crosstalk`].
+    ///
+    /// Crosstalk is an *unmodeled* error: the [`Architecture`] error family
+    /// (γ, ζ) cannot represent it, so even a perfectly calibrated model
+    /// remains wrong about the chip. Use it to study robustness of
+    /// chip-in-the-loop methods against model mismatch.
+    pub fn with_thermal_crosstalk(mut self, coupling: f64) -> Self {
+        self.crosstalk = coupling;
+        self
+    }
+
+    /// The thermal-crosstalk coupling (0 when disabled).
+    pub fn thermal_crosstalk(&self) -> f64 {
+        self.crosstalk
+    }
+
+    /// Enables readout noise on every subsequent measurement, seeded for
+    /// reproducibility.
+    pub fn with_measurement_noise(mut self, noise: MeasurementNoise, seed: u64) -> Self {
+        self.noise = Some(noise);
+        self.noise_rng = Mutex::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// The active measurement-noise model, if any.
+    pub fn measurement_noise(&self) -> Option<MeasurementNoise> {
+        self.noise
+    }
+
+    /// The chip's architecture (public: the designer knows the netlist, just
+    /// not the per-component errors).
+    pub fn architecture(&self) -> &Architecture {
+        self.network.architecture()
+    }
+
+    /// Number of input waveguides.
+    pub fn input_dim(&self) -> usize {
+        self.network.input_dim()
+    }
+
+    /// Number of output waveguides.
+    pub fn output_dim(&self) -> usize {
+        self.network.output_dim()
+    }
+
+    /// Number of programmable parameters.
+    pub fn param_count(&self) -> usize {
+        self.network.param_count()
+    }
+
+    /// Draws the standard initial parameter vector for this architecture.
+    pub fn init_params<R: Rng + ?Sized>(&self, rng: &mut R) -> RVector {
+        self.network.init_params(rng)
+    }
+
+    /// Programs the phases to `theta` and measures the output *field* for
+    /// input `x` (coherent detection). Counts one chip query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/parameter shape mismatch.
+    pub fn forward(&self, x: &CVector, theta: &RVector) -> CVector {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let y = if self.crosstalk == 0.0 {
+            self.network.forward(x, theta)
+        } else {
+            let effective = self.network.apply_thermal_crosstalk(theta, self.crosstalk);
+            self.network.forward(x, &effective)
+        };
+        match self.noise {
+            None => y,
+            Some(noise) => {
+                let mut rng = self.noise_rng.lock();
+                CVector::from_fn(y.len(), |m| {
+                    y[m] + C64::new(
+                        noise.field * standard_normal(&mut *rng),
+                        noise.field * standard_normal(&mut *rng),
+                    )
+                })
+            }
+        }
+    }
+
+    /// Programs the phases to `theta` and measures the per-port output
+    /// *powers* (photodetector array). Counts one chip query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/parameter shape mismatch.
+    pub fn forward_powers(&self, x: &CVector, theta: &RVector) -> RVector {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let p = if self.crosstalk == 0.0 {
+            self.network.forward(x, theta).powers()
+        } else {
+            let effective = self.network.apply_thermal_crosstalk(theta, self.crosstalk);
+            self.network.forward(x, &effective).powers()
+        };
+        match self.noise {
+            None => p,
+            Some(noise) => {
+                let mut rng = self.noise_rng.lock();
+                RVector::from_fn(p.len(), |m| {
+                    (p[m]
+                        + noise.shot * p[m].sqrt() * standard_normal(&mut *rng)
+                        + noise.floor * standard_normal(&mut *rng))
+                    .max(0.0)
+                })
+            }
+        }
+    }
+
+    /// Total number of forward queries issued so far — the currency every
+    /// black-box training method is charged in.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Resets the query counter (e.g. between experiment phases).
+    pub fn reset_query_count(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+    }
+
+    /// **Oracle access** to the hidden error assignment.
+    ///
+    /// This exists only for the "BP with perfect error information" upper
+    /// bound and for scoring calibration quality; no training or calibration
+    /// algorithm may call it. Reading the errors does not count as a chip
+    /// query precisely because no physical measurement could provide it.
+    pub fn oracle_errors(&self) -> ErrorVector {
+        self.network.collect_errors()
+    }
+
+    /// **Oracle access** to a white-box differentiable clone of the chip's
+    /// true network, for upper-bound baselines only.
+    pub fn oracle_network(&self) -> Network {
+        self.network.clone()
+    }
+}
+
+/// Convenience constructors for the two software models that accompany a
+/// chip during training.
+///
+/// Both are plain [`Network`]s — they differ from the chip only in the
+/// error assignment baked into their components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Error-free model (`γ = 0`, `ζ = 1`): what a designer has before any
+    /// measurement.
+    Ideal,
+    /// Model carrying an estimated error assignment from `photon-calib`.
+    Calibrated,
+    /// Oracle model carrying the chip's true errors (upper bound only).
+    OracleTrue,
+}
+
+/// Builds the ideal (error-free) software model of an architecture.
+pub fn ideal_model(arch: &Architecture) -> Network {
+    arch.build_ideal()
+}
+
+/// Builds a software model carrying an estimated error assignment.
+///
+/// # Errors
+///
+/// [`NetworkError::ErrorSlotMismatch`] when the estimate does not match the
+/// architecture.
+pub fn calibrated_model(
+    arch: &Architecture,
+    estimated_errors: &ErrorVector,
+) -> Result<Network, NetworkError> {
+    arch.build_with_errors(estimated_errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chip_and_rng() -> (FabricatedChip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        (chip, rng)
+    }
+
+    #[test]
+    fn query_counting() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        assert_eq!(chip.query_count(), 0);
+        let x = CVector::basis(4, 1);
+        let _ = chip.forward(&x, &theta);
+        let _ = chip.forward_powers(&x, &theta);
+        assert_eq!(chip.query_count(), 2);
+        chip.reset_query_count();
+        assert_eq!(chip.query_count(), 0);
+    }
+
+    #[test]
+    fn chip_differs_from_ideal_model() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let ideal = ideal_model(chip.architecture());
+        let x = CVector::basis(4, 0);
+        let y_chip = chip.forward(&x, &theta);
+        let y_ideal = ideal.forward(&x, &theta);
+        // β=1 errors are small but nonzero.
+        let dev = (&y_chip - &y_ideal).max_abs();
+        assert!(dev > 1e-6, "chip should deviate from ideal, dev={dev}");
+        assert!(dev < 0.5, "deviation should be small at β=1, dev={dev}");
+    }
+
+    #[test]
+    fn oracle_model_matches_chip_exactly() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let oracle = chip.oracle_network();
+        let x = photon_linalg::random::normal_cvector(4, &mut rng);
+        let y_chip = chip.forward(&x, &theta);
+        let y_oracle = oracle.forward(&x, &theta);
+        assert!((&y_chip - &y_oracle).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn calibrated_model_roundtrip() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        // Perfect calibration (oracle errors) reproduces the chip.
+        let model = calibrated_model(chip.architecture(), &chip.oracle_errors()).unwrap();
+        let x = CVector::basis(4, 2);
+        assert!((&chip.forward(&x, &theta) - &model.forward(&x, &theta)).max_abs() < 1e-15);
+        // Wrong slot count is rejected.
+        assert!(calibrated_model(chip.architecture(), &ErrorVector::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn explicit_errors_constructor() {
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let (n_bs, n_ps) = arch.error_slots();
+        let ev = ErrorVector::zeros(n_bs, n_ps);
+        let chip = FabricatedChip::with_errors(&arch, &ev).unwrap();
+        // Zero errors: chip == ideal model.
+        let mut rng = StdRng::seed_from_u64(1);
+        let theta = chip.init_params(&mut rng);
+        let x = CVector::basis(4, 3);
+        let ideal = ideal_model(&arch);
+        assert!((&chip.forward(&x, &theta) - &ideal.forward(&x, &theta)).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn fabrication_is_reproducible_from_seed() {
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let e1 = {
+            let mut rng = StdRng::seed_from_u64(5);
+            FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng).oracle_errors()
+        };
+        let e2 = {
+            let mut rng = StdRng::seed_from_u64(5);
+            FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng).oracle_errors()
+        };
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn measurement_noise_perturbs_readouts() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let x = CVector::basis(4, 0);
+        let clean_field = chip.forward(&x, &theta);
+        let clean_power = chip.forward_powers(&x, &theta);
+
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let noisy_chip = FabricatedChip::with_errors(&arch, &chip.oracle_errors())
+            .unwrap()
+            .with_measurement_noise(MeasurementNoise::realistic(), 99);
+        assert!(noisy_chip.measurement_noise().is_some());
+
+        let noisy_field = noisy_chip.forward(&x, &theta);
+        let noisy_power = noisy_chip.forward_powers(&x, &theta);
+        // Noise is visible but small.
+        let fdev = (&noisy_field - &clean_field).max_abs();
+        assert!(fdev > 0.0 && fdev < 0.1, "field dev {fdev}");
+        let pdev = (&noisy_power - &clean_power).max_abs();
+        assert!(pdev > 0.0 && pdev < 0.1, "power dev {pdev}");
+        // Powers never go negative.
+        assert!(noisy_power.iter().all(|&p| p >= 0.0));
+        // Two measurements of the same condition differ (noise is fresh).
+        let again = noisy_chip.forward_powers(&x, &theta);
+        assert!((&again - &noisy_power).max_abs() > 0.0);
+        // Query accounting still exact.
+        assert_eq!(noisy_chip.query_count(), 3);
+    }
+
+    #[test]
+    fn thermal_crosstalk_changes_response() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let x = CVector::basis(4, 0);
+        let clean = chip.forward(&x, &theta);
+
+        let xtalk_chip = FabricatedChip::with_errors(
+            &Architecture::single_mesh(4, 4).unwrap(),
+            &chip.oracle_errors(),
+        )
+        .unwrap()
+        .with_thermal_crosstalk(0.02);
+        assert_eq!(xtalk_chip.thermal_crosstalk(), 0.02);
+        let warped = xtalk_chip.forward(&x, &theta);
+        let dev = (&warped - &clean).max_abs();
+        assert!(dev > 1e-4, "crosstalk should be visible, dev {dev}");
+        // Zero coupling is the identity.
+        let zero = FabricatedChip::with_errors(
+            &Architecture::single_mesh(4, 4).unwrap(),
+            &chip.oracle_errors(),
+        )
+        .unwrap()
+        .with_thermal_crosstalk(0.0);
+        assert!((&zero.forward(&x, &theta) - &clean).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn crosstalk_map_is_linear_and_module_local() {
+        let net = Architecture::two_mesh_classifier(4, 2)
+            .unwrap()
+            .build_ideal();
+        let n = net.param_count();
+        let coupling = 0.05;
+        // Linearity.
+        let a = photon_linalg::RVector::from_fn(n, |i| (i as f64 * 0.37).sin());
+        let b = photon_linalg::RVector::from_fn(n, |i| (i as f64 * 0.11).cos());
+        let lhs = net.apply_thermal_crosstalk(&(&a + &b), coupling);
+        let rhs =
+            &net.apply_thermal_crosstalk(&a, coupling) + &net.apply_thermal_crosstalk(&b, coupling);
+        assert!((&lhs - &rhs).max_abs() < 1e-12);
+        // Module-local: a basis vector at the last index of module 0 leaks
+        // to its previous neighbour but not into module 1.
+        let m0 = net.module_param_range(0);
+        let m1 = net.module_param_range(1);
+        let e = photon_linalg::RVector::basis(n, m0.end - 1);
+        let out = net.apply_thermal_crosstalk(&e, coupling);
+        assert_eq!(out[m0.end - 2], coupling);
+        assert_eq!(out[m1.start], 0.0);
+    }
+
+    #[test]
+    fn noise_free_chip_is_deterministic() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let x = CVector::basis(4, 1);
+        let a = chip.forward_powers(&x, &theta);
+        let b = chip.forward_powers(&x, &theta);
+        assert_eq!(a, b);
+    }
+}

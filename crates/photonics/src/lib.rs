@@ -1,0 +1,66 @@
+//! # photon-photonics
+//!
+//! A from-scratch simulator of MZI-based optical neural networks (ONNs) on
+//! silicon photonics, with:
+//!
+//! - phase shifters carrying attenuation-phase errors `ζ` and beam splitters
+//!   carrying splitting-angle errors `γ` ([`ErrorModel`], [`ErrorVector`]);
+//! - Clements meshes (full and truncated), Reck triangles, diagonal phase
+//!   layers ([`MeshModule`]) and the modReLU nonlinearity ([`ModRelu`]);
+//! - end-to-end networks with packed parameters ([`Architecture`],
+//!   [`Network`]) and exact forward/reverse differentiation in the Wirtinger
+//!   convention (the reverse pass is the exact real-adjoint of the forward
+//!   tangent pass);
+//! - the black-box chip abstraction ([`FabricatedChip`]): hidden fabrication
+//!   errors, query counting, oracle escape hatches for upper-bound baselines;
+//! - Fisher-information machinery ([`fisher_vector_product`],
+//!   [`module_fisher_block`], [`output_covariance`]) used by the linear
+//!   combination natural gradient optimizer.
+//!
+//! # Examples
+//!
+//! Fabricate a noisy chip, compare it with its ideal model:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use photon_linalg::CVector;
+//! use photon_photonics::{ideal_model, Architecture, ErrorModel, FabricatedChip};
+//!
+//! let arch = Architecture::two_mesh_classifier(4, 4)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+//! let model = ideal_model(&arch);
+//!
+//! let theta = chip.init_params(&mut rng);
+//! let x = CVector::basis(4, 0);
+//! let gap = (&chip.forward(&x, &theta) - &model.forward(&x, &theta)).max_abs();
+//! assert!(gap > 0.0); // fabrication variations are visible at the output
+//! # Ok::<(), photon_photonics::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chip;
+mod electrooptic;
+mod error;
+mod fisher;
+pub mod gradcheck;
+mod mesh;
+mod modrelu;
+mod module;
+mod network;
+mod ops;
+
+pub use chip::{calibrated_model, ideal_model, FabricatedChip, MeasurementNoise, ModelKind};
+pub use electrooptic::ElectroOptic;
+pub use error::{zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector};
+pub use fisher::{
+    anisotropy_ratio, covariance_eigenvalues, fisher_vector_product, fisher_vector_products,
+    module_fisher_block, module_jacobian, output_covariance, standard_perturbations,
+};
+pub use mesh::{MeshKind, MeshModule};
+pub use modrelu::ModRelu;
+pub use module::{ModuleTape, OnnModule};
+pub use network::{Architecture, ModuleSpec, Network, NetworkError, NetworkTape};
+pub use ops::Op;

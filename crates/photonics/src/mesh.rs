@@ -1,0 +1,484 @@
+//! Linear photonic modules built from phase shifters and beam splitters:
+//! Clements meshes (full and truncated), Reck triangles and diagonal phase
+//! layers.
+
+use photon_linalg::{CMatrix, CVector, C64};
+
+use crate::error::{ErrorCursor, ErrorVector};
+use crate::module::{ModuleTape, OnnModule};
+use crate::ops::Op;
+
+/// The topology family of a [`MeshModule`], kept for naming and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshKind {
+    /// Rectangular Clements mesh with the given number of layers.
+    Clements {
+        /// Number of MZI layers (`layers == dim` is the universal mesh).
+        layers: usize,
+    },
+    /// Triangular Reck-Zeilinger mesh.
+    Reck,
+    /// Single column of phase shifters (`diag(e^{jθ})`).
+    PhaseDiag,
+}
+
+/// A linear photonic module: an ordered list of [`Op`]s on `dim` waveguides.
+///
+/// Construct via [`MeshModule::clements`], [`MeshModule::reck`] or
+/// [`MeshModule::phase_diag`].
+///
+/// # Examples
+///
+/// ```
+/// use photon_photonics::MeshModule;
+/// use photon_photonics::OnnModule;
+///
+/// let mesh = MeshModule::clements(8, 8);
+/// assert_eq!(mesh.param_count(), 56); // 28 MZIs × 2 phases
+/// assert_eq!(mesh.name(), "Clements(8,8)");
+/// let diag = MeshModule::phase_diag(8);
+/// assert_eq!(diag.param_count(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshModule {
+    dim: usize,
+    ops: Vec<Op>,
+    param_count: usize,
+    kind: MeshKind,
+}
+
+impl MeshModule {
+    /// Builds an ideal (error-free) rectangular Clements mesh on `dim`
+    /// waveguides with `layers` MZI layers.
+    ///
+    /// Layer `ℓ` places MZIs on port pairs `(0,1), (2,3), …` when `ℓ` is
+    /// even and `(1,2), (3,4), …` when odd. `layers == dim` together with a
+    /// trailing [`MeshModule::phase_diag`] realizes an arbitrary unitary;
+    /// `layers < dim` is the truncated mesh that trades expressivity for
+    /// circuit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim < 2` or `layers == 0`.
+    pub fn clements(dim: usize, layers: usize) -> Self {
+        assert!(dim >= 2, "Clements mesh needs at least 2 waveguides");
+        assert!(layers >= 1, "Clements mesh needs at least 1 layer");
+        let mut ops = Vec::new();
+        let mut param = 0;
+        for layer in 0..layers {
+            let start = layer % 2;
+            let mut p = start;
+            while p + 1 < dim {
+                push_mzi(&mut ops, p, &mut param);
+                p += 2;
+            }
+        }
+        MeshModule {
+            dim,
+            ops,
+            param_count: param,
+            kind: MeshKind::Clements { layers },
+        }
+    }
+
+    /// Builds an ideal triangular Reck-Zeilinger mesh on `dim` waveguides
+    /// (`dim·(dim−1)/2` MZIs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim < 2`.
+    pub fn reck(dim: usize) -> Self {
+        assert!(dim >= 2, "Reck mesh needs at least 2 waveguides");
+        let mut ops = Vec::new();
+        let mut param = 0;
+        for i in 1..dim {
+            for j in (0..i).rev() {
+                push_mzi(&mut ops, j, &mut param);
+            }
+        }
+        MeshModule {
+            dim,
+            ops,
+            param_count: param,
+            kind: MeshKind::Reck,
+        }
+    }
+
+    /// Builds an ideal diagonal phase layer `diag(e^{jθ₁}, …, e^{jθ_K})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`.
+    pub fn phase_diag(dim: usize) -> Self {
+        assert!(dim >= 1, "phase layer needs at least 1 waveguide");
+        let ops = (0..dim)
+            .map(|p| Op::Ps {
+                port: p,
+                param: p,
+                zeta: C64::ONE,
+            })
+            .collect();
+        MeshModule {
+            dim,
+            ops,
+            param_count: dim,
+            kind: MeshKind::PhaseDiag,
+        }
+    }
+
+    /// The op netlist, in application order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of MZIs in the module (half the phase count for MZI meshes,
+    /// zero for phase layers).
+    pub fn mzi_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Bs { .. }))
+            .count()
+            / 2
+    }
+
+    /// Materializes the transfer matrix by pushing basis vectors through.
+    ///
+    /// With zero errors, the result is unitary for every `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `theta.len() != self.param_count()`.
+    pub fn transfer_matrix(&self, theta: &[f64]) -> CMatrix {
+        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        let mut m = CMatrix::zeros(self.dim, self.dim);
+        for k in 0..self.dim {
+            let y = self.forward(&CVector::basis(self.dim, k), theta);
+            m.set_col(k, &y);
+        }
+        m
+    }
+}
+
+fn push_mzi(ops: &mut Vec<Op>, port: usize, param: &mut usize) {
+    // MZI = (PS, BS) × 2 on the upper arm of the pair.
+    ops.push(Op::Ps {
+        port,
+        param: *param,
+        zeta: C64::ONE,
+    });
+    ops.push(Op::Bs { port, gamma: 0.0 });
+    ops.push(Op::Ps {
+        port,
+        param: *param + 1,
+        zeta: C64::ONE,
+    });
+    ops.push(Op::Bs { port, gamma: 0.0 });
+    *param += 2;
+}
+
+impl OnnModule for MeshModule {
+    fn name(&self) -> String {
+        match self.kind {
+            MeshKind::Clements { layers } => format!("Clements({},{})", self.dim, layers),
+            MeshKind::Reck => format!("Reck({})", self.dim),
+            MeshKind::PhaseDiag => format!("PSdiag({})", self.dim),
+        }
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    fn is_layered(&self) -> bool {
+        !matches!(self.kind, MeshKind::PhaseDiag)
+    }
+
+    fn error_slots(&self) -> (usize, usize) {
+        let n_bs = self
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Bs { .. }))
+            .count();
+        let n_ps = self.ops.len() - n_bs;
+        (n_bs, n_ps)
+    }
+
+    fn forward(&self, x: &CVector, theta: &[f64]) -> CVector {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        let mut state = x.clone();
+        for op in &self.ops {
+            op.apply(&mut state, theta);
+        }
+        state
+    }
+
+    fn forward_tape(&self, x: &CVector, theta: &[f64]) -> (CVector, ModuleTape) {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        let mut states = Vec::with_capacity(self.ops.len() + 1);
+        let mut state = x.clone();
+        states.push(state.clone());
+        for op in &self.ops {
+            op.apply(&mut state, theta);
+            states.push(state.clone());
+        }
+        (state, ModuleTape { states })
+    }
+
+    fn jvp(&self, tape: &ModuleTape, theta: &[f64], dx: &CVector, dtheta: &[f64]) -> CVector {
+        debug_assert_eq!(tape.states.len(), self.ops.len() + 1);
+        let mut dstate = dx.clone();
+        for (i, op) in self.ops.iter().enumerate() {
+            op.jvp(&tape.states[i], &mut dstate, theta, dtheta);
+        }
+        dstate
+    }
+
+    fn vjp(
+        &self,
+        tape: &ModuleTape,
+        theta: &[f64],
+        gy: &CVector,
+        grad_theta: &mut [f64],
+    ) -> CVector {
+        debug_assert_eq!(tape.states.len(), self.ops.len() + 1);
+        let mut gstate = gy.clone();
+        for (i, op) in self.ops.iter().enumerate().rev() {
+            op.vjp(&tape.states[i], &mut gstate, theta, grad_theta);
+        }
+        gstate
+    }
+
+    fn with_errors(&self, cursor: &mut ErrorCursor<'_>) -> Box<dyn OnnModule> {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match *op {
+                Op::Ps { port, param, .. } => Op::Ps {
+                    port,
+                    param,
+                    zeta: cursor.next_zeta(),
+                },
+                Op::Bs { port, .. } => Op::Bs {
+                    port,
+                    gamma: cursor.next_gamma(),
+                },
+            })
+            .collect();
+        Box::new(MeshModule {
+            dim: self.dim,
+            ops,
+            param_count: self.param_count,
+            kind: self.kind,
+        })
+    }
+
+    fn collect_errors(&self, out: &mut ErrorVector) {
+        for op in &self.ops {
+            match *op {
+                Op::Ps { zeta, .. } => {
+                    out.attenuation.push(1.0 - zeta.abs());
+                    out.phase.push(zeta.arg());
+                }
+                Op::Bs { gamma, .. } => out.gamma.push(gamma),
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn OnnModule> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ErrorModel, ErrorVector};
+    use photon_linalg::random::normal_cvector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_theta<R: Rng>(n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n)
+            .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+            .collect()
+    }
+
+    #[test]
+    fn clements_parameter_counts() {
+        // Clements(8,8): 28 MZIs, 56 phases — matches the published counts.
+        let full = MeshModule::clements(8, 8);
+        assert_eq!(full.param_count(), 56);
+        assert_eq!(full.mzi_count(), 28);
+        // Truncated Clements(8,4): 14 MZIs, 28 phases.
+        let trunc = MeshModule::clements(8, 4);
+        assert_eq!(trunc.param_count(), 28);
+        assert_eq!(trunc.mzi_count(), 14);
+        // With PSdiag(8): 56 + 8 = 64 = 8² parameters, universal.
+        assert_eq!(MeshModule::phase_diag(8).param_count(), 8);
+    }
+
+    #[test]
+    fn reck_parameter_count() {
+        let reck = MeshModule::reck(6);
+        assert_eq!(reck.mzi_count(), 15); // 6·5/2
+        assert_eq!(reck.param_count(), 30);
+        assert!(reck.is_layered());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MeshModule::clements(8, 4).name(), "Clements(8,4)");
+        assert_eq!(MeshModule::reck(4).name(), "Reck(4)");
+        assert_eq!(MeshModule::phase_diag(3).name(), "PSdiag(3)");
+    }
+
+    #[test]
+    fn ideal_mesh_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for module in [
+            MeshModule::clements(6, 6),
+            MeshModule::clements(6, 3),
+            MeshModule::reck(5),
+            MeshModule::phase_diag(4),
+        ] {
+            let theta = random_theta(module.param_count(), &mut rng);
+            let u = module.transfer_matrix(&theta);
+            assert!(u.is_unitary(1e-10), "{} not unitary", module.name());
+        }
+    }
+
+    #[test]
+    fn mesh_with_errors_conserves_power_up_to_attenuation() {
+        // γ errors keep the BS unitary; ζ attenuation can only lose power.
+        let mut rng = StdRng::seed_from_u64(5);
+        let ideal = MeshModule::clements(6, 6);
+        let (n_bs, n_ps) = ideal.error_slots();
+        let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(4.0), &mut rng);
+        let mut cursor = ErrorCursor::new(&ev);
+        let noisy = ideal.with_errors(&mut cursor);
+        let theta = random_theta(noisy.param_count(), &mut rng);
+        let x = normal_cvector(6, &mut rng);
+        let y = noisy.forward(&x, &theta);
+        assert!(y.norm_sqr() <= x.norm_sqr() + 1e-12);
+        assert!(y.norm_sqr() > 0.5 * x.norm_sqr()); // small errors, small loss
+    }
+
+    #[test]
+    fn error_roundtrip_through_collect() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let ideal = MeshModule::clements(4, 4);
+        let (n_bs, n_ps) = ideal.error_slots();
+        assert_eq!(n_bs, n_ps); // MZIs have equal numbers of each
+        let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(1.0), &mut rng);
+        let noisy = ideal.with_errors(&mut ErrorCursor::new(&ev));
+        let mut collected = ErrorVector::default();
+        noisy.collect_errors(&mut collected);
+        let r = ev.rmse(&collected);
+        assert!(r.gamma < 1e-12 && r.attenuation < 1e-12 && r.phase < 1e-12);
+    }
+
+    #[test]
+    fn forward_tape_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MeshModule::clements(5, 3);
+        let theta = random_theta(m.param_count(), &mut rng);
+        let x = normal_cvector(5, &mut rng);
+        let y1 = m.forward(&x, &theta);
+        let (y2, tape) = m.forward_tape(&x, &theta);
+        assert!((&y1 - &y2).max_abs() < 1e-14);
+        assert_eq!(tape.states.len(), m.ops().len() + 1);
+        assert!((tape.output() - &y1).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn jvp_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = MeshModule::clements(4, 4);
+        let theta = random_theta(m.param_count(), &mut rng);
+        let x = normal_cvector(4, &mut rng);
+        let dtheta: Vec<f64> = (0..m.param_count())
+            .map(|_| rng.gen::<f64>() - 0.5)
+            .collect();
+
+        let (_, tape) = m.forward_tape(&x, &theta);
+        let dy = m.jvp(&tape, &theta, &CVector::zeros(4), &dtheta);
+
+        let eps = 1e-6;
+        let theta_p: Vec<f64> = theta
+            .iter()
+            .zip(&dtheta)
+            .map(|(t, d)| t + eps * d)
+            .collect();
+        let theta_m: Vec<f64> = theta
+            .iter()
+            .zip(&dtheta)
+            .map(|(t, d)| t - eps * d)
+            .collect();
+        let fd = (&m.forward(&x, &theta_p) - &m.forward(&x, &theta_m)).scale_real(0.5 / eps);
+        assert!((&dy - &fd).max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn vjp_is_adjoint_of_jvp() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = MeshModule::clements(4, 2);
+        let n = m.param_count();
+        let theta = random_theta(n, &mut rng);
+        let x = normal_cvector(4, &mut rng);
+        let (_, tape) = m.forward_tape(&x, &theta);
+
+        let dx = normal_cvector(4, &mut rng);
+        let dtheta: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let g = normal_cvector(4, &mut rng);
+
+        let dy = m.jvp(&tape, &theta, &dx, &dtheta);
+        let mut gtheta = vec![0.0; n];
+        let gx = m.vjp(&tape, &theta, &g, &mut gtheta);
+
+        let real_dot = |a: &CVector, b: &CVector| -> f64 {
+            a.iter()
+                .zip(b.iter())
+                .map(|(u, v)| u.re * v.re + u.im * v.im)
+                .sum()
+        };
+        let lhs = real_dot(&dy, &g);
+        let rhs = real_dot(&dx, &gx) + dtheta.iter().zip(&gtheta).map(|(a, b)| a * b).sum::<f64>();
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn phase_diag_is_elementwise() {
+        let m = MeshModule::phase_diag(3);
+        assert!(!m.is_layered());
+        let theta = [0.1, 0.2, 0.3];
+        let x = CVector::from_real_slice(&[1.0, 1.0, 1.0]);
+        let y = m.forward(&x, &theta);
+        for k in 0..3 {
+            assert!((y[k] - C64::cis(theta[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 waveguides")]
+    fn clements_rejects_dim_1() {
+        let _ = MeshModule::clements(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn forward_rejects_wrong_input_dim() {
+        let m = MeshModule::clements(4, 2);
+        let theta = vec![0.0; m.param_count()];
+        let _ = m.forward(&CVector::zeros(3), &theta);
+    }
+}

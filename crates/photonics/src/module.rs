@@ -1,0 +1,136 @@
+//! The module abstraction: the unit an ONN is composed of.
+
+use std::fmt;
+
+use photon_linalg::CVector;
+
+use crate::error::{ErrorCursor, ErrorVector};
+
+/// Saved forward-pass state needed by [`OnnModule::jvp`] and
+/// [`OnnModule::vjp`].
+///
+/// For a mesh of `n` ops the tape holds `n + 1` states: the input, the state
+/// after each op, the last being the module output. Element-wise modules
+/// store only the input.
+#[derive(Debug, Clone)]
+pub struct ModuleTape {
+    /// Intermediate amplitude states, in forward order.
+    pub states: Vec<CVector>,
+}
+
+impl ModuleTape {
+    /// The module input recorded on this tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tape (never produced by this crate).
+    pub fn input(&self) -> &CVector {
+        self.states.first().expect("tape has at least the input")
+    }
+
+    /// The module output recorded on this tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tape (never produced by this crate).
+    pub fn output(&self) -> &CVector {
+        self.states.last().expect("tape has at least the input")
+    }
+}
+
+/// A differentiable ONN module: a map `y = f(x, θ)` from a complex state and
+/// real parameters to a complex state.
+///
+/// Implementations must satisfy the adjoint contract: for any tape,
+/// `⟨jvp(dx, dθ), g⟩_R = ⟨dx, vjp-state⟩_R + dθ·(vjp-params)`, where
+/// `⟨u, v⟩_R = Σ Re(uᵢ)Re(vᵢ) + Im(uᵢ)Im(vᵢ)`. This makes
+/// `vjp ∘ jvp` an exact Fisher-metric (Gauss-Newton) product, which the
+/// LCNG optimizer relies on.
+pub trait OnnModule: fmt::Debug + Send + Sync {
+    /// Short human-readable name, e.g. `Clements(8,8)`.
+    fn name(&self) -> String;
+
+    /// Number of input waveguides.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output waveguides.
+    fn output_dim(&self) -> usize;
+
+    /// Number of trainable real parameters.
+    fn param_count(&self) -> usize;
+
+    /// `true` when the parameters are arranged in interrelated optical
+    /// layers (Clements meshes); `false` for element-wise modules.
+    fn is_layered(&self) -> bool;
+
+    /// `(beam splitters, phase shifters)` — the fabrication-error slots this
+    /// module consumes, in netlist order.
+    fn error_slots(&self) -> (usize, usize);
+
+    /// Whether parameters should be randomly initialized (layered meshes)
+    /// rather than zero-initialized (diagonal phases, modReLU biases).
+    fn random_init(&self) -> bool {
+        self.is_layered()
+    }
+
+    /// Applies the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.input_dim()` or
+    /// `theta.len() != self.param_count()`.
+    fn forward(&self, x: &CVector, theta: &[f64]) -> CVector;
+
+    /// Applies the module, recording the tape needed for differentiation.
+    fn forward_tape(&self, x: &CVector, theta: &[f64]) -> (CVector, ModuleTape);
+
+    /// Forward-mode derivative: the output tangent produced by input tangent
+    /// `dx` and parameter tangent `dtheta`, linearized at the tape point.
+    fn jvp(&self, tape: &ModuleTape, theta: &[f64], dx: &CVector, dtheta: &[f64]) -> CVector;
+
+    /// Reverse-mode derivative: consumes the output cotangent `gy`, returns
+    /// the input cotangent, and accumulates the parameter cotangent into
+    /// `grad_theta`.
+    fn vjp(
+        &self,
+        tape: &ModuleTape,
+        theta: &[f64],
+        gy: &CVector,
+        grad_theta: &mut [f64],
+    ) -> CVector;
+
+    /// Rebuilds this module with fabrication errors taken from `cursor`
+    /// (consumed in netlist order).
+    fn with_errors(&self, cursor: &mut ErrorCursor<'_>) -> Box<dyn OnnModule>;
+
+    /// Appends this module's current error assignment to `out` in netlist
+    /// order.
+    fn collect_errors(&self, out: &mut ErrorVector);
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn OnnModule>;
+}
+
+impl Clone for Box<dyn OnnModule> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_linalg::C64;
+
+    #[test]
+    fn tape_accessors() {
+        let tape = ModuleTape {
+            states: vec![
+                CVector::from_vec(vec![C64::ONE]),
+                CVector::from_vec(vec![C64::I]),
+            ],
+        };
+        assert_eq!(tape.input()[0], C64::ONE);
+        assert_eq!(tape.output()[0], C64::I);
+    }
+}

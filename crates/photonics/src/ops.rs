@@ -1,0 +1,291 @@
+//! Primitive circuit operations: phase shifters and beam splitters.
+//!
+//! A linear photonic module is a sequence of [`Op`]s acting on a complex
+//! amplitude state. Each op supports forward application, forward-mode
+//! differentiation (JVP) and reverse-mode differentiation (VJP); the VJP is
+//! the exact real-adjoint of the JVP, so composing `vjp ∘ jvp` yields exact
+//! Fisher-metric products.
+
+use std::f64::consts::FRAC_PI_2;
+
+use serde::{Deserialize, Serialize};
+
+use photon_linalg::{CVector, C64};
+
+/// A primitive operation in a linear photonic module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Phase shifter on `port`: multiplies the amplitude by `ζ·e^{jθ}`,
+    /// where `θ` is the module-local parameter at index `param` and `ζ` is
+    /// the component's attenuation-phase error (`ζ = 1` when ideal).
+    Ps {
+        /// Waveguide index the shifter sits on.
+        port: usize,
+        /// Module-local index of the phase parameter driving this shifter.
+        param: usize,
+        /// Fabrication error factor `ζ`.
+        zeta: C64,
+    },
+    /// Beam splitter coupling `port` and `port + 1` with transfer matrix
+    /// `[[cos φ, j·sin φ], [j·sin φ, cos φ]]`, `φ = (π/2 + γ)/2`; `γ` is the
+    /// splitting-angle error (`γ = 0` gives the ideal 50:50 splitter).
+    Bs {
+        /// Upper waveguide index of the coupled pair.
+        port: usize,
+        /// Splitting-angle error `γ` in radians.
+        gamma: f64,
+    },
+}
+
+impl Op {
+    /// Applies the op to `state` in place using parameters `theta`
+    /// (module-local indexing).
+    #[inline]
+    pub fn apply(&self, state: &mut CVector, theta: &[f64]) {
+        match *self {
+            Op::Ps { port, param, zeta } => {
+                state[port] *= zeta * C64::cis(theta[param]);
+            }
+            Op::Bs { port, gamma } => {
+                let phi = (FRAC_PI_2 + gamma) / 2.0;
+                let c = phi.cos();
+                let s = phi.sin();
+                let a = state[port];
+                let b = state[port + 1];
+                state[port] = a.scale(c) + C64::new(-s * b.im, s * b.re);
+                state[port + 1] = C64::new(-s * a.im, s * a.re) + b.scale(c);
+            }
+        }
+    }
+
+    /// Forward-mode derivative: updates the tangent `dstate` in place.
+    ///
+    /// `pre` must be the state *before* this op was applied (from the
+    /// forward tape) and `dtheta` the parameter tangent.
+    #[inline]
+    pub fn jvp(&self, pre: &CVector, dstate: &mut CVector, theta: &[f64], dtheta: &[f64]) {
+        match *self {
+            Op::Ps { port, param, zeta } => {
+                let f = zeta * C64::cis(theta[param]);
+                // y = f·x  ⇒  dy = f·dx + j·dθ·f·x
+                let y = f * pre[port];
+                dstate[port] = f * dstate[port] + C64::new(-y.im, y.re).scale(dtheta[param]);
+            }
+            Op::Bs { port, gamma } => {
+                let phi = (FRAC_PI_2 + gamma) / 2.0;
+                let c = phi.cos();
+                let s = phi.sin();
+                let a = dstate[port];
+                let b = dstate[port + 1];
+                dstate[port] = a.scale(c) + C64::new(-s * b.im, s * b.re);
+                dstate[port + 1] = C64::new(-s * a.im, s * a.re) + b.scale(c);
+            }
+        }
+    }
+
+    /// Reverse-mode derivative: transforms the cotangent `gstate` in place
+    /// (output cotangent → input cotangent) and accumulates the parameter
+    /// cotangent into `grad_theta`.
+    ///
+    /// `pre` must be the state before this op (from the forward tape). The
+    /// cotangent convention is `g = ∂ℓ/∂Re(y) + j·∂ℓ/∂Im(y)`; a linear op
+    /// `y = U·x` therefore backpropagates as `g_x = Uᴴ·g_y`.
+    #[inline]
+    pub fn vjp(&self, pre: &CVector, gstate: &mut CVector, theta: &[f64], grad_theta: &mut [f64]) {
+        match *self {
+            Op::Ps { port, param, zeta } => {
+                let f = zeta * C64::cis(theta[param]);
+                let g = gstate[port];
+                // ∂ℓ/∂θ = ⟨j·y, g⟩_R = Im(conj(y)·g), y = f·x.
+                let y = f * pre[port];
+                grad_theta[param] += (y.conj() * g).im;
+                gstate[port] = f.conj() * g;
+            }
+            Op::Bs { port, gamma } => {
+                let phi = (FRAC_PI_2 + gamma) / 2.0;
+                let c = phi.cos();
+                let s = phi.sin();
+                let a = gstate[port];
+                let b = gstate[port + 1];
+                // Bᴴ = [[c, -j·s], [-j·s, c]]
+                gstate[port] = a.scale(c) + C64::new(s * b.im, -s * b.re);
+                gstate[port + 1] = C64::new(s * a.im, -s * a.re) + b.scale(c);
+            }
+        }
+    }
+
+    /// Module-local parameter index if this op is parameterized.
+    pub fn param_index(&self) -> Option<usize> {
+        match *self {
+            Op::Ps { param, .. } => Some(param),
+            Op::Bs { .. } => None,
+        }
+    }
+
+    /// The highest port index this op touches.
+    pub fn max_port(&self) -> usize {
+        match *self {
+            Op::Ps { port, .. } => port,
+            Op::Bs { port, .. } => port + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_linalg::CMatrix;
+
+    fn state2(a: C64, b: C64) -> CVector {
+        CVector::from_vec(vec![a, b])
+    }
+
+    #[test]
+    fn ideal_bs_is_unitary_50_50() {
+        let op = Op::Bs {
+            port: 0,
+            gamma: 0.0,
+        };
+        let mut e0 = state2(C64::ONE, C64::ZERO);
+        op.apply(&mut e0, &[]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((e0[0] - C64::from_real(s)).abs() < 1e-12);
+        assert!((e0[1] - C64::new(0.0, s)).abs() < 1e-12);
+        // Power conserved.
+        assert!((e0.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bs_with_error_still_unitary() {
+        let op = Op::Bs {
+            port: 0,
+            gamma: 0.2,
+        };
+        let mut x = state2(C64::new(0.3, -0.4), C64::new(0.1, 0.9));
+        let p_in = x.norm_sqr();
+        op.apply(&mut x, &[]);
+        assert!((x.norm_sqr() - p_in).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ps_applies_phase_and_attenuation() {
+        let zeta = C64::from_polar(0.9, 0.05);
+        let op = Op::Ps {
+            port: 1,
+            param: 0,
+            zeta,
+        };
+        let mut x = state2(C64::ONE, C64::ONE);
+        op.apply(&mut x, &[0.7]);
+        assert_eq!(x[0], C64::ONE);
+        let expected = zeta * C64::cis(0.7);
+        assert!((x[1] - expected).abs() < 1e-12);
+        // Attenuation reduces power on that port.
+        assert!((x[1].abs() - 0.9).abs() < 1e-12);
+    }
+
+    /// Finite-difference check of the JVP for a PS op.
+    #[test]
+    fn ps_jvp_matches_finite_difference() {
+        let op = Op::Ps {
+            port: 0,
+            param: 0,
+            zeta: C64::from_polar(0.95, -0.1),
+        };
+        let x = state2(C64::new(0.4, 0.3), C64::ZERO);
+        let theta = [0.3];
+        let eps = 1e-7;
+
+        let mut y_plus = x.clone();
+        op.apply(&mut y_plus, &[theta[0] + eps]);
+        let mut y_minus = x.clone();
+        op.apply(&mut y_minus, &[theta[0] - eps]);
+        let fd = (&y_plus - &y_minus).scale_real(0.5 / eps);
+
+        let mut dy = CVector::zeros(2);
+        op.jvp(&x, &mut dy, &theta, &[1.0]);
+        assert!((&dy - &fd).max_abs() < 1e-6);
+    }
+
+    /// The VJP must be the exact adjoint of the JVP under the real inner
+    /// product `⟨u, v⟩ = Re(uᴴv)` extended with the parameter component.
+    #[test]
+    fn vjp_is_adjoint_of_jvp() {
+        let ops = [
+            Op::Ps {
+                port: 0,
+                param: 0,
+                zeta: C64::from_polar(0.98, 0.02),
+            },
+            Op::Bs {
+                port: 0,
+                gamma: 0.15,
+            },
+        ];
+        let theta = [0.4];
+        let x = state2(C64::new(0.2, -0.7), C64::new(-0.5, 0.1));
+
+        for op in ops {
+            // Random-ish tangent and cotangent.
+            let dx = state2(C64::new(0.3, 0.9), C64::new(-0.2, 0.4));
+            let dtheta = [0.6];
+            let g = state2(C64::new(-0.8, 0.1), C64::new(0.5, 0.5));
+
+            let mut dy = dx.clone();
+            op.jvp(&x, &mut dy, &theta, &dtheta);
+
+            let mut gx = g.clone();
+            let mut gtheta = [0.0];
+            op.vjp(&x, &mut gx, &theta, &mut gtheta);
+
+            // ⟨J(dx, dθ), g⟩ = ⟨(dx, dθ), Jᵀg⟩
+            let lhs: f64 = dy
+                .iter()
+                .zip(g.iter())
+                .map(|(a, b)| a.re * b.re + a.im * b.im)
+                .sum();
+            let rhs: f64 = dx
+                .iter()
+                .zip(gx.iter())
+                .map(|(a, b)| a.re * b.re + a.im * b.im)
+                .sum::<f64>()
+                + dtheta[0] * gtheta[0];
+            assert!((lhs - rhs).abs() < 1e-12, "op {op:?}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn bs_matches_reference_matrix() {
+        let gamma = 0.1;
+        let op = Op::Bs { port: 0, gamma };
+        let phi = (FRAC_PI_2 + gamma) / 2.0;
+        let reference = CMatrix::from_rows(&[
+            vec![C64::from_real(phi.cos()), C64::new(0.0, phi.sin())],
+            vec![C64::new(0.0, phi.sin()), C64::from_real(phi.cos())],
+        ]);
+        for basis in 0..2 {
+            let mut x = CVector::basis(2, basis);
+            op.apply(&mut x, &[]);
+            let expected = reference.col(basis);
+            assert!((&x - &expected).max_abs() < 1e-12);
+        }
+        assert!(reference.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn param_index_and_ports() {
+        let ps = Op::Ps {
+            port: 2,
+            param: 5,
+            zeta: C64::ONE,
+        };
+        let bs = Op::Bs {
+            port: 3,
+            gamma: 0.0,
+        };
+        assert_eq!(ps.param_index(), Some(5));
+        assert_eq!(bs.param_index(), None);
+        assert_eq!(ps.max_port(), 2);
+        assert_eq!(bs.max_port(), 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Chip calibration walkthrough: estimate a fabricated chip's hidden
+//! per-component errors from black-box power measurements, score the
+//! calibrated model against the ideal model, and show how calibration
+//! quality scales with the probe budget.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example chip_calibration
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_zo::calib::{calibrate, evaluate_model, CalibrationSettings};
+use photon_zo::core::TextTable;
+use photon_zo::photonics::{ideal_model, Architecture, ErrorModel, FabricatedChip};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 21;
+    let k = 6;
+    let arch = Architecture::single_mesh(k, k)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(2.0), &mut rng);
+    let (n_bs, n_ps) = arch.error_slots();
+    println!(
+        "fabricated Clements({k},{k})+PSdiag chip: {} hidden error parameters ({n_bs} BS + {n_ps} PS)",
+        n_bs + 2 * n_ps
+    );
+
+    // Baseline: the ideal (uncalibrated) model.
+    let ideal = ideal_model(&arch);
+    let ideal_fid = evaluate_model(&chip, &ideal, 20, 4, &mut rng);
+    println!(
+        "ideal model fidelity:  power {:.4}, field {:.4}\n",
+        ideal_fid.power, ideal_fid.field
+    );
+
+    let mut table = TextTable::new(&[
+        "probe budget",
+        "chip queries",
+        "power fid",
+        "field fid",
+        "gamma RMSE",
+        "phase RMSE",
+    ]);
+    for (random_inputs, num_settings) in [(2usize, 2usize), (8, 3), (24, 5)] {
+        let settings = CalibrationSettings {
+            include_basis: true,
+            random_inputs,
+            num_settings,
+            ..CalibrationSettings::default()
+        };
+        let mut cal_rng = StdRng::seed_from_u64(seed ^ 0xca11);
+        let outcome = calibrate(&chip, &settings, &mut cal_rng)?;
+        let fid = evaluate_model(&chip, &outcome.model, 20, 4, &mut cal_rng);
+        let rmse = chip.oracle_errors().rmse(&outcome.errors);
+        table.row_owned(vec![
+            format!("{}x{}", k + random_inputs, num_settings),
+            format!("{}", outcome.chip_queries),
+            format!("{:.4}", fid.power),
+            format!("{:.4}", fid.field),
+            format!("{:.2e}", rmse.gamma),
+            format!("{:.2e}", rmse.phase),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("More probes → higher held-out fidelity; the calibrated model is the");
+    println!("curvature source for ZO-LCNG (see the quickstart example).");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: fabricate a noisy 8-port ONN chip, warm-start it on the
+//! ideal model, then fine-tune it in the black-box setting with the paper's
+//! ZO-LCNG — all in a few seconds.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_zo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+    println!("photon-zo quickstart (seed {seed})");
+    println!("==================================");
+
+    // A reproducible task: 8-port single-mesh ONN, Gaussian-cluster data,
+    // fabrication errors at the calibrated-chip magnitude (β = 1).
+    let spec = TaskSpec {
+        train_size: 240,
+        test_size: 120,
+        ..TaskSpec::quick(8)
+    };
+    let task = build_task(&spec, seed)?;
+    println!(
+        "chip: {} parameters on {} ports, {} train / {} test samples",
+        task.chip.param_count(),
+        task.chip.input_dim(),
+        task.train.len(),
+        task.test.len(),
+    );
+
+    // Step 1: calibrate the chip so LCNG has a faithful curvature model.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+    let outcome = calibrate(&task.chip, &CalibrationSettings::default(), &mut rng)?;
+    println!(
+        "calibration: {} chip queries, fit cost {:.3e} → {:.3e}",
+        outcome.chip_queries, outcome.initial_cost, outcome.fit_cost
+    );
+
+    // Step 2: two-stage training with the calibrated-metric LCNG.
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head)
+        .with_calibrated_model(outcome.model);
+    let mut config = TrainConfig::quick(8);
+    config.epochs = 20;
+    config.eval_every = 5;
+
+    let result = trainer.train(
+        Method::Lcng {
+            model: ModelChoice::Calibrated,
+        },
+        &config,
+        &mut rng,
+    )?;
+
+    for rec in &result.history {
+        if let Some(test) = rec.test {
+            println!(
+                "epoch {:>3}: train loss {:.4}, test acc {:.1}% ({} training queries)",
+                rec.epoch,
+                rec.train_loss,
+                100.0 * test.accuracy,
+                rec.training_queries
+            );
+        }
+    }
+    println!(
+        "final: test accuracy {:.1}%, test loss {:.4}, {} chip queries for training",
+        100.0 * result.final_eval.accuracy,
+        result.final_eval.loss,
+        result.training_queries
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! # photon-zo
+//!
+//! A from-scratch Rust reproduction of *"Zeroth-Order Optimization of
+//! Optical Neural Networks with Linear Combination Natural Gradient and
+//! Calibrated Model"* (DAC 2024): training MZI-mesh optical neural networks
+//! whose fabrication errors make backpropagation unreliable, by combining
+//!
+//! 1. **zeroth-order probing** of the physical chip (loss values only),
+//! 2. a **linear combination natural gradient** update — the best step in
+//!    the span of the probe directions under a Fisher-metric curvature
+//!    model, and
+//! 3. a **calibrated software model** whose per-component errors are fitted
+//!    from chip measurements and which supplies that curvature.
+//!
+//! This crate is a facade: it re-exports the workspace layers.
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | [`linalg`] | `photon-linalg` | complex/real dense linear algebra |
+//! | [`photonics`] | `photon-photonics` | MZI meshes, error model, chip, autodiff, Fisher |
+//! | [`data`] | `photon-data` | synthetic datasets, DFT features |
+//! | [`opt`] | `photon-opt` | ZO, LCNG, natural gradient, CMA-ES, tuning |
+//! | [`calib`] | `photon-calib` | black-box chip calibration |
+//! | [`core`] | `photon-core` | losses, trainer, experiments, statistics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use photon_zo::prelude::*;
+//!
+//! // A 4-port ONN task with fabrication errors, trained by the paper's
+//! // ZO-LCNG with an oracle metric model (see examples/ for calibration).
+//! let task = build_task(&TaskSpec::quick(4), 1)?;
+//! let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head)
+//!     .with_calibrated_model(task.chip.oracle_network());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let mut config = TrainConfig::quick(4);
+//! config.epochs = 2;
+//! let outcome = trainer.train(
+//!     Method::Lcng { model: ModelChoice::Calibrated },
+//!     &config,
+//!     &mut rng,
+//! )?;
+//! assert!(outcome.final_eval.accuracy >= 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+/// Dense complex/real linear algebra (re-export of `photon-linalg`).
+pub mod linalg {
+    pub use photon_linalg::*;
+}
+
+/// The photonic circuit simulator (re-export of `photon-photonics`).
+pub mod photonics {
+    pub use photon_photonics::*;
+}
+
+/// Datasets and feature extraction (re-export of `photon-data`).
+pub mod data {
+    pub use photon_data::*;
+}
+
+/// Optimizers (re-export of `photon-opt`).
+pub mod opt {
+    pub use photon_opt::*;
+}
+
+/// Chip calibration (re-export of `photon-calib`).
+pub mod calib {
+    pub use photon_calib::*;
+}
+
+/// Training core and experiment harness (re-export of `photon-core`).
+pub mod core {
+    pub use photon_core::*;
+}
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use photon_calib::{calibrate, evaluate_model, CalibrationSettings};
+    pub use photon_core::{
+        build_task, run_method, ClassificationHead, Method, ModelChoice, TaskKind, TaskSpec,
+        TrainConfig, Trainer,
+    };
+    pub use photon_data::{Dataset, GaussianClusters, SyntheticFashion, SyntheticMnist};
+    pub use photon_linalg::{CVector, RVector, C64};
+    pub use photon_opt::{Adam, CmaEs, LcngSettings, Optimizer, Perturbation, Sgd, ZoSettings};
+    pub use photon_photonics::{
+        ideal_model, Architecture, ErrorModel, FabricatedChip, MeshModule, Network, OnnModule,
+    };
+}

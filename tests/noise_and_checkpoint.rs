@@ -1,0 +1,127 @@
+//! Integration tests of the extension features: measurement noise in the
+//! training loop, and checkpoint-based resume.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_zo::core::{
+    build_task, evaluate_chip, Checkpoint, ClassificationHead, Method, TaskSpec, TrainConfig,
+    Trainer,
+};
+use photon_zo::data::GaussianClusters;
+use photon_zo::photonics::{Architecture, ErrorModel, FabricatedChip, MeasurementNoise};
+
+#[test]
+fn zo_training_survives_measurement_noise() {
+    let k = 4;
+    let mut rng = StdRng::seed_from_u64(1000);
+    let arch = Architecture::single_mesh(k, k).unwrap();
+    let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng)
+        .with_measurement_noise(MeasurementNoise::realistic(), 7);
+
+    let data = GaussianClusters::new(k, 4, 0.15)
+        .generate(160, &mut rng)
+        .unwrap();
+    let (train, test) = data.split(0.75, &mut rng);
+    let head = ClassificationHead::new(k, 4, 10.0).unwrap();
+    let trainer = Trainer::new(&chip, &train, &test, head);
+
+    let mut config = TrainConfig::quick(k);
+    config.epochs = 10;
+    // Under readout noise the default μ = 1e-3/√N is noise-dominated; a
+    // larger smoothing step restores signal in the quotients.
+    config.mu_override = Some(0.05);
+    let theta0 = trainer.warm_start(&config, &mut rng);
+    let before = evaluate_chip(&chip, &test, trainer.head(), &theta0);
+    let mut theta = theta0;
+    let out = trainer
+        .finetune(Method::ZoGaussian, &config, &mut theta, &mut rng)
+        .unwrap();
+    // Noisy quotients still descend on average.
+    assert!(
+        out.final_eval.loss < before.loss,
+        "noisy ZO should still improve: {} !< {}",
+        out.final_eval.loss,
+        before.loss
+    );
+}
+
+#[test]
+fn field_noise_perturbs_loss_but_not_query_accounting() {
+    let k = 4;
+    let mut rng = StdRng::seed_from_u64(1100);
+    let arch = Architecture::single_mesh(k, 2).unwrap();
+    let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng)
+        .with_measurement_noise(
+            MeasurementNoise {
+                shot: 0.05,
+                floor: 1e-3,
+                field: 0.02,
+            },
+            3,
+        );
+    let theta = chip.init_params(&mut rng);
+    let x = photon_zo::prelude::CVector::basis(k, 0);
+    let a = chip.forward_powers(&x, &theta);
+    let b = chip.forward_powers(&x, &theta);
+    assert!((&a - &b).max_abs() > 0.0, "readout noise must be fresh");
+    assert_eq!(chip.query_count(), 2);
+}
+
+#[test]
+fn checkpoint_roundtrip_resumes_training_identically() {
+    let spec = TaskSpec::quick(4);
+    let task = build_task(&spec, 1200).unwrap();
+    let mut rng = StdRng::seed_from_u64(1201);
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 3;
+
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let theta = trainer.warm_start(&config, &mut rng);
+
+    // Persist architecture + theta + oracle errors, reload, rebuild.
+    let ckpt = Checkpoint::new(
+        task.chip.architecture().clone(),
+        theta.clone(),
+        Some(task.chip.oracle_errors()),
+    );
+    let dir = std::env::temp_dir().join("photon_zo_it_ckpt");
+    let path = dir.join("resume.ckpt");
+    ckpt.save(&path).unwrap();
+    let restored = Checkpoint::load(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The restored chip replica behaves identically to the original.
+    let replica =
+        FabricatedChip::with_errors(&restored.architecture, restored.errors.as_ref().unwrap())
+            .unwrap();
+    let x = task.train.inputs()[0].clone();
+    let y_orig = task.chip.forward(&x, &theta);
+    let y_replica = replica.forward(&x, &restored.theta);
+    // Errors roundtrip through polar form, so expect fp-rounding agreement
+    // rather than bit equality.
+    assert!((&y_orig - &y_replica).max_abs() < 1e-12);
+
+    // Fine-tuning from the restored theta with the same seed gives the
+    // same trajectory on the replica as on the original chip.
+    let trainer_replica = Trainer::new(&replica, &task.train, &task.test, task.head);
+    let mut ta = restored.theta.clone();
+    let mut tb = theta.clone();
+    let mut rng_a = StdRng::seed_from_u64(1202);
+    let mut rng_b = StdRng::seed_from_u64(1202);
+    let out_a = trainer_replica
+        .finetune(Method::ZoGaussian, &config, &mut ta, &mut rng_a)
+        .unwrap();
+    let out_b = trainer
+        .finetune(Method::ZoGaussian, &config, &mut tb, &mut rng_b)
+        .unwrap();
+    assert_eq!(out_a.final_eval.accuracy, out_b.final_eval.accuracy);
+    let la: Vec<f64> = out_a.history.iter().map(|h| h.train_loss).collect();
+    let lb: Vec<f64> = out_b.history.iter().map(|h| h.train_loss).collect();
+    for (a, b) in la.iter().zip(&lb) {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "replica must reproduce the training trajectory: {la:?} vs {lb:?}"
+        );
+    }
+}
