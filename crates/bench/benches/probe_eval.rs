@@ -1,0 +1,121 @@
+//! Serial vs. worker-pool throughput of the ZO probe sweep — the hot loop of
+//! every fine-tuning iteration (q batch-loss evaluations per step).
+//!
+//! Unlike the other benches this one has a custom `main`: after the criterion
+//! pass it writes the raw numbers (mean/min ns per pool size, the measured
+//! speedup at 4 threads, and the host's available parallelism) to
+//! `BENCH_parallel.json` at the workspace root so results land in the repo
+//! without any manual copying.
+
+use std::io::Write as _;
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_core::{chip_batch_loss_pooled, ClassificationHead};
+use photon_data::{Dataset, GaussianClusters};
+use photon_exec::ExecPool;
+use photon_linalg::RVector;
+use photon_opt::{estimate_gradient_pooled, Perturbation, ZoSettings};
+use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
+
+const DIM: usize = 8;
+const Q: usize = 32;
+const BATCH: usize = 16;
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn setup() -> (FabricatedChip, Dataset, ClassificationHead, RVector) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let arch = Architecture::single_mesh(DIM, DIM).unwrap();
+    let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+    let data = GaussianClusters::new(DIM, DIM, 0.1)
+        .generate(BATCH, &mut rng)
+        .unwrap();
+    let head = ClassificationHead::new(DIM, DIM, 10.0).unwrap();
+    let theta = chip.init_params(&mut rng);
+    (chip, data, head, theta)
+}
+
+fn bench_probe_eval(c: &mut Criterion) {
+    let (chip, data, head, theta) = setup();
+    let indices: Vec<usize> = (0..BATCH).collect();
+    let serial = ExecPool::serial();
+    let loss = |t: &RVector| chip_batch_loss_pooled(&chip, &data, &indices, &head, t, &serial);
+    let zo = ZoSettings {
+        q: Q,
+        mu: 1e-3 / (theta.len() as f64).sqrt(),
+        lambda: 1.0 / theta.len() as f64,
+    };
+
+    let mut group = c.benchmark_group("probe_eval");
+    group.sample_size(15);
+    for threads in POOL_SIZES {
+        let pool = ExecPool::new(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            let mut rng = StdRng::seed_from_u64(13);
+            let base = loss(&theta);
+            b.iter(|| {
+                estimate_gradient_pooled(
+                    &loss,
+                    &theta,
+                    base,
+                    &zo,
+                    &Perturbation::Gaussian,
+                    &pool,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn write_report(c: &Criterion) -> std::io::Result<()> {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let find = |threads: usize| {
+        let id = format!("probe_eval/threads_{threads}");
+        c.measurements().iter().find(|m| m.id == id)
+    };
+    let mut entries = String::new();
+    for threads in POOL_SIZES {
+        if let Some(m) = find(threads) {
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"threads\": {threads}, \"mean_ns\": {}, \"min_ns\": {}}}",
+                m.mean.as_nanos(),
+                m.min.as_nanos()
+            ));
+        }
+    }
+    let speedup_4 = match (find(1), find(4)) {
+        (Some(serial), Some(pooled)) if pooled.mean.as_nanos() > 0 => {
+            serial.mean.as_nanos() as f64 / pooled.mean.as_nanos() as f64
+        }
+        _ => f64::NAN,
+    };
+    // Hand-rolled JSON: the workspace deliberately has no serde dependency.
+    let json = format!(
+        "{{\n  \"bench\": \"probe_eval\",\n  \"mesh\": \"{DIM}x{DIM} Clements\",\n  \
+         \"q\": {Q},\n  \"batch\": {BATCH},\n  \"host_available_parallelism\": {host_threads},\n  \
+         \"speedup_at_4_threads\": {speedup_4:.3},\n  \"note\": \"pool sizes above \
+         host_available_parallelism cannot exceed 1x on this host; see DESIGN.md\",\n  \
+         \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    // benches run with CWD = crate root (crates/bench); write to workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_probe_eval(&mut c);
+    if let Err(e) = write_report(&c) {
+        eprintln!("probe_eval: failed to write BENCH_parallel.json: {e}");
+    }
+}

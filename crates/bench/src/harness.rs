@@ -37,6 +37,7 @@ impl BenchArgs {
     /// # Panics
     ///
     /// Panics on malformed values or unknown flags.
+    #[allow(clippy::should_implement_trait)] // fallible parser, not a FromIterator impl
     pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = BenchArgs {
             quick: false,

@@ -31,4 +31,4 @@ pub use calibrator::{
 };
 pub use fidelity::{evaluate_model, field_fidelity, power_fidelity, FidelityReport};
 pub use gauss_newton::{levenberg_marquardt, LmResult, LmSettings};
-pub use probe::{measure_chip, Measurements, ProbePlan};
+pub use probe::{measure_chip, measure_chip_pooled, Measurements, ProbePlan};

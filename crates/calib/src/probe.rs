@@ -3,10 +3,11 @@
 
 use rand::Rng;
 
+use photon_exec::ExecPool;
 use photon_linalg::random::random_unit_cvector;
 use photon_linalg::{CVector, RVector};
 
-use photon_photonics::FabricatedChip;
+use photon_photonics::{ChipScratch, FabricatedChip};
 
 /// A calibration probe plan: input vectors × phase settings.
 ///
@@ -75,16 +76,35 @@ pub struct Measurements {
 }
 
 /// Runs the plan against the chip, consuming `plan.query_cost()` queries.
+///
+/// Sweeps serially so that noisy chips draw their measurement noise in plan
+/// order; use [`measure_chip_pooled`] to fan the sweep out over a worker pool.
 pub fn measure_chip(chip: &FabricatedChip, plan: &ProbePlan) -> Measurements {
-    let powers = plan
-        .settings
-        .iter()
-        .map(|theta| {
-            plan.inputs
-                .iter()
-                .map(|x| chip.forward_powers(x, theta))
-                .collect()
+    measure_chip_pooled(chip, plan, &ExecPool::serial())
+}
+
+/// Runs the plan against the chip with `(setting, input)` pairs fanned out
+/// over `pool`, consuming `plan.query_cost()` queries.
+///
+/// Results come back in plan order regardless of pool size. For noise-free
+/// chips the powers are bitwise identical to [`measure_chip`]; noisy chips
+/// draw from a shared noise stream, so only the distribution is preserved.
+pub fn measure_chip_pooled(
+    chip: &FabricatedChip,
+    plan: &ProbePlan,
+    pool: &ExecPool,
+) -> Measurements {
+    let pairs: Vec<(usize, usize)> = (0..plan.settings.len())
+        .flat_map(|s| (0..plan.inputs.len()).map(move |p| (s, p)))
+        .collect();
+    let mut flat = pool
+        .map_with(&pairs, ChipScratch::new, |scratch, _, &(s, p)| {
+            chip.forward_powers_into(&plan.inputs[p], &plan.settings[s], scratch)
+                .clone()
         })
+        .into_iter();
+    let powers = (0..plan.settings.len())
+        .map(|_| (&mut flat).take(plan.inputs.len()).collect())
         .collect();
     Measurements { powers }
 }
@@ -139,6 +159,25 @@ mod tests {
                 // Non-negative and total power ≤ input power (attenuation only).
                 assert!(p.iter().all(|&v| v >= 0.0));
                 assert!(p.sum() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_sweep_is_bitwise_identical_to_serial() {
+        let (chip, mut rng) = chip();
+        let plan = ProbePlan::for_chip(&chip, true, 3, 2, &mut rng);
+        let serial = measure_chip(&chip, &plan);
+        for threads in [2usize, 4, 8] {
+            let pooled = measure_chip_pooled(&chip, &plan, &ExecPool::new(threads));
+            assert_eq!(pooled.powers.len(), serial.powers.len());
+            for (ps, ss) in pooled.powers.iter().zip(&serial.powers) {
+                assert_eq!(ps.len(), ss.len());
+                for (p, s) in ps.iter().zip(ss) {
+                    for (a, b) in p.iter().zip(s.iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+                    }
+                }
             }
         }
     }

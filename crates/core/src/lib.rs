@@ -45,8 +45,9 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use experiment::{build_task, run_method, MethodResult, TaskInstance, TaskKind, TaskSpec};
 pub use loss::{mse_loss_and_grad, softmax, ClassificationHead, CoreError};
 pub use metrics::{
-    batch_inputs, chip_batch_loss, confusion_matrix, evaluate_chip, model_batch_loss,
-    model_batch_loss_and_grad, Evaluation,
+    batch_inputs, chip_batch_loss, chip_batch_loss_pooled, confusion_matrix, evaluate_chip,
+    evaluate_chip_pooled, model_batch_loss, model_batch_loss_and_grad,
+    model_batch_loss_and_grad_pooled, Evaluation,
 };
 pub use report::{downsample, sparkline, CsvWriter, TextTable};
 pub use stats::{mann_whitney_u, normal_sf, MannWhitney, RunSummary};

@@ -261,8 +261,8 @@ mod tests {
                     yp[m] = yp[m] + eps;
                     ym[m] = ym[m] - eps;
                 } else {
-                    yp[m] = yp[m] + C64::new(0.0, eps);
-                    ym[m] = ym[m] - C64::new(0.0, eps);
+                    yp[m] += C64::new(0.0, eps);
+                    ym[m] -= C64::new(0.0, eps);
                 }
                 let fd = (h.loss(&yp, label) - h.loss(&ym, label)) / (2.0 * eps);
                 let analytic = if part == 0 { g[m].re } else { g[m].im };

@@ -1,21 +1,14 @@
 //! Evaluation metrics: batch losses, accuracy, confusion matrices.
 
 use photon_data::Dataset;
+use photon_exec::{tree_reduce, tree_sum, ExecPool};
 use photon_linalg::{CVector, RVector};
-use photon_photonics::{FabricatedChip, Network};
+use photon_photonics::{ChipScratch, FabricatedChip, Network, NetworkScratch};
 
 use crate::loss::ClassificationHead;
 
-/// Batches smaller than this are evaluated serially; larger batches fan out
-/// across threads (per-sample losses are still summed in index order, so
-/// the result is bit-identical either way).
-const PARALLEL_THRESHOLD: usize = 64;
-
 /// Mean chip loss over the samples at `indices` (each sample = one chip
-/// query).
-///
-/// Large batches are evaluated on multiple threads; the reduction order is
-/// fixed, so results are deterministic regardless of thread count.
+/// query), evaluated on the [`ExecPool::from_env`] pool.
 ///
 /// # Panics
 ///
@@ -27,41 +20,34 @@ pub fn chip_batch_loss(
     head: &ClassificationHead,
     theta: &RVector,
 ) -> f64 {
-    assert!(!indices.is_empty(), "batch must be non-empty");
-    let losses = per_sample_losses(indices, |i| {
-        let (x, label) = data.sample(i);
-        let y = chip.forward(x, theta);
-        head.loss(&y, label)
-    });
-    losses.iter().sum::<f64>() / indices.len() as f64
+    chip_batch_loss_pooled(chip, data, indices, head, theta, &ExecPool::from_env())
 }
 
-/// Evaluates `f` for every index, in parallel for large batches, returning
-/// the results in index order.
-fn per_sample_losses<F>(indices: &[usize], f: F) -> Vec<f64>
-where
-    F: Fn(usize) -> f64 + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if indices.len() < PARALLEL_THRESHOLD || threads < 2 {
-        return indices.iter().map(|&i| f(i)).collect();
-    }
-    let chunk = indices.len().div_ceil(threads);
-    let mut out = vec![0.0; indices.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot, idx_chunk) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (o, &i) in slot.iter_mut().zip(idx_chunk) {
-                    *o = f(i);
-                }
-            });
-        }
-    })
-    .expect("loss workers never panic on valid indices");
-    out
+/// Mean chip loss over the samples at `indices`, evaluated on `pool`.
+///
+/// Per-sample losses are combined along a fixed-shape reduction tree, so a
+/// noise-free chip yields a bitwise-identical mean for every pool size.
+/// Every worker reuses one [`ChipScratch`], so the steady-state forward path
+/// performs no per-sample heap allocation.
+///
+/// # Panics
+///
+/// Panics when `indices` is empty or out of range.
+pub fn chip_batch_loss_pooled(
+    chip: &FabricatedChip,
+    data: &Dataset,
+    indices: &[usize],
+    head: &ClassificationHead,
+    theta: &RVector,
+    pool: &ExecPool,
+) -> f64 {
+    assert!(!indices.is_empty(), "batch must be non-empty");
+    let losses = pool.map_with(indices, ChipScratch::new, |scratch, _, &i| {
+        let (x, label) = data.sample(i);
+        let y = chip.forward_into(x, theta, scratch);
+        head.loss(y, label)
+    });
+    tree_sum(&losses) / indices.len() as f64
 }
 
 /// Mean model loss over the samples at `indices` (no chip queries).
@@ -77,16 +63,18 @@ pub fn model_batch_loss(
     theta: &RVector,
 ) -> f64 {
     assert!(!indices.is_empty(), "batch must be non-empty");
+    let mut scratch = NetworkScratch::new();
     let mut acc = 0.0;
     for &i in indices {
         let (x, label) = data.sample(i);
-        let y = model.forward(x, theta);
-        acc += head.loss(&y, label);
+        let y = model.forward_into(x, theta, &mut scratch);
+        acc += head.loss(y, label);
     }
     acc / indices.len() as f64
 }
 
-/// Mean backprop loss and gradient over a batch on a white-box model.
+/// Mean backprop loss and gradient over a batch on a white-box model,
+/// evaluated serially (see [`model_batch_loss_and_grad_pooled`]).
 ///
 /// # Panics
 ///
@@ -98,19 +86,47 @@ pub fn model_batch_loss_and_grad(
     head: &ClassificationHead,
     theta: &RVector,
 ) -> (f64, RVector) {
+    model_batch_loss_and_grad_pooled(model, data, indices, head, theta, &ExecPool::serial())
+}
+
+/// Mean backprop loss and gradient over a batch, with the per-sample
+/// forward/backward passes fanned out across `pool`.
+///
+/// Losses and per-sample gradients are combined along fixed-shape reduction
+/// trees, so the result is bitwise identical for every pool size.
+///
+/// # Panics
+///
+/// Panics when `indices` is empty or out of range.
+pub fn model_batch_loss_and_grad_pooled(
+    model: &Network,
+    data: &Dataset,
+    indices: &[usize],
+    head: &ClassificationHead,
+    theta: &RVector,
+    pool: &ExecPool,
+) -> (f64, RVector) {
     assert!(!indices.is_empty(), "batch must be non-empty");
-    let mut loss_acc = 0.0;
-    let mut grad_acc = RVector::zeros(theta.len());
-    for &i in indices {
-        let (x, label) = data.sample(i);
-        let (y, tape) = model.forward_tape(x, theta);
-        let (loss, gy) = head.loss_and_grad(&y, label);
-        let (_, grad) = model.vjp(&tape, theta, &gy);
-        loss_acc += loss;
-        grad_acc += &grad;
-    }
+    let per_sample = pool.map_with(
+        indices,
+        || (NetworkScratch::new(), model.new_tape(), CVector::zeros(0)),
+        |(scratch, tape, y), _, &i| {
+            let (x, label) = data.sample(i);
+            model.forward_tape_into(x, theta, scratch, y, tape);
+            let (loss, gy) = head.loss_and_grad(y, label);
+            let (_, grad) = model.vjp(tape, theta, &gy);
+            (loss, grad)
+        },
+    );
     let scale = 1.0 / indices.len() as f64;
-    (loss_acc * scale, grad_acc.scale(scale))
+    let losses: Vec<f64> = per_sample.iter().map(|(l, _)| *l).collect();
+    let grads: Vec<RVector> = per_sample.into_iter().map(|(_, g)| g).collect();
+    let grad = tree_reduce(grads, &|mut a: RVector, b: RVector| {
+        a += &b;
+        a
+    })
+    .expect("batch is non-empty");
+    (tree_sum(&losses) * scale, grad.scale(scale))
 }
 
 /// Accuracy and mean loss of the chip over a whole dataset.
@@ -136,20 +152,37 @@ pub fn evaluate_chip(
     head: &ClassificationHead,
     theta: &RVector,
 ) -> Evaluation {
+    evaluate_chip_pooled(chip, data, head, theta, &ExecPool::from_env())
+}
+
+/// Evaluates the chip on every sample of `data` using `pool` (costs
+/// `data.len()` chip queries).
+///
+/// Losses are combined along a fixed-shape reduction tree, so a noise-free
+/// chip yields a bitwise-identical evaluation for every pool size.
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+pub fn evaluate_chip_pooled(
+    chip: &FabricatedChip,
+    data: &Dataset,
+    head: &ClassificationHead,
+    theta: &RVector,
+    pool: &ExecPool,
+) -> Evaluation {
     assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
-    let mut correct = 0usize;
-    let mut loss_acc = 0.0;
-    for i in 0..data.len() {
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let per_sample = pool.map_with(&indices, ChipScratch::new, |scratch, _, &i| {
         let (x, label) = data.sample(i);
-        let y = chip.forward(x, theta);
-        if head.predict(&y) == label {
-            correct += 1;
-        }
-        loss_acc += head.loss(&y, label);
-    }
+        let y = chip.forward_into(x, theta, scratch);
+        (head.predict(y) == label, head.loss(y, label))
+    });
+    let correct = per_sample.iter().filter(|(hit, _)| *hit).count();
+    let losses: Vec<f64> = per_sample.iter().map(|(_, l)| *l).collect();
     Evaluation {
         accuracy: correct as f64 / data.len() as f64,
-        loss: loss_acc / data.len() as f64,
+        loss: tree_sum(&losses) / data.len() as f64,
         samples: data.len(),
     }
 }
@@ -264,8 +297,8 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_losses_agree_bitwise() {
-        // Build a batch big enough to trip the parallel path and compare
-        // with a forced-serial evaluation.
+        // The serial pool and every parallel pool must produce the same
+        // bits: index-ordered evaluation + fixed-shape reduction tree.
         let mut rng = StdRng::seed_from_u64(77);
         let arch = Architecture::single_mesh(4, 2).unwrap();
         let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
@@ -276,15 +309,24 @@ mod tests {
         let theta = chip.init_params(&mut rng);
         let idx: Vec<usize> = (0..256).collect();
 
-        let parallel = chip_batch_loss(&chip, &data, &idx, &head, &theta);
-        let mut serial_sum = 0.0;
-        for &i in &idx {
-            let (x, label) = data.sample(i);
-            serial_sum += head.loss(&chip.forward(x, &theta), label);
+        let serial =
+            chip_batch_loss_pooled(&chip, &data, &idx, &head, &theta, &ExecPool::serial());
+        for threads in [2usize, 4, 8] {
+            let parallel =
+                chip_batch_loss_pooled(&chip, &data, &idx, &head, &theta, &ExecPool::new(threads));
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "pool({threads}) must match serial bitwise"
+            );
         }
-        let serial = serial_sum / idx.len() as f64;
-        assert_eq!(parallel, serial, "parallel reduction must be bit-stable");
-        // Query counter includes all parallel forwards.
-        assert_eq!(chip.query_count(), 2 * 256);
+        // Query counter includes every pooled forward: serial + 3 pools.
+        assert_eq!(chip.query_count(), 4 * 256);
+
+        // The pooled evaluation sweep is thread-count-invariant too.
+        let ev_serial = evaluate_chip_pooled(&chip, &data, &head, &theta, &ExecPool::serial());
+        let ev_parallel = evaluate_chip_pooled(&chip, &data, &head, &theta, &ExecPool::new(4));
+        assert_eq!(ev_serial.loss.to_bits(), ev_parallel.loss.to_bits());
+        assert_eq!(ev_serial.accuracy, ev_parallel.accuracy);
     }
 }

@@ -2,10 +2,9 @@
 //! test used for the significance annotations in the paper's tables and
 //! box plots.
 
-use serde::{Deserialize, Serialize};
 
 /// Mean / standard deviation / extrema of a set of run results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// The raw values, in run order.
     pub values: Vec<f64>,
@@ -50,7 +49,7 @@ impl RunSummary {
 }
 
 /// Result of a two-sided Mann-Whitney U test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MannWhitney {
     /// The U statistic of the first sample.
     pub u: f64,

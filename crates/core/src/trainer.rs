@@ -25,16 +25,19 @@ use std::time::Instant;
 use rand::Rng;
 
 use photon_data::{Batcher, Dataset};
+use photon_exec::ExecPool;
 use photon_linalg::RVector;
 use photon_opt::{
-    estimate_gradient, layered_sigma_segments, lcng_direction, Adam, BlockNaturalPreconditioner,
-    CmaEs, LcngSettings, MetricSource, Optimizer, Perturbation, ZoSettings,
+    estimate_gradient_pooled, layered_sigma_segments, lcng_direction_pooled, Adam,
+    BlockNaturalPreconditioner, CmaEs, LcngSettings, MetricSource, Optimizer, Perturbation,
+    ZoSettings,
 };
 use photon_photonics::{ideal_model, FabricatedChip, Network};
 
 use crate::loss::{ClassificationHead, CoreError};
 use crate::metrics::{
-    batch_inputs, chip_batch_loss, evaluate_chip, model_batch_loss_and_grad, Evaluation,
+    batch_inputs, chip_batch_loss_pooled, evaluate_chip_pooled, model_batch_loss_and_grad_pooled,
+    Evaluation,
 };
 
 /// Which software model supplies curvature / error information.
@@ -152,6 +155,10 @@ pub struct TrainConfig {
     /// when the chip has measurement noise: quotients average the noise
     /// over a larger loss difference.
     pub mu_override: Option<f64>,
+    /// Worker threads for probe / batch / Fisher / population evaluation.
+    /// `None` honours `PHOTON_THREADS` (falling back to the machine's
+    /// available parallelism); `Some(1)` forces exact serial execution.
+    pub threads: Option<usize>,
 }
 
 impl TrainConfig {
@@ -172,6 +179,7 @@ impl TrainConfig {
             r_in: 8,
             eval_every: 0,
             mu_override: None,
+            threads: None,
         }
     }
 
@@ -190,6 +198,7 @@ impl TrainConfig {
             r_in: 4,
             eval_every: 0,
             mu_override: None,
+            threads: None,
         }
     }
 }
@@ -279,14 +288,16 @@ impl<'a> Trainer<'a> {
     /// Stage 1: backprop warm start on the ideal model. Costs no chip
     /// queries.
     pub fn warm_start<R: Rng + ?Sized>(&self, config: &TrainConfig, rng: &mut R) -> RVector {
+        let pool = ExecPool::with_threads(config.threads);
         let model = ideal_model(self.chip.architecture());
         let mut theta = model.init_params(rng);
         let mut adam = Adam::new(config.warm_lr);
         let mut batcher = Batcher::new(self.train.len(), config.batch_size);
         for _ in 0..config.warm_epochs {
             for batch in batcher.epoch(rng) {
-                let (_, grad) =
-                    model_batch_loss_and_grad(&model, self.train, &batch, &self.head, &theta);
+                let (_, grad) = model_batch_loss_and_grad_pooled(
+                    &model, self.train, &batch, &self.head, &theta, &pool,
+                );
                 adam.step(&mut theta, &grad);
             }
         }
@@ -323,6 +334,11 @@ impl<'a> Trainer<'a> {
         rng: &mut R,
     ) -> Result<TrainOutcome, CoreError> {
         let n = theta.len();
+        // Outer-level parallelism: probes / population members / batch samples
+        // fan out across `pool`; the per-probe batch loss stays serial so each
+        // worker owns exactly one scratch arena (no nested pools).
+        let pool = ExecPool::with_threads(config.threads);
+        let serial = ExecPool::serial();
         let start_queries = self.chip.query_count();
         let mut eval_queries: u64 = 0;
         let start = Instant::now();
@@ -365,13 +381,14 @@ impl<'a> Trainer<'a> {
             for batch in batcher.epoch(rng) {
                 let fisher_inputs =
                     batch_inputs(self.train, &batch[..batch.len().min(config.r_in)]);
-                let refresh = iteration % config.t_update.max(1) == 0;
-                let batch_for_loss = batch.clone();
+                let refresh = iteration.is_multiple_of(config.t_update.max(1));
                 let chip = self.chip;
                 let data = self.train;
                 let head = self.head;
-                let mut chip_loss =
-                    |t: &RVector| chip_batch_loss(chip, data, &batch_for_loss, &head, t);
+                let batch_ref = &batch;
+                let serial_ref = &serial;
+                let chip_loss =
+                    |t: &RVector| chip_batch_loss_pooled(chip, data, batch_ref, &head, t, serial_ref);
 
                 let loss_val = match method {
                     Method::ZoGaussian
@@ -414,7 +431,8 @@ impl<'a> Trainer<'a> {
                             }
                             _ => unreachable!(),
                         };
-                        let est = estimate_gradient(&mut chip_loss, theta, base, &zo, &pert, rng);
+                        let est =
+                            estimate_gradient_pooled(&chip_loss, theta, base, &zo, &pert, &pool, rng);
                         let grad = if let Method::ZoNg { .. } = method {
                             if refresh || preconditioner.is_none() {
                                 let model = metric_model.as_ref().expect("model resolved above");
@@ -450,26 +468,27 @@ impl<'a> Trainer<'a> {
                             },
                             _ => unreachable!(),
                         };
-                        let step = lcng_direction(
-                            &mut chip_loss,
+                        let step = lcng_direction_pooled(
+                            &chip_loss,
                             theta,
                             base,
                             &lcng_settings,
                             &Perturbation::Gaussian,
                             &metric,
+                            &pool,
                             rng,
                         )
                         .map_err(|e| CoreError::InvalidConfig(format!("LCNG solve failed: {e}")))?;
                         // Feed the negative direction to Adam as a surrogate
                         // gradient (the protocol the research line uses).
-                        let surrogate = (&step.direction).scale(-1.0);
+                        let surrogate = step.direction.scale(-1.0);
                         adam.step(theta, &surrogate);
                         base
                     }
                     Method::Cma { .. } => {
                         let es = cma.as_mut().expect("initialized above");
                         let xs = es.ask(rng);
-                        let losses: Vec<f64> = xs.iter().map(|x| chip_loss(x)).collect();
+                        let losses: Vec<f64> = pool.map(&xs, |_, x| chip_loss(x));
                         es.tell(&xs, &losses).map_err(|e| {
                             CoreError::InvalidConfig(format!("CMA-ES update failed: {e}"))
                         })?;
@@ -478,8 +497,9 @@ impl<'a> Trainer<'a> {
                     }
                     Method::BpIdeal | Method::BpCalibrated | Method::BpOracle => {
                         let model = metric_model.as_ref().expect("model resolved above");
-                        let (loss, grad) =
-                            model_batch_loss_and_grad(model, self.train, &batch, &self.head, theta);
+                        let (loss, grad) = model_batch_loss_and_grad_pooled(
+                            model, self.train, &batch, &self.head, theta, &pool,
+                        );
                         adam.step(theta, &grad);
                         loss
                     }
@@ -491,7 +511,7 @@ impl<'a> Trainer<'a> {
 
             let test = if config.eval_every > 0 && epoch % config.eval_every == 0 {
                 let before = self.chip.query_count();
-                let ev = evaluate_chip(self.chip, self.test, &self.head, theta);
+                let ev = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, &pool);
                 eval_queries += self.chip.query_count() - before;
                 Some(ev)
             } else {
@@ -507,7 +527,7 @@ impl<'a> Trainer<'a> {
         }
 
         let before = self.chip.query_count();
-        let final_eval = evaluate_chip(self.chip, self.test, &self.head, theta);
+        let final_eval = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, &pool);
         eval_queries += self.chip.query_count() - before;
 
         Ok(TrainOutcome {

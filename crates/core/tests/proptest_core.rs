@@ -1,7 +1,6 @@
 //! Property-based tests of the training core.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
 
 use photon_core::{
     build_task, mann_whitney_u, normal_sf, softmax, ClassificationHead, RunSummary, TaskSpec,
@@ -44,7 +43,7 @@ proptest! {
         let base = head.loss(&y, label);
         let mut boosted = y.clone();
         let port = head.port_of_class(label);
-        boosted[port] = boosted[port] + C64::from_real(boost);
+        boosted[port] += C64::from_real(boost);
         // Adding in-phase amplitude to the correct port adds power there.
         prop_assume!(boosted[port].norm_sqr() > y[port].norm_sqr());
         prop_assert!(head.loss(&boosted, label) <= base + 1e-9);

@@ -306,7 +306,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut batcher = Batcher::new(13, 5);
         assert_eq!(batcher.batches_per_epoch(), 3);
-        let mut seen = vec![false; 13];
+        let mut seen = [false; 13];
         for batch in batcher.epoch(&mut rng) {
             for i in batch {
                 assert!(!seen[i], "index {i} repeated");

@@ -2,7 +2,6 @@
 //! synthetic dataset generators.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use photon_linalg::random::standard_normal;
 
@@ -18,7 +17,7 @@ use photon_linalg::random::standard_normal;
 /// assert_eq!(img.get(3, 4), 1.0);
 /// assert_eq!(img.pixels().len(), 784);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Image {
     width: usize,
     height: usize,

@@ -52,7 +52,7 @@ impl SyntheticFashion {
         let phase = rng.gen::<f64>() * s / 4.0;
 
         match label {
-            0 | 1 | 2 => {
+            0..=2 => {
                 // Stripes: horizontal / vertical / diagonal, period 4-6 px.
                 let period = 4.0 + 2.0 * rng.gen::<f64>();
                 for y in 0..self.side {
@@ -194,7 +194,7 @@ mod tests {
         let mut row_uniform = 0;
         for y in 0..28 {
             let first = horiz.get(0, y);
-            if (0..28).all(|x| (horiz.get(x, y as i64) - first).abs() < 1e-9) {
+            if (0..28).all(|x| (horiz.get(x, y) - first).abs() < 1e-9) {
                 row_uniform += 1;
             }
         }

@@ -9,7 +9,6 @@ use std::fmt;
 use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// A complex number with `f64` real and imaginary parts.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a * b, C64::new(-2.0, 1.0));
 /// assert_eq!(a.conj(), C64::new(1.0, -2.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct C64 {
     /// Real part.
     pub re: f64,
@@ -227,6 +226,7 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w = z * w^-1 by definition
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
 
 use crate::c64::C64;
 use crate::cvector::CVector;
@@ -25,7 +24,7 @@ use crate::rmatrix::RMatrix;
 /// let y = u.mul_vec(&x).unwrap();
 /// assert_eq!(y, x);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CMatrix {
     rows: usize,
     cols: usize,

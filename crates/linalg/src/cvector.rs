@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 use crate::c64::C64;
 use crate::error::{LinalgError, Result};
@@ -24,7 +23,7 @@ use crate::rvector::RVector;
 /// assert_eq!(x[2], C64::new(2.0, 0.0));
 /// assert!((x.norm() - 5.0f64.sqrt()).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CVector {
     data: Vec<C64>,
 }
@@ -38,9 +37,9 @@ impl CVector {
     }
 
     /// Creates a vector by evaluating `f` at each index.
-    pub fn from_fn<F: FnMut(usize) -> C64>(n: usize, mut f: F) -> Self {
+    pub fn from_fn<F: FnMut(usize) -> C64>(n: usize, f: F) -> Self {
         CVector {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -95,6 +94,36 @@ impl CVector {
     /// Consumes the vector and returns its storage.
     pub fn into_vec(self) -> Vec<C64> {
         self.data
+    }
+
+    /// Overwrites this vector with the contents of `src`, reusing the
+    /// existing allocation whenever `src` fits in the current capacity.
+    ///
+    /// This is the buffer-reuse primitive of the zero-allocation forward
+    /// paths: in steady state (same dimension every call) it performs no
+    /// heap allocation.
+    pub fn copy_from(&mut self, src: &CVector) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Overwrites this vector with the real slice `xs` (imaginary parts
+    /// zero), reusing the existing allocation when possible.
+    pub fn copy_from_real_slice(&mut self, xs: &[f64]) {
+        self.data.clear();
+        self.data.extend(xs.iter().map(|&x| C64::from_real(x)));
+    }
+
+    /// Sets every element to `value` without changing the length.
+    pub fn fill(&mut self, value: C64) {
+        self.data.fill(value);
+    }
+
+    /// Resizes to length `n`, zero-filling and reusing the allocation when
+    /// possible.
+    pub fn resize_zeroed(&mut self, n: usize) {
+        self.data.clear();
+        self.data.resize(n, C64::ZERO);
     }
 
     /// Iterator over elements.

@@ -170,7 +170,7 @@ impl CLu {
 
     /// Determinant of the factorized matrix.
     pub fn det(&self) -> C64 {
-        let mut d = if self.sign_flips % 2 == 0 {
+        let mut d = if self.sign_flips.is_multiple_of(2) {
             C64::ONE
         } else {
             -C64::ONE
@@ -334,7 +334,7 @@ impl RLu {
 
     /// Determinant of the factorized matrix.
     pub fn det(&self) -> f64 {
-        let mut d = if self.sign_flips % 2 == 0 { 1.0 } else { -1.0 };
+        let mut d = if self.sign_flips.is_multiple_of(2) { 1.0 } else { -1.0 };
         for i in 0..self.dim() {
             d *= self.lu[(i, i)];
         }

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{LinalgError, Result};
 use crate::rvector::RVector;
@@ -22,7 +21,7 @@ use crate::rvector::RVector;
 /// let x = RVector::from_slice(&[1.0, 1.0]);
 /// assert_eq!(a.mul_vec(&x).unwrap().as_slice(), &[2.0, 3.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RMatrix {
     rows: usize,
     cols: usize,

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{LinalgError, Result};
 
@@ -21,7 +20,7 @@ use crate::error::{LinalgError, Result};
 /// assert!((g.norm() - 5.0).abs() < 1e-12);
 /// assert_eq!(g.dot(&g).unwrap(), 25.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RVector {
     data: Vec<f64>,
 }
@@ -38,9 +37,9 @@ impl RVector {
     }
 
     /// Creates a vector by evaluating `f` at each index.
-    pub fn from_fn<F: FnMut(usize) -> f64>(n: usize, mut f: F) -> Self {
+    pub fn from_fn<F: FnMut(usize) -> f64>(n: usize, f: F) -> Self {
         RVector {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -93,6 +92,28 @@ impl RVector {
     /// Consumes the vector and returns its storage.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Overwrites this vector with the contents of `src`, reusing the
+    /// existing allocation whenever `src` fits in the current capacity.
+    ///
+    /// Buffer-reuse primitive of the zero-allocation forward paths: in
+    /// steady state (same length every call) it performs no heap allocation.
+    pub fn copy_from(&mut self, src: &RVector) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Sets every element to `value` without changing the length.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Resizes to length `n`, zero-filling and reusing the allocation when
+    /// possible.
+    pub fn resize_zeroed(&mut self, n: usize) {
+        self.data.clear();
+        self.data.resize(n, 0.0);
     }
 
     /// Iterator over elements.
@@ -432,7 +453,7 @@ mod tests {
         let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
         assert_eq!(doubled[3], 6.0);
         let mut w = RVector::zeros(0);
-        w.extend(v.clone().into_iter());
+        w.extend(v.clone());
         assert_eq!(w, v);
     }
 }

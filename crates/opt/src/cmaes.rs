@@ -201,7 +201,7 @@ impl CmaEs {
         if self
             .best
             .as_ref()
-            .map_or(true, |(_, b)| losses[order[0]] < *b)
+            .is_none_or(|(_, b)| losses[order[0]] < *b)
         {
             self.best = Some((candidates[order[0]].clone(), losses[order[0]]));
         }
@@ -295,7 +295,7 @@ impl CmaEs {
     ) -> Result<(RVector, f64), LinalgError> {
         for _ in 0..generations {
             let xs = self.ask(rng);
-            let losses: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+            let losses: Vec<f64> = xs.iter().map(&mut *f).collect();
             self.tell(&xs, &losses)?;
         }
         Ok(self.best.clone().expect("at least one generation ran"))

@@ -24,10 +24,11 @@
 //! matrix `PᵀFP` is assembled matrix-free from `Q` Fisher-vector products —
 //! never materializing the `N×N` Fisher.
 
+use photon_exec::ExecPool;
 use rand::Rng;
 
 use photon_linalg::{LinalgError, RCholesky, RMatrix, RVector};
-use photon_photonics::{fisher_vector_products, Network};
+use photon_photonics::{fisher_vector_products, fisher_vector_products_pooled, Network};
 
 use photon_linalg::CVector;
 
@@ -132,16 +133,20 @@ pub fn lcng_direction<R: Rng + ?Sized>(
     let q = settings.zo.q;
     let mu = settings.zo.mu;
 
+    // All probe directions are drawn up front: the RNG stream is consumed
+    // identically to the pooled variant, so both paths probe the same points.
+    let directions: Vec<RVector> = (0..q).map(|k| draw_perturbation(pert, n, k, rng)).collect();
+
     // Probe the chip.
-    let mut directions = Vec::with_capacity(q);
-    let mut quotients = Vec::with_capacity(q);
-    for k in 0..q {
-        let delta = draw_perturbation(pert, n, k, rng);
-        let mut probe = theta.clone();
-        probe.axpy(mu, &delta);
-        quotients.push((loss(&probe) - base_loss) / mu);
-        directions.push(delta);
-    }
+    let mut probe = theta.clone();
+    let quotients: Vec<f64> = directions
+        .iter()
+        .map(|delta| {
+            probe.copy_from(theta);
+            probe.axpy(mu, delta);
+            (loss(&probe) - base_loss) / mu
+        })
+        .collect();
 
     // Metric products F·δθ_q on the software model (or identity).
     let metric_dirs: Vec<RVector> = match metric {
@@ -150,6 +155,70 @@ pub fn lcng_direction<R: Rng + ?Sized>(
             fisher_vector_products(model, theta, inputs, &directions)
         }
     };
+
+    solve_in_span(theta, settings, directions, quotients, metric_dirs)
+}
+
+/// Pool-parallel variant of [`lcng_direction`]: the `Q` chip probes and the
+/// Fisher-metric products are both evaluated on `pool`.
+///
+/// All probe directions are drawn from `rng` before any loss evaluation and
+/// every reduction runs in a fixed order, so for a deterministic `loss` the
+/// returned step is bitwise identical for every pool size. (The metric path
+/// uses [`fisher_vector_products_pooled`], whose fixed-shape input reduction
+/// differs from the serial variant's running sum by fp rounding only.)
+///
+/// # Errors
+///
+/// Same as [`lcng_direction`].
+#[allow(clippy::too_many_arguments)] // mirrors `lcng_direction` plus the pool handle
+pub fn lcng_direction_pooled<R: Rng + ?Sized>(
+    loss: &(dyn Fn(&RVector) -> f64 + Sync),
+    theta: &RVector,
+    base_loss: f64,
+    settings: &LcngSettings,
+    pert: &Perturbation<'_>,
+    metric: &MetricSource<'_>,
+    pool: &ExecPool,
+    rng: &mut R,
+) -> Result<LcngStep, LinalgError> {
+    let n = theta.len();
+    let q = settings.zo.q;
+    let mu = settings.zo.mu;
+
+    let directions: Vec<RVector> = (0..q).map(|k| draw_perturbation(pert, n, k, rng)).collect();
+
+    let quotients = pool.map_with(
+        &directions,
+        || theta.clone(),
+        |probe, _, delta| {
+            probe.copy_from(theta);
+            probe.axpy(mu, delta);
+            (loss(probe) - base_loss) / mu
+        },
+    );
+
+    let metric_dirs: Vec<RVector> = match metric {
+        MetricSource::Identity => directions.clone(),
+        MetricSource::Model { model, inputs } => {
+            fisher_vector_products_pooled(model, theta, inputs, &directions, pool)
+        }
+    };
+
+    solve_in_span(theta, settings, directions, quotients, metric_dirs)
+}
+
+/// Assembles the Gram matrix and solves for the in-span step (shared tail of
+/// the serial and pooled entry points).
+fn solve_in_span(
+    theta: &RVector,
+    settings: &LcngSettings,
+    directions: Vec<RVector>,
+    quotients: Vec<f64>,
+    metric_dirs: Vec<RVector>,
+) -> Result<LcngStep, LinalgError> {
+    let n = theta.len();
+    let q = settings.zo.q;
 
     // Gram G = Pᵀ(FP), symmetrized against fp noise.
     let mut gram = RMatrix::zeros(q, q);
@@ -309,6 +378,94 @@ mod tests {
         let mut trial = theta.clone();
         trial.axpy(0.25, &step.direction);
         assert!(loss(&trial) < base, "{} !< {base}", loss(&trial));
+    }
+
+    #[test]
+    fn pooled_direction_is_thread_count_invariant() {
+        let mut seed_rng = StdRng::seed_from_u64(17);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let model = arch.build_ideal();
+        let theta = model.init_params(&mut seed_rng);
+        let inputs: Vec<CVector> = (0..3).map(|_| normal_cvector(4, &mut seed_rng)).collect();
+        let a: Vec<f64> = (1..=theta.len()).map(|i| i as f64).collect();
+        let b = vec![1.0; theta.len()];
+        let loss = |t: &RVector| quad_loss(&a, &b, t);
+        let settings = LcngSettings::for_dimension(theta.len(), 8);
+
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(18);
+            lcng_direction_pooled(
+                &loss,
+                &theta,
+                loss(&theta),
+                &settings,
+                &Perturbation::Gaussian,
+                &MetricSource::Model {
+                    model: &model,
+                    inputs: &inputs,
+                },
+                &ExecPool::serial(),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        for threads in [2usize, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(18);
+            let step = lcng_direction_pooled(
+                &loss,
+                &theta,
+                loss(&theta),
+                &settings,
+                &Perturbation::Gaussian,
+                &MetricSource::Model {
+                    model: &model,
+                    inputs: &inputs,
+                },
+                &ExecPool::new(threads),
+                &mut rng,
+            )
+            .unwrap();
+            for (x, y) in reference.direction.iter().zip(step.direction.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+            }
+            assert_eq!(reference.quotients, step.quotients);
+        }
+    }
+
+    #[test]
+    fn pooled_identity_metric_matches_serial_bitwise() {
+        let a = [3.0, 1.0, 8.0, 2.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let theta = RVector::zeros(4);
+        let settings = LcngSettings::for_dimension(4, 12);
+        let serial = {
+            let mut rng = StdRng::seed_from_u64(19);
+            lcng_direction(
+                &mut |t: &RVector| quad_loss(&a, &b, t),
+                &theta,
+                0.0,
+                &settings,
+                &Perturbation::Gaussian,
+                &MetricSource::Identity,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(19);
+        let pooled = lcng_direction_pooled(
+            &|t: &RVector| quad_loss(&a, &b, t),
+            &theta,
+            0.0,
+            &settings,
+            &Perturbation::Gaussian,
+            &MetricSource::Identity,
+            &ExecPool::new(4),
+            &mut rng,
+        )
+        .unwrap();
+        for (x, y) in serial.direction.iter().zip(pooled.direction.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -49,7 +49,10 @@ mod zo;
 
 pub use cmaes::CmaEs;
 pub use first_order::{Adam, Optimizer, Sgd};
-pub use lcng::{lcng_direction, LcngSettings, LcngStep, MetricSource};
+pub use lcng::{lcng_direction, lcng_direction_pooled, LcngSettings, LcngStep, MetricSource};
 pub use natural::{layered_sigma_segments, sigma_from_fisher, BlockNaturalPreconditioner};
 pub use tuning::{random_search, tune, LogUniform, Trial};
-pub use zo::{draw_perturbation, estimate_gradient, Perturbation, ZoEstimate, ZoSettings};
+pub use zo::{
+    draw_perturbation, estimate_gradient, estimate_gradient_pooled, Perturbation, ZoEstimate,
+    ZoSettings,
+};

@@ -11,6 +11,7 @@
 //! coordinate-wise one-hot probes, and covariance-shaped Gaussian draws
 //! (used by the layered-perturbation extension).
 
+use photon_exec::ExecPool;
 use rand::Rng;
 
 use photon_linalg::random::{normal_rvector, sample_gaussian};
@@ -138,18 +139,71 @@ pub fn estimate_gradient<R: Rng + ?Sized>(
     pert: &Perturbation<'_>,
     rng: &mut R,
 ) -> ZoEstimate {
-    let n = theta.len();
+    // All probe directions are drawn up front: the RNG stream is consumed
+    // identically to the pooled variant, so both paths probe the same points.
+    let directions = draw_perturbations(pert, theta.len(), settings.q, rng);
+    let mut probe = theta.clone();
+    let quotients: Vec<f64> = directions
+        .iter()
+        .map(|delta| {
+            probe.copy_from(theta);
+            probe.axpy(settings.mu, delta);
+            (loss(&probe) - base_loss) / settings.mu
+        })
+        .collect();
+    assemble_estimate(theta.len(), settings, directions, quotients)
+}
+
+/// Pool-parallel variant of [`estimate_gradient`]: the `Q` probe losses are
+/// evaluated concurrently on `pool`.
+///
+/// All probe directions are drawn from `rng` before any loss evaluation and
+/// the estimate is assembled in probe order, so for a deterministic `loss`
+/// the result is bitwise identical to the serial estimator for every pool
+/// size.
+pub fn estimate_gradient_pooled<R: Rng + ?Sized>(
+    loss: &(dyn Fn(&RVector) -> f64 + Sync),
+    theta: &RVector,
+    base_loss: f64,
+    settings: &ZoSettings,
+    pert: &Perturbation<'_>,
+    pool: &ExecPool,
+    rng: &mut R,
+) -> ZoEstimate {
+    let directions = draw_perturbations(pert, theta.len(), settings.q, rng);
+    let quotients = pool.map_with(
+        &directions,
+        || theta.clone(),
+        |probe, _, delta| {
+            probe.copy_from(theta);
+            probe.axpy(settings.mu, delta);
+            (loss(probe) - base_loss) / settings.mu
+        },
+    );
+    assemble_estimate(theta.len(), settings, directions, quotients)
+}
+
+/// Draws the `q` probe directions of one estimate in index order.
+fn draw_perturbations<R: Rng + ?Sized>(
+    pert: &Perturbation<'_>,
+    n: usize,
+    q: usize,
+    rng: &mut R,
+) -> Vec<RVector> {
+    (0..q).map(|k| draw_perturbation(pert, n, k, rng)).collect()
+}
+
+/// Combines probe directions and measured quotients into the ZO estimate,
+/// accumulating in probe order.
+fn assemble_estimate(
+    n: usize,
+    settings: &ZoSettings,
+    directions: Vec<RVector>,
+    quotients: Vec<f64>,
+) -> ZoEstimate {
     let mut gradient = RVector::zeros(n);
-    let mut directions = Vec::with_capacity(settings.q);
-    let mut quotients = Vec::with_capacity(settings.q);
-    for q in 0..settings.q {
-        let delta = draw_perturbation(pert, n, q, rng);
-        let mut probe = theta.clone();
-        probe.axpy(settings.mu, &delta);
-        let dl = (loss(&probe) - base_loss) / settings.mu;
-        gradient.axpy(dl, &delta);
-        directions.push(delta);
-        quotients.push(dl);
+    for (dl, delta) in quotients.iter().zip(&directions) {
+        gradient.axpy(*dl, delta);
     }
     gradient = gradient.scale(settings.lambda / settings.q as f64);
     ZoEstimate {
@@ -287,6 +341,39 @@ mod tests {
         assert_eq!(count, 7);
         assert_eq!(est.directions.len(), 7);
         assert_eq!(est.quotients.len(), 7);
+    }
+
+    #[test]
+    fn pooled_estimate_is_bitwise_identical_to_serial() {
+        let theta = RVector::from_slice(&[1.0, -1.0, 0.5, 0.25, -0.75, 2.0]);
+        let settings = ZoSettings::for_dimension(6, 16);
+        let serial = {
+            let mut rng = StdRng::seed_from_u64(21);
+            estimate_gradient(
+                &mut |t| quadratic(t),
+                &theta,
+                quadratic(&theta),
+                &settings,
+                &Perturbation::Gaussian,
+                &mut rng,
+            )
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let pooled = estimate_gradient_pooled(
+                &|t| quadratic(t),
+                &theta,
+                quadratic(&theta),
+                &settings,
+                &Perturbation::Gaussian,
+                &ExecPool::new(threads),
+                &mut rng,
+            );
+            for (a, b) in serial.gradient.iter().zip(pooled.gradient.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+            assert_eq!(serial.quotients, pooled.quotients);
+        }
     }
 
     #[test]

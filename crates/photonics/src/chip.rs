@@ -18,7 +18,29 @@ use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector, C64};
 
 use crate::error::{ErrorModel, ErrorVector};
-use crate::network::{Architecture, Network, NetworkError};
+use crate::network::{Architecture, Network, NetworkError, NetworkScratch};
+
+/// Reusable buffers for the allocation-free chip measurement paths
+/// ([`FabricatedChip::forward_into`],
+/// [`FabricatedChip::forward_powers_into`]).
+///
+/// One scratch belongs to one evaluation thread: build it once, then reuse
+/// it for every measurement. After the first call at a given architecture no
+/// heap allocation is performed.
+#[derive(Debug, Clone, Default)]
+pub struct ChipScratch {
+    net: NetworkScratch,
+    theta_eff: RVector,
+    out: CVector,
+    powers: RVector,
+}
+
+impl ChipScratch {
+    /// An empty scratch; buffers grow to the chip's dimensions on first use.
+    pub fn new() -> Self {
+        ChipScratch::default()
+    }
+}
 
 /// Optional measurement-noise model of the chip's readout chain.
 ///
@@ -184,25 +206,47 @@ impl FabricatedChip {
     ///
     /// Panics on input/parameter shape mismatch.
     pub fn forward(&self, x: &CVector, theta: &RVector) -> CVector {
+        let mut scratch = ChipScratch::new();
+        self.forward_into(x, theta, &mut scratch).clone()
+    }
+
+    /// Allocation-free variant of [`FabricatedChip::forward`] writing into
+    /// caller-owned scratch buffers. Counts one chip query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/parameter shape mismatch.
+    pub fn forward_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut ChipScratch,
+    ) -> &'s CVector {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let y = if self.crosstalk == 0.0 {
-            self.network.forward(x, theta)
+        let ChipScratch {
+            net,
+            theta_eff,
+            out,
+            ..
+        } = scratch;
+        let th = if self.crosstalk == 0.0 {
+            theta
         } else {
-            let effective = self.network.apply_thermal_crosstalk(theta, self.crosstalk);
-            self.network.forward(x, &effective)
+            self.network
+                .apply_thermal_crosstalk_into(theta, self.crosstalk, theta_eff);
+            &*theta_eff
         };
-        match self.noise {
-            None => y,
-            Some(noise) => {
-                let mut rng = self.noise_rng.lock();
-                CVector::from_fn(y.len(), |m| {
-                    y[m] + C64::new(
-                        noise.field * standard_normal(&mut *rng),
-                        noise.field * standard_normal(&mut *rng),
-                    )
-                })
+        out.copy_from(self.network.forward_into(x, th, net));
+        if let Some(noise) = self.noise {
+            let mut rng = self.noise_rng.lock();
+            for v in out.iter_mut() {
+                *v += C64::new(
+                    noise.field * standard_normal(&mut *rng),
+                    noise.field * standard_normal(&mut *rng),
+                );
             }
         }
+        out
     }
 
     /// Programs the phases to `theta` and measures the per-port output
@@ -212,25 +256,51 @@ impl FabricatedChip {
     ///
     /// Panics on input/parameter shape mismatch.
     pub fn forward_powers(&self, x: &CVector, theta: &RVector) -> RVector {
+        let mut scratch = ChipScratch::new();
+        self.forward_powers_into(x, theta, &mut scratch).clone()
+    }
+
+    /// Allocation-free variant of [`FabricatedChip::forward_powers`] writing
+    /// into caller-owned scratch buffers. Counts one chip query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/parameter shape mismatch.
+    pub fn forward_powers_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut ChipScratch,
+    ) -> &'s RVector {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let p = if self.crosstalk == 0.0 {
-            self.network.forward(x, theta).powers()
+        let ChipScratch {
+            net,
+            theta_eff,
+            powers,
+            ..
+        } = scratch;
+        let th = if self.crosstalk == 0.0 {
+            theta
         } else {
-            let effective = self.network.apply_thermal_crosstalk(theta, self.crosstalk);
-            self.network.forward(x, &effective).powers()
+            self.network
+                .apply_thermal_crosstalk_into(theta, self.crosstalk, theta_eff);
+            &*theta_eff
         };
-        match self.noise {
-            None => p,
-            Some(noise) => {
-                let mut rng = self.noise_rng.lock();
-                RVector::from_fn(p.len(), |m| {
-                    (p[m]
-                        + noise.shot * p[m].sqrt() * standard_normal(&mut *rng)
-                        + noise.floor * standard_normal(&mut *rng))
-                    .max(0.0)
-                })
+        let y = self.network.forward_into(x, th, net);
+        powers.resize_zeroed(y.len());
+        for (p, z) in powers.iter_mut().zip(y.iter()) {
+            *p = z.norm_sqr();
+        }
+        if let Some(noise) = self.noise {
+            let mut rng = self.noise_rng.lock();
+            for p in powers.iter_mut() {
+                *p = (*p
+                    + noise.shot * p.sqrt() * standard_normal(&mut *rng)
+                    + noise.floor * standard_normal(&mut *rng))
+                .max(0.0);
             }
         }
+        powers
     }
 
     /// Total number of forward queries issued so far — the currency every

@@ -111,13 +111,9 @@ impl OnnModule for ElectroOptic {
     }
 
     fn forward(&self, x: &CVector, theta: &[f64]) -> CVector {
-        assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        assert_eq!(theta.len(), self.dim, "parameter count mismatch");
-        CVector::from_fn(self.dim, |k| {
-            let z = x[k];
-            let (h, _) = self.h(z.norm_sqr(), theta[k]);
-            h * z
-        })
+        let mut out = CVector::zeros(0);
+        self.forward_into(x, theta, &mut out);
+        out
     }
 
     fn forward_tape(&self, x: &CVector, theta: &[f64]) -> (CVector, ModuleTape) {
@@ -128,6 +124,23 @@ impl OnnModule for ElectroOptic {
                 states: vec![x.clone()],
             },
         )
+    }
+
+    fn forward_into(&self, x: &CVector, theta: &[f64], out: &mut CVector) {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        assert_eq!(theta.len(), self.dim, "parameter count mismatch");
+        out.resize_zeroed(self.dim);
+        for (k, o) in out.iter_mut().enumerate() {
+            let z = x[k];
+            let (h, _) = self.h(z.norm_sqr(), theta[k]);
+            *o = h * z;
+        }
+    }
+
+    fn forward_tape_into(&self, x: &CVector, theta: &[f64], out: &mut CVector, tape: &mut ModuleTape) {
+        self.forward_into(x, theta, out);
+        tape.truncate(1);
+        tape.record(0, x);
     }
 
     fn jvp(&self, tape: &ModuleTape, theta: &[f64], dx: &CVector, dtheta: &[f64]) -> CVector {
@@ -194,7 +207,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(71);
         for _ in 0..20 {
             let x = normal_cvector(4, &mut rng);
-            let theta: Vec<f64> = (0..4).map(|_| rng.gen::<f64>() * 6.28).collect();
+            let theta: Vec<f64> = (0..4).map(|_| rng.gen::<f64>() * std::f64::consts::TAU).collect();
             let y = act.forward(&x, &theta);
             assert!(y.norm_sqr() <= x.norm_sqr() + 1e-12);
         }

@@ -15,7 +15,6 @@
 //! chip; `β = 0` is the ideal error-free circuit).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use photon_linalg::random::standard_normal;
 use photon_linalg::C64;
@@ -32,7 +31,7 @@ use photon_linalg::C64;
 /// let ideal = ErrorModel::ideal();
 /// assert_eq!(ideal.sigma_gamma, 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorModel {
     /// Standard deviation of beam-splitter angle errors (radians).
     pub sigma_gamma: f64,
@@ -99,7 +98,7 @@ pub fn zeta_from_parts(attenuation: f64, phase: f64) -> C64 {
 /// Beam splitters contribute one `gamma` each; phase shifters contribute one
 /// `(attenuation, phase)` pair each, in the order the components appear in
 /// the circuit netlist. This is the unknown vector the calibrator estimates.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ErrorVector {
     /// Beam-splitter angle errors, in netlist order.
     pub gamma: Vec<f64>,
@@ -214,7 +213,7 @@ impl ErrorVector {
 }
 
 /// Per-family RMS distances between two error assignments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorRmse {
     /// RMS over beam-splitter angle errors.
     pub gamma: f64,

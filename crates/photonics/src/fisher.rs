@@ -11,6 +11,7 @@
 //! For diagnostics (the Fisher-spectrum figure) the module-level dense
 //! blocks and output covariances are also provided.
 
+use photon_exec::{tree_reduce, ExecPool};
 use rand::Rng;
 
 use photon_linalg::{hermitian_eig, CMatrix, CVector, RMatrix, RVector};
@@ -92,6 +93,51 @@ pub fn fisher_vector_products(
     }
     let scale = 1.0 / inputs.len() as f64;
     acc.into_iter().map(|a| a.scale(scale)).collect()
+}
+
+/// Pool-parallel variant of [`fisher_vector_products`], fanning the inputs
+/// out across the pool's workers.
+///
+/// Each worker records the forward tape of its input once and pushes every
+/// direction through it (the same tape reuse as the serial variant); the
+/// per-input contributions are then combined along a fixed-shape reduction
+/// tree, so the result is bitwise identical for every pool size.
+///
+/// # Panics
+///
+/// Panics when `inputs` is empty or shapes mismatch.
+pub fn fisher_vector_products_pooled(
+    net: &Network,
+    theta: &RVector,
+    inputs: &[CVector],
+    directions: &[RVector],
+    pool: &ExecPool,
+) -> Vec<RVector> {
+    assert!(
+        !inputs.is_empty(),
+        "fisher product needs at least one input"
+    );
+    let zero_in = CVector::zeros(net.input_dim());
+    let per_input: Vec<Vec<RVector>> = pool.map(inputs, |_, x| {
+        let (_, tape) = net.forward_tape(x, theta);
+        directions
+            .iter()
+            .map(|v| {
+                let dy = net.jvp(&tape, theta, &zero_in, v);
+                let (_, grad) = net.vjp(&tape, theta, &dy);
+                grad
+            })
+            .collect()
+    });
+    let summed = tree_reduce(per_input, &|mut a: Vec<RVector>, b: Vec<RVector>| {
+        for (ga, gb) in a.iter_mut().zip(&b) {
+            *ga += gb;
+        }
+        a
+    })
+    .expect("inputs is non-empty");
+    let scale = 1.0 / inputs.len() as f64;
+    summed.into_iter().map(|g| g.scale(scale)).collect()
 }
 
 /// Dense complex Jacobian `∂y/∂θ ∈ ℂ^{M×N}` of a single module at `(x, θ)`,
@@ -362,6 +408,39 @@ mod tests {
         assert_eq!(anisotropy_ratio(&RVector::zeros(0), 1e-12), 1.0);
         let flat = RVector::from_slice(&[2.0, 2.0, 2.0]);
         assert!((anisotropy_ratio(&flat, 1e-12) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_fvp_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let net = Architecture::single_mesh(4, 2).unwrap().build_ideal();
+        let theta = net.init_params(&mut rng);
+        let inputs: Vec<CVector> = (0..5).map(|_| normal_cvector(4, &mut rng)).collect();
+        let dirs: Vec<RVector> = (0..4)
+            .map(|_| normal_rvector(net.param_count(), &mut rng))
+            .collect();
+        let serial =
+            fisher_vector_products_pooled(&net, &theta, &inputs, &dirs, &ExecPool::serial());
+        for threads in [2usize, 4, 8] {
+            let pooled = fisher_vector_products_pooled(
+                &net,
+                &theta,
+                &inputs,
+                &dirs,
+                &ExecPool::new(threads),
+            );
+            for (a, b) in serial.iter().zip(&pooled) {
+                for (va, vb) in a.iter().zip(b.iter()) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+        }
+        // Same operator as the linear-accumulation variant, up to fp
+        // reassociation.
+        let linear = fisher_vector_products(&net, &theta, &inputs, &dirs);
+        for (a, b) in serial.iter().zip(&linear) {
+            assert!((a - b).max_abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -52,15 +52,18 @@ mod module;
 mod network;
 mod ops;
 
-pub use chip::{calibrated_model, ideal_model, FabricatedChip, MeasurementNoise, ModelKind};
+pub use chip::{
+    calibrated_model, ideal_model, ChipScratch, FabricatedChip, MeasurementNoise, ModelKind,
+};
 pub use electrooptic::ElectroOptic;
 pub use error::{zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector};
 pub use fisher::{
     anisotropy_ratio, covariance_eigenvalues, fisher_vector_product, fisher_vector_products,
-    module_fisher_block, module_jacobian, output_covariance, standard_perturbations,
+    fisher_vector_products_pooled, module_fisher_block, module_jacobian, output_covariance,
+    standard_perturbations,
 };
 pub use mesh::{MeshKind, MeshModule};
 pub use modrelu::ModRelu;
 pub use module::{ModuleTape, OnnModule};
-pub use network::{Architecture, ModuleSpec, Network, NetworkError, NetworkTape};
+pub use network::{Architecture, ModuleSpec, Network, NetworkError, NetworkScratch, NetworkTape};
 pub use ops::Op;

@@ -212,26 +212,39 @@ impl OnnModule for MeshModule {
     }
 
     fn forward(&self, x: &CVector, theta: &[f64]) -> CVector {
-        assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
-        let mut state = x.clone();
-        for op in &self.ops {
-            op.apply(&mut state, theta);
-        }
+        let mut state = CVector::zeros(0);
+        self.forward_into(x, theta, &mut state);
         state
     }
 
     fn forward_tape(&self, x: &CVector, theta: &[f64]) -> (CVector, ModuleTape) {
+        let mut out = CVector::zeros(0);
+        let mut tape = ModuleTape::empty();
+        self.forward_tape_into(x, theta, &mut out, &mut tape);
+        (out, tape)
+    }
+
+    fn forward_into(&self, x: &CVector, theta: &[f64], out: &mut CVector) {
         assert_eq!(x.len(), self.dim, "input dimension mismatch");
         assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
-        let mut states = Vec::with_capacity(self.ops.len() + 1);
-        let mut state = x.clone();
-        states.push(state.clone());
+        out.copy_from(x);
         for op in &self.ops {
-            op.apply(&mut state, theta);
-            states.push(state.clone());
+            op.apply(out, theta);
         }
-        (state, ModuleTape { states })
+    }
+
+    fn forward_tape_into(&self, x: &CVector, theta: &[f64], out: &mut CVector, tape: &mut ModuleTape) {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        // Push-then-apply: each slot is seeded with a copy of its
+        // predecessor and the op is applied in place, instead of mutating a
+        // running state and cloning it per op.
+        tape.truncate(self.ops.len() + 1);
+        tape.record(0, x);
+        for (i, op) in self.ops.iter().enumerate() {
+            op.apply(tape.advance(i), theta);
+        }
+        out.copy_from(tape.output());
     }
 
     fn jvp(&self, tape: &ModuleTape, theta: &[f64], dx: &CVector, dtheta: &[f64]) -> CVector {

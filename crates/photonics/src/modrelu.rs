@@ -76,17 +76,9 @@ impl OnnModule for ModRelu {
     }
 
     fn forward(&self, x: &CVector, theta: &[f64]) -> CVector {
-        assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        assert_eq!(theta.len(), self.dim, "parameter count mismatch");
-        CVector::from_fn(self.dim, |k| {
-            let z = x[k];
-            let r = z.abs();
-            if r <= DARK || r + theta[k] < 0.0 {
-                C64::ZERO
-            } else {
-                z.scale((r + theta[k]) / r)
-            }
-        })
+        let mut out = CVector::zeros(0);
+        self.forward_into(x, theta, &mut out);
+        out
     }
 
     fn forward_tape(&self, x: &CVector, theta: &[f64]) -> (CVector, ModuleTape) {
@@ -97,6 +89,27 @@ impl OnnModule for ModRelu {
                 states: vec![x.clone()],
             },
         )
+    }
+
+    fn forward_into(&self, x: &CVector, theta: &[f64], out: &mut CVector) {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        assert_eq!(theta.len(), self.dim, "parameter count mismatch");
+        out.resize_zeroed(self.dim);
+        for (k, o) in out.iter_mut().enumerate() {
+            let z = x[k];
+            let r = z.abs();
+            *o = if r <= DARK || r + theta[k] < 0.0 {
+                C64::ZERO
+            } else {
+                z.scale((r + theta[k]) / r)
+            };
+        }
+    }
+
+    fn forward_tape_into(&self, x: &CVector, theta: &[f64], out: &mut CVector, tape: &mut ModuleTape) {
+        self.forward_into(x, theta, out);
+        tape.truncate(1);
+        tape.record(0, x);
     }
 
     fn jvp(&self, tape: &ModuleTape, theta: &[f64], dx: &CVector, dtheta: &[f64]) -> CVector {

@@ -19,6 +19,53 @@ pub struct ModuleTape {
 }
 
 impl ModuleTape {
+    /// An empty tape, ready to be filled by
+    /// [`OnnModule::forward_tape_into`]. Reusing one tape across calls keeps
+    /// the recorded state buffers alive, so steady-state re-recording
+    /// performs no heap allocation.
+    pub fn empty() -> Self {
+        ModuleTape { states: Vec::new() }
+    }
+
+    /// Truncates to `len` recorded states (buffer capacity is retained).
+    pub fn truncate(&mut self, len: usize) {
+        self.states.truncate(len);
+    }
+
+    /// Overwrites slot `i` with a copy of `src`, growing the tape by one
+    /// slot when `i == self.states.len()`. Existing slot buffers are reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i > self.states.len()` (slots must be recorded in
+    /// order).
+    pub fn record(&mut self, i: usize, src: &CVector) {
+        if i == self.states.len() {
+            self.states.push(src.clone());
+        } else {
+            self.states[i].copy_from(src);
+        }
+    }
+
+    /// Copies state `i` into slot `i + 1` (growing the tape if needed) and
+    /// returns a mutable reference to the new slot, so an op can be applied
+    /// to it in place — the push-then-apply tape recording pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slot `i` does not exist yet.
+    pub fn advance(&mut self, i: usize) -> &mut CVector {
+        assert!(i < self.states.len(), "tape slot {i} not recorded yet");
+        if i + 1 == self.states.len() {
+            let next = self.states[i].clone();
+            self.states.push(next);
+        } else {
+            let (head, tail) = self.states.split_at_mut(i + 1);
+            tail[0].copy_from(&head[i]);
+        }
+        &mut self.states[i + 1]
+    }
+
     /// The module input recorded on this tape.
     ///
     /// # Panics
@@ -83,6 +130,35 @@ pub trait OnnModule: fmt::Debug + Send + Sync {
 
     /// Applies the module, recording the tape needed for differentiation.
     fn forward_tape(&self, x: &CVector, theta: &[f64]) -> (CVector, ModuleTape);
+
+    /// Applies the module into a caller-owned output buffer.
+    ///
+    /// The default delegates to [`OnnModule::forward`] (one allocation); the
+    /// modules in this crate override it with a true in-place evaluation so
+    /// steady-state reuse of `out` performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`OnnModule::forward`].
+    fn forward_into(&self, x: &CVector, theta: &[f64], out: &mut CVector) {
+        *out = self.forward(x, theta);
+    }
+
+    /// Applies the module, recording into caller-owned output and tape
+    /// buffers.
+    ///
+    /// The default delegates to [`OnnModule::forward_tape`]; the modules in
+    /// this crate override it to reuse the buffers already held by `out` and
+    /// `tape`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`OnnModule::forward`].
+    fn forward_tape_into(&self, x: &CVector, theta: &[f64], out: &mut CVector, tape: &mut ModuleTape) {
+        let (y, t) = self.forward_tape(x, theta);
+        *out = y;
+        *tape = t;
+    }
 
     /// Forward-mode derivative: the output tangent produced by input tangent
     /// `dx` and parameter tangent `dtheta`, linearized at the tape point.

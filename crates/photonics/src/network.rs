@@ -4,7 +4,6 @@
 use std::fmt;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use photon_linalg::{CVector, RVector};
 
@@ -61,7 +60,7 @@ impl fmt::Display for NetworkError {
 impl std::error::Error for NetworkError {}
 
 /// Declarative description of one module in an [`Architecture`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ModuleSpec {
     /// Rectangular Clements mesh (`layers == dim` is universal).
     Clements {
@@ -137,7 +136,7 @@ impl ModuleSpec {
 /// assert_eq!(arch.param_count(), 2 * (56 + 8) + 8);
 /// # Ok::<(), photon_photonics::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Architecture {
     specs: Vec<ModuleSpec>,
 }
@@ -296,6 +295,27 @@ impl NetworkTape {
     }
 }
 
+/// Reusable evaluation buffers for the allocation-free network paths
+/// ([`Network::forward_into`], [`Network::forward_tape_into`]).
+///
+/// One scratch belongs to one evaluation thread: build it once (e.g. per
+/// worker via `ExecPool::map_with`), then reuse it for every sample. After
+/// the first call at a given architecture, subsequent calls perform no heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkScratch {
+    ping: CVector,
+    pong: CVector,
+}
+
+impl NetworkScratch {
+    /// An empty scratch; buffers grow to the network's dimensions on first
+    /// use.
+    pub fn new() -> Self {
+        NetworkScratch::default()
+    }
+}
+
 /// An instantiated ONN: a pipeline of modules with a packed parameter
 /// vector layout.
 ///
@@ -402,16 +422,101 @@ impl Network {
     ///
     /// Same as [`Network::forward`].
     pub fn forward_tape(&self, x: &CVector, theta: &RVector) -> (CVector, NetworkTape) {
+        let mut out = CVector::zeros(0);
+        let mut tape = self.new_tape();
+        let mut scratch = NetworkScratch::new();
+        self.forward_tape_into(x, theta, &mut scratch, &mut out, &mut tape);
+        (out, tape)
+    }
+
+    /// An empty tape shaped for this network, for reuse with
+    /// [`Network::forward_tape_into`].
+    pub fn new_tape(&self) -> NetworkTape {
+        NetworkTape {
+            tapes: vec![ModuleTape::empty(); self.modules.len()],
+        }
+    }
+
+    /// Allocation-free forward pass: evaluates into `scratch` and returns a
+    /// reference to the output state held there.
+    ///
+    /// After the first call at this network's dimensions, no heap allocation
+    /// is performed.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut NetworkScratch,
+    ) -> &'s CVector {
         assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
-        let mut state = x.clone();
-        let mut tapes = Vec::with_capacity(self.modules.len());
+        scratch.ping.copy_from(x);
+        let mut cur_is_ping = true;
         for (i, m) in self.modules.iter().enumerate() {
             let range = self.module_param_range(i);
-            let (y, tape) = m.forward_tape(&state, &theta.as_slice()[range]);
-            tapes.push(tape);
-            state = y;
+            let th = &theta.as_slice()[range];
+            let NetworkScratch { ping, pong, .. } = scratch;
+            let (src, dst) = if cur_is_ping {
+                (&*ping, &mut *pong)
+            } else {
+                (&*pong, &mut *ping)
+            };
+            m.forward_into(src, th, dst);
+            cur_is_ping = !cur_is_ping;
         }
-        (state, NetworkTape { tapes })
+        if cur_is_ping {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        }
+    }
+
+    /// Allocation-free forward pass recording into caller-owned buffers.
+    ///
+    /// `tape` should come from [`Network::new_tape`] (or a previous call);
+    /// its per-module state buffers are reused. After the first call at this
+    /// network's dimensions, no heap allocation is performed.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Network::forward`], plus when `tape` has the wrong number
+    /// of module slots.
+    pub fn forward_tape_into(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &mut NetworkScratch,
+        out: &mut CVector,
+        tape: &mut NetworkTape,
+    ) {
+        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        assert_eq!(
+            tape.tapes.len(),
+            self.modules.len(),
+            "tape module count mismatch"
+        );
+        scratch.ping.copy_from(x);
+        let mut cur_is_ping = true;
+        for (i, m) in self.modules.iter().enumerate() {
+            let range = self.module_param_range(i);
+            let th = &theta.as_slice()[range];
+            let NetworkScratch { ping, pong, .. } = scratch;
+            let (src, dst) = if cur_is_ping {
+                (&*ping, &mut *pong)
+            } else {
+                (&*pong, &mut *ping)
+            };
+            m.forward_tape_into(src, th, dst, &mut tape.tapes[i]);
+            cur_is_ping = !cur_is_ping;
+        }
+        out.copy_from(if cur_is_ping {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        });
     }
 
     /// Forward-mode derivative of the whole network at the tape point:
@@ -494,11 +599,23 @@ impl Network {
     ///
     /// Panics when `theta.len() != self.param_count()`.
     pub fn apply_thermal_crosstalk(&self, theta: &RVector, coupling: f64) -> RVector {
+        let mut out = RVector::zeros(0);
+        self.apply_thermal_crosstalk_into(theta, coupling, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Network::apply_thermal_crosstalk`]
+    /// writing into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `theta.len() != self.param_count()`.
+    pub fn apply_thermal_crosstalk_into(&self, theta: &RVector, coupling: f64, out: &mut RVector) {
         assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        out.copy_from(theta);
         if coupling == 0.0 {
-            return theta.clone();
+            return;
         }
-        let mut out = theta.clone();
         for i in 0..self.modules.len() {
             let range = self.module_param_range(i);
             for k in range.clone() {
@@ -512,7 +629,6 @@ impl Network {
                 out[k] = theta[k] + coupling * leak;
             }
         }
-        out
     }
 }
 

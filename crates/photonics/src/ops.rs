@@ -8,12 +8,11 @@
 
 use std::f64::consts::FRAC_PI_2;
 
-use serde::{Deserialize, Serialize};
 
 use photon_linalg::{CVector, C64};
 
 /// A primitive operation in a linear photonic module.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Phase shifter on `port`: multiplies the amplitude by `ζ·e^{jθ}`,
     /// where `θ` is the module-local parameter at index `param` and `ζ` is

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Run from anywhere; operates on the workspace root. The build environment is
+# fully offline (all external deps are vendored), hence --offline throughout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --all-targets --workspace -- -D warnings
+
+echo "ci: all gates green"

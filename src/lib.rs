@@ -78,6 +78,11 @@ pub mod core {
     pub use photon_core::*;
 }
 
+/// Parallel evaluation engine (re-export of `photon-exec`).
+pub mod exec {
+    pub use photon_exec::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use photon_calib::{calibrate, evaluate_model, CalibrationSettings};

@@ -1,0 +1,170 @@
+//! Determinism guarantee of the parallel evaluation engine: for noise-free
+//! chips, every pooled evaluation path — batch losses, ZO gradient estimates,
+//! LCNG directions, backprop gradients, and full training runs — produces
+//! bitwise-identical results regardless of worker-pool size.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_zo::core::{
+    build_task, chip_batch_loss_pooled, model_batch_loss_and_grad_pooled, Method, TaskSpec,
+    TrainConfig, Trainer,
+};
+use photon_zo::exec::ExecPool;
+use photon_zo::linalg::RVector;
+use photon_zo::opt::{
+    estimate_gradient_pooled, lcng_direction_pooled, LcngSettings, MetricSource, Perturbation,
+    ZoSettings,
+};
+
+const POOLS: [usize; 3] = [2, 4, 8];
+
+fn bits(v: &RVector) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn batch_loss_and_gradients_are_pool_size_invariant() {
+    let task = build_task(&TaskSpec::quick(4), 41).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let theta = task.chip.init_params(&mut rng);
+    let indices: Vec<usize> = (0..task.train.len()).collect();
+    let serial = ExecPool::serial();
+
+    let loss_serial =
+        chip_batch_loss_pooled(&task.chip, &task.train, &indices, &task.head, &theta, &serial);
+    let model = task.chip.oracle_network();
+    let (bp_loss, bp_grad) = model_batch_loss_and_grad_pooled(
+        &model, &task.train, &indices, &task.head, &theta, &serial,
+    );
+
+    for threads in POOLS {
+        let pool = ExecPool::new(threads);
+        let loss_pooled =
+            chip_batch_loss_pooled(&task.chip, &task.train, &indices, &task.head, &theta, &pool);
+        assert_eq!(
+            loss_pooled.to_bits(),
+            loss_serial.to_bits(),
+            "chip batch loss diverged at {threads} threads"
+        );
+        let (lp, gp) = model_batch_loss_and_grad_pooled(
+            &model, &task.train, &indices, &task.head, &theta, &pool,
+        );
+        assert_eq!(lp.to_bits(), bp_loss.to_bits());
+        assert_eq!(bits(&gp), bits(&bp_grad), "BP gradient diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn zo_estimates_and_lcng_directions_are_pool_size_invariant() {
+    let task = build_task(&TaskSpec::quick(4), 43).unwrap();
+    let mut rng = StdRng::seed_from_u64(44);
+    let theta = task.chip.init_params(&mut rng);
+    let indices: Vec<usize> = (0..task.train.len().min(8)).collect();
+    let serial = ExecPool::serial();
+    let loss =
+        |t: &RVector| chip_batch_loss_pooled(&task.chip, &task.train, &indices, &task.head, t, &serial);
+    let base = loss(&theta);
+    let zo = ZoSettings {
+        q: 12,
+        mu: 1e-3,
+        lambda: 1.0 / theta.len() as f64,
+    };
+
+    let mut rng_ref = StdRng::seed_from_u64(45);
+    let est_ref =
+        estimate_gradient_pooled(&loss, &theta, base, &zo, &Perturbation::Gaussian, &serial, &mut rng_ref);
+
+    let model = task.chip.oracle_network();
+    let fisher_inputs: Vec<_> = (0..2).map(|i| task.train.sample(i).0.clone()).collect();
+    let metric = MetricSource::Model {
+        model: &model,
+        inputs: &fisher_inputs,
+    };
+    let settings = LcngSettings { zo, ridge: 1e-6 };
+    let mut rng_ref = StdRng::seed_from_u64(46);
+    let step_ref = lcng_direction_pooled(
+        &loss,
+        &theta,
+        base,
+        &settings,
+        &Perturbation::Gaussian,
+        &metric,
+        &serial,
+        &mut rng_ref,
+    )
+    .unwrap();
+
+    for threads in POOLS {
+        let pool = ExecPool::new(threads);
+        let mut rng_t = StdRng::seed_from_u64(45);
+        let est = estimate_gradient_pooled(
+            &loss,
+            &theta,
+            base,
+            &zo,
+            &Perturbation::Gaussian,
+            &pool,
+            &mut rng_t,
+        );
+        assert_eq!(
+            bits(&est.gradient),
+            bits(&est_ref.gradient),
+            "ZO gradient diverged at {threads} threads"
+        );
+
+        let mut rng_t = StdRng::seed_from_u64(46);
+        let step = lcng_direction_pooled(
+            &loss,
+            &theta,
+            base,
+            &settings,
+            &Perturbation::Gaussian,
+            &metric,
+            &pool,
+            &mut rng_t,
+        )
+        .unwrap();
+        assert_eq!(
+            bits(&step.direction),
+            bits(&step_ref.direction),
+            "LCNG direction diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn full_training_runs_are_pool_size_invariant() {
+    let spec = TaskSpec::quick(4);
+    for method in [
+        Method::ZoGaussian,
+        Method::Lcng {
+            model: photon_zo::core::ModelChoice::Ideal,
+        },
+    ] {
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 4] {
+            let task = build_task(&spec, 47).unwrap();
+            let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+            let mut config = TrainConfig::quick(4);
+            config.epochs = 2;
+            config.threads = Some(threads);
+            let mut rng = StdRng::seed_from_u64(48);
+            outcomes.push(trainer.train(method, &config, &mut rng).unwrap());
+        }
+        let (serial, pooled) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(
+            bits(&pooled.theta),
+            bits(&serial.theta),
+            "{method:?}: final parameters diverged between 1 and 4 threads"
+        );
+        for (a, b) in pooled.history.iter().zip(&serial.history) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        }
+        assert_eq!(
+            pooled.final_eval.loss.to_bits(),
+            serial.final_eval.loss.to_bits()
+        );
+        assert_eq!(pooled.final_eval.accuracy, serial.final_eval.accuracy);
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline vendored shim for the subset of the `criterion` benchmarking API
+//! used by this workspace.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Timing
+//! is a straightforward warm-up + repeated-sample mean/min over
+//! `std::time::Instant`, printed in a criterion-like one-line format. It has
+//! none of criterion's statistical machinery, but is enough to compare
+//! implementations on the same machine and to keep `harness = false` bench
+//! targets compiling and runnable offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Create an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time per iteration of the last `iter` call.
+    mean: Duration,
+    /// Fastest sample of the last `iter` call.
+    min: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~10ms or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(10) {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters as u32;
+        // Size each sample to take roughly 25ms, capped for slow workloads.
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(25).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+                as u64
+        };
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            let per = elapsed / iters_per_sample as u32;
+            total += per;
+            min = min.min(per);
+        }
+        self.mean = total / self.samples as u32;
+        self.min = min;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// One timing measurement reported by a finished benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest sample per iteration.
+    pub min: Duration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op for CLI-arg compatibility with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let m = run_bench(id, self.default_samples, |b| f(b));
+        self.measurements.push(m);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// All measurements recorded so far (used by bench post-processing).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) -> Measurement {
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+        min: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "{:<50} time: [{} (min {})]",
+        id,
+        fmt_duration(b.mean),
+        fmt_duration(b.min)
+    );
+    Measurement {
+        id: id.to_string(),
+        mean: b.mean,
+        min: b.min,
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().name);
+        let samples = self.samples.unwrap_or(self.parent.default_samples);
+        let m = run_bench(&id, samples, |b| f(b));
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Run a benchmark that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().name);
+        let samples = self.samples.unwrap_or(self.parent.default_samples);
+        let m = run_bench(&id, samples, |b| f(b, input));
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_measurement() {
+        let mut c = Criterion {
+            default_samples: 2,
+            measurements: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].mean.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline vendored shim for the subset of `crossbeam` used by this
+//! workspace: `crossbeam::thread::scope` for structured (scoped) threads.
+//!
+//! Backed by `std::thread::scope`, which provides the same guarantee that all
+//! spawned threads join before the scope returns, so borrowed (non-`'static`)
+//! data can be shared with workers.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::marker::PhantomData;
+
+    /// A scope handle passed to the closure given to [`scope`]. Threads
+    /// spawned through it may borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// handle again so it can spawn nested workers, mirroring the
+        /// crossbeam signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All threads spawned in
+    /// the scope are joined before `scope` returns.
+    ///
+    /// Unlike `std::thread::scope`, the crossbeam API returns a
+    /// `thread::Result` capturing panics from unjoined children; with the std
+    /// backend a panicking unjoined child propagates its panic at scope exit
+    /// instead, so this shim returns `Ok` whenever it returns at all. All
+    /// call sites in this workspace join their handles explicitly.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            f(Scope {
+                inner: s,
+                _marker: PhantomData,
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

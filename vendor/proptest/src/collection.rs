@@ -1,0 +1,53 @@
+//! Collection strategies (`vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Size specification for [`vec`]: a fixed length or a half-open range.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// Uniformly drawn length in `[start, end)`.
+    Range(core::ops::Range<usize>),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Fixed(n)
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        SizeRange::Range(r)
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = match &self.size {
+            SizeRange::Fixed(n) => *n,
+            SizeRange::Range(r) => rng.gen_range(r.clone()),
+        };
+        (0..len).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose length
+/// comes from `size` (a `usize` or `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

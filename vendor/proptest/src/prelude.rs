@@ -1,0 +1,5 @@
+//! Glob-import surface matching `proptest::prelude::*`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+};
