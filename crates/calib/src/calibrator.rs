@@ -16,7 +16,7 @@
 use rand::Rng;
 
 use photon_linalg::{LinalgError, RVector};
-use photon_photonics::{ErrorVector, FabricatedChip, Network, NetworkError};
+use photon_photonics::{ErrorVector, Network, NetworkError, OnnChip};
 
 use crate::gauss_newton::{levenberg_marquardt, LmSettings};
 use crate::probe::{measure_chip, Measurements, ProbePlan};
@@ -147,8 +147,8 @@ pub struct CalibrationOutcome {
 /// assert!(outcome.fit_cost <= outcome.initial_cost);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn calibrate<R: Rng + ?Sized>(
-    chip: &FabricatedChip,
+pub fn calibrate<C: OnnChip, R: Rng + ?Sized>(
+    chip: &C,
     settings: &CalibrationSettings,
     rng: &mut R,
 ) -> Result<CalibrationOutcome, CalibError> {
@@ -169,8 +169,8 @@ pub fn calibrate<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// See [`CalibError`].
-pub fn calibrate_from_measurements(
-    chip: &FabricatedChip,
+pub fn calibrate_from_measurements<C: OnnChip>(
+    chip: &C,
     plan: &ProbePlan,
     measured: &Measurements,
     lm: &LmSettings,
@@ -181,7 +181,8 @@ pub fn calibrate_from_measurements(
     let n_residuals = plan.residual_count(k_out);
 
     let mut residual = |flat: &RVector| -> RVector {
-        let errors = ErrorVector::from_flat(n_bs, n_ps, flat.as_slice());
+        let errors = ErrorVector::from_flat(n_bs, n_ps, flat.as_slice())
+            .expect("length constructed to match");
         let model = arch
             .build_with_errors(&errors)
             .expect("flat layout matches the architecture");
@@ -192,7 +193,11 @@ pub fn calibrate_from_measurements(
                 let powers = model.forward(x, theta).powers();
                 let target = &measured.powers[s][p];
                 for d in 0..k_out {
-                    r[idx] = powers[d] - target[d];
+                    // A dropped/NaN reading must not poison the whole fit:
+                    // its residual entry is zeroed, removing that detector
+                    // sample from the least-squares objective.
+                    let e = powers[d] - target[d];
+                    r[idx] = if e.is_finite() { e } else { 0.0 };
                     idx += 1;
                 }
             }
@@ -202,7 +207,8 @@ pub fn calibrate_from_measurements(
 
     let init = RVector::zeros(n_bs + 2 * n_ps);
     let fit = levenberg_marquardt(&mut residual, &init, lm)?;
-    let errors = ErrorVector::from_flat(n_bs, n_ps, fit.params.as_slice());
+    let errors = ErrorVector::from_flat(n_bs, n_ps, fit.params.as_slice())
+        .expect("length constructed to match");
     let model = arch.build_with_errors(&errors)?;
     Ok(CalibrationOutcome {
         errors,
@@ -218,7 +224,7 @@ pub fn calibrate_from_measurements(
 mod tests {
     use super::*;
     use crate::fidelity::evaluate_model;
-    use photon_photonics::{ideal_model, Architecture, ErrorModel};
+    use photon_photonics::{ideal_model, Architecture, ErrorModel, FabricatedChip};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -6,7 +6,7 @@ use rand::Rng;
 use photon_linalg::random::random_unit_cvector;
 use photon_linalg::CVector;
 
-use photon_photonics::{FabricatedChip, Network};
+use photon_photonics::{Network, OnnChip};
 
 /// Cosine-style field fidelity up to a global phase:
 /// `|⟨y_model, y_chip⟩| / (‖y_model‖·‖y_chip‖)`, in `[0, 1]`.
@@ -64,11 +64,16 @@ pub struct FidelityReport {
 /// Evaluates a model against the chip on `probes × settings` fresh random
 /// conditions. Consumes chip queries.
 ///
+/// A non-finite chip reading (a dropped read on a faulty chip) is
+/// re-measured up to three times; a probe that stays non-finite is skipped
+/// rather than poisoning the aggregate. `evaluations` counts only the
+/// probes that contributed.
+///
 /// # Panics
 ///
 /// Panics when `probes == 0` or `settings == 0`.
-pub fn evaluate_model<R: Rng + ?Sized>(
-    chip: &FabricatedChip,
+pub fn evaluate_model<C: OnnChip, R: Rng + ?Sized>(
+    chip: &C,
     model: &Network,
     probes: usize,
     settings: usize,
@@ -86,12 +91,27 @@ pub fn evaluate_model<R: Rng + ?Sized>(
         let theta = chip.init_params(rng);
         for _ in 0..probes {
             let x = random_unit_cvector(k, rng);
-            let y_chip = chip.forward(&x, &theta);
+            let mut y_chip = chip.forward(&x, &theta);
+            let mut attempts = 0;
+            while !y_chip.iter().all(|z| z.re.is_finite() && z.im.is_finite()) && attempts < 3 {
+                y_chip = chip.forward(&x, &theta);
+                attempts += 1;
+            }
+            if !y_chip.iter().all(|z| z.re.is_finite() && z.im.is_finite()) {
+                continue;
+            }
             let y_model = model.forward(&x, &theta);
             field_acc += field_fidelity(&y_model, &y_chip);
             power_acc += power_fidelity(&y_model, &y_chip);
             count += 1;
         }
+    }
+    if count == 0 {
+        return FidelityReport {
+            field: 0.0,
+            power: 0.0,
+            evaluations: 0,
+        };
     }
     FidelityReport {
         field: field_acc / count as f64,
@@ -104,7 +124,7 @@ pub fn evaluate_model<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use photon_linalg::C64;
-    use photon_photonics::{ideal_model, Architecture, ErrorModel};
+    use photon_photonics::{ideal_model, Architecture, ErrorModel, FabricatedChip};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

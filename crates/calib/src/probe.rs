@@ -7,7 +7,7 @@ use photon_exec::ExecPool;
 use photon_linalg::random::random_unit_cvector;
 use photon_linalg::{CVector, RVector};
 
-use photon_photonics::{ChipScratch, FabricatedChip};
+use photon_photonics::{ChipScratch, OnnChip};
 
 /// A calibration probe plan: input vectors × phase settings.
 ///
@@ -32,8 +32,8 @@ impl ProbePlan {
     /// # Panics
     ///
     /// Panics when the plan would be empty.
-    pub fn for_chip<R: Rng + ?Sized>(
-        chip: &FabricatedChip,
+    pub fn for_chip<C: OnnChip, R: Rng + ?Sized>(
+        chip: &C,
         include_basis: bool,
         random_inputs: usize,
         num_settings: usize,
@@ -79,7 +79,7 @@ pub struct Measurements {
 ///
 /// Sweeps serially so that noisy chips draw their measurement noise in plan
 /// order; use [`measure_chip_pooled`] to fan the sweep out over a worker pool.
-pub fn measure_chip(chip: &FabricatedChip, plan: &ProbePlan) -> Measurements {
+pub fn measure_chip<C: OnnChip>(chip: &C, plan: &ProbePlan) -> Measurements {
     measure_chip_pooled(chip, plan, &ExecPool::serial())
 }
 
@@ -89,8 +89,12 @@ pub fn measure_chip(chip: &FabricatedChip, plan: &ProbePlan) -> Measurements {
 /// Results come back in plan order regardless of pool size. For noise-free
 /// chips the powers are bitwise identical to [`measure_chip`]; noisy chips
 /// draw from a shared noise stream, so only the distribution is preserved.
-pub fn measure_chip_pooled(
-    chip: &FabricatedChip,
+///
+/// A non-finite power reading (a dropped read on a faulty chip) is
+/// re-measured up to three times; if it stays non-finite the reading is
+/// recorded as-is and the calibrator's residual zeroes it out of the fit.
+pub fn measure_chip_pooled<C: OnnChip>(
+    chip: &C,
     plan: &ProbePlan,
     pool: &ExecPool,
 ) -> Measurements {
@@ -99,8 +103,17 @@ pub fn measure_chip_pooled(
         .collect();
     let mut flat = pool
         .map_with(&pairs, ChipScratch::new, |scratch, _, &(s, p)| {
-            chip.forward_powers_into(&plan.inputs[p], &plan.settings[s], scratch)
-                .clone()
+            let mut powers = chip
+                .forward_powers_into(&plan.inputs[p], &plan.settings[s], scratch)
+                .clone();
+            let mut attempts = 0;
+            while !powers.iter().all(|v| v.is_finite()) && attempts < 3 {
+                powers = chip
+                    .forward_powers_into(&plan.inputs[p], &plan.settings[s], scratch)
+                    .clone();
+                attempts += 1;
+            }
+            powers
         })
         .into_iter();
     let powers = (0..plan.settings.len())
@@ -112,7 +125,7 @@ pub fn measure_chip_pooled(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use photon_photonics::{Architecture, ErrorModel};
+    use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -107,6 +107,11 @@ impl Checkpoint {
 
     /// Writes the checkpoint to `path`, creating parent directories.
     ///
+    /// The write is atomic: the text goes to a temporary file in the same
+    /// directory which is then renamed over `path`, so a crash mid-write
+    /// can never clobber the last good checkpoint (the rename is atomic
+    /// within one filesystem).
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors.
@@ -114,7 +119,17 @@ impl Checkpoint {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        fs::write(path, self.to_string())?;
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        if let Err(e) = fs::write(&tmp, self.to_string()) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        if let Err(e) = fs::rename(&tmp, path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -289,7 +304,10 @@ impl FromStr for Checkpoint {
                     ),
                 ));
             }
-            Some(ErrorVector::from_flat(n_bs, n_ps, &flat))
+            Some(
+                ErrorVector::from_flat(n_bs, n_ps, &flat)
+                    .map_err(|e| parse_err(0, format!("invalid error vector: {e}")))?,
+            )
         };
 
         Ok(Checkpoint {
@@ -341,6 +359,21 @@ mod tests {
         ckpt.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back, ckpt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_atomic_and_overwrites() {
+        let ckpt = sample_checkpoint(true);
+        let dir = std::env::temp_dir().join("photon_zo_ckpt_atomic_test");
+        let path = dir.join("run.ckpt");
+        // Overwriting an older (different) checkpoint leaves the new one.
+        sample_checkpoint(false).save(&path).unwrap();
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        // The temporary sibling never survives a successful save.
+        let tmp = dir.join("run.ckpt.tmp");
+        assert!(!tmp.exists(), "temp file must be renamed away");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

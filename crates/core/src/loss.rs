@@ -133,11 +133,20 @@ impl ClassificationHead {
 
     /// Cross-entropy loss of one sample.
     ///
+    /// A non-finite network output (e.g. a dropped chip read) yields
+    /// `f64::INFINITY` rather than NaN, so downstream guards — the robust
+    /// estimators, the trainer's divergence check — see a value that
+    /// compares and propagates predictably instead of poisoning the LCNG
+    /// normal equations.
+    ///
     /// # Panics
     ///
     /// Panics when `label >= num_classes`.
     pub fn loss(&self, y: &CVector, label: usize) -> f64 {
         assert!(label < self.num_classes, "label out of range");
+        if !y.iter().all(|z| z.re.is_finite() && z.im.is_finite()) {
+            return f64::INFINITY;
+        }
         let p = self.probabilities(y);
         -(p[label].max(1e-300)).ln()
     }
@@ -295,5 +304,16 @@ mod tests {
     fn bad_label_panics() {
         let h = head();
         let _ = h.loss(&CVector::zeros(16), 10);
+    }
+
+    #[test]
+    fn non_finite_output_yields_infinite_loss_not_nan() {
+        let h = head();
+        let mut y = CVector::zeros(16);
+        y[3] = C64::new(f64::NAN, 0.0);
+        assert_eq!(h.loss(&y, 0), f64::INFINITY);
+        let mut y = CVector::zeros(16);
+        y[7] = C64::new(0.0, f64::INFINITY);
+        assert_eq!(h.loss(&y, 2), f64::INFINITY);
     }
 }

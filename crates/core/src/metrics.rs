@@ -3,7 +3,7 @@
 use photon_data::Dataset;
 use photon_exec::{tree_reduce, tree_sum, ExecPool};
 use photon_linalg::{CVector, RVector};
-use photon_photonics::{ChipScratch, FabricatedChip, Network, NetworkScratch};
+use photon_photonics::{ChipScratch, Network, NetworkScratch, OnnChip};
 
 use crate::loss::ClassificationHead;
 
@@ -13,8 +13,8 @@ use crate::loss::ClassificationHead;
 /// # Panics
 ///
 /// Panics when `indices` is empty or out of range.
-pub fn chip_batch_loss(
-    chip: &FabricatedChip,
+pub fn chip_batch_loss<C: OnnChip>(
+    chip: &C,
     data: &Dataset,
     indices: &[usize],
     head: &ClassificationHead,
@@ -33,8 +33,8 @@ pub fn chip_batch_loss(
 /// # Panics
 ///
 /// Panics when `indices` is empty or out of range.
-pub fn chip_batch_loss_pooled(
-    chip: &FabricatedChip,
+pub fn chip_batch_loss_pooled<C: OnnChip>(
+    chip: &C,
     data: &Dataset,
     indices: &[usize],
     head: &ClassificationHead,
@@ -146,8 +146,8 @@ pub struct Evaluation {
 /// # Panics
 ///
 /// Panics on an empty dataset.
-pub fn evaluate_chip(
-    chip: &FabricatedChip,
+pub fn evaluate_chip<C: OnnChip>(
+    chip: &C,
     data: &Dataset,
     head: &ClassificationHead,
     theta: &RVector,
@@ -164,8 +164,8 @@ pub fn evaluate_chip(
 /// # Panics
 ///
 /// Panics on an empty dataset.
-pub fn evaluate_chip_pooled(
-    chip: &FabricatedChip,
+pub fn evaluate_chip_pooled<C: OnnChip>(
+    chip: &C,
     data: &Dataset,
     head: &ClassificationHead,
     theta: &RVector,
@@ -192,8 +192,8 @@ pub fn evaluate_chip_pooled(
 /// # Panics
 ///
 /// Panics on an empty dataset.
-pub fn confusion_matrix(
-    chip: &FabricatedChip,
+pub fn confusion_matrix<C: OnnChip>(
+    chip: &C,
     data: &Dataset,
     head: &ClassificationHead,
     theta: &RVector,
@@ -220,7 +220,7 @@ mod tests {
     use super::*;
     use crate::loss::ClassificationHead;
     use photon_data::GaussianClusters;
-    use photon_photonics::{Architecture, ErrorModel};
+    use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -6,6 +6,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::trainer::{RecoveryEvent, TrainOutcome};
+
 /// A fixed-width plain-text table builder.
 ///
 /// # Examples
@@ -204,6 +206,56 @@ pub fn sparkline(values: &[f64]) -> String {
             }
         })
         .collect()
+}
+
+/// Renders the recovery actions of a training run as a plain-text block:
+/// an aggregate summary line followed by one line per structured event.
+///
+/// Returns `"no recovery actions"` for a quiet run, so callers can embed
+/// the result unconditionally.
+pub fn recovery_report(outcome: &TrainOutcome) -> String {
+    let r = outcome.recovery;
+    if r.is_quiet() && outcome.recovery_events.is_empty() {
+        return "no recovery actions".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recovery summary [{}]: {} retries, {} rejected probes, {} rollbacks, {} recalibrations",
+        outcome.method, r.retries, r.rejected_probes, r.rollbacks, r.recalibrations
+    );
+    for event in &outcome.recovery_events {
+        match event {
+            RecoveryEvent::Rollback {
+                epoch,
+                iteration,
+                loss,
+                threshold,
+                new_lr,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  rollback   epoch {epoch:>3} iter {iteration:>5}: loss {loss:.4e} \
+                     > threshold {threshold:.4e}, lr -> {new_lr:.3e}"
+                );
+            }
+            RecoveryEvent::Recalibration {
+                epoch,
+                fidelity_before,
+                fidelity_after,
+                queries,
+                adopted,
+            } => {
+                let verdict = if *adopted { "adopted" } else { "rejected" };
+                let _ = writeln!(
+                    out,
+                    "  recalibrate epoch {epoch:>3}: fidelity {fidelity_before:.4} -> \
+                     {fidelity_after:.4} ({queries} queries, {verdict})"
+                );
+            }
+        }
+    }
+    out
 }
 
 /// Downsamples a series to at most `max_points` by striding, always keeping

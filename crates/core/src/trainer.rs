@@ -24,15 +24,17 @@ use std::time::Instant;
 
 use rand::Rng;
 
+use photon_calib::{calibrate, evaluate_model, CalibrationSettings};
 use photon_data::{Batcher, Dataset};
 use photon_exec::ExecPool;
 use photon_linalg::RVector;
 use photon_opt::{
-    estimate_gradient_pooled, layered_sigma_segments, lcng_direction_pooled, Adam,
+    estimate_gradient_pooled, estimate_gradient_robust_pooled, layered_sigma_segments,
+    lcng_direction_pooled, lcng_direction_robust_pooled, penalize_non_finite, Adam,
     BlockNaturalPreconditioner, CmaEs, LcngSettings, MetricSource, Optimizer, Perturbation,
-    ZoSettings,
+    RobustEval, ZoSettings,
 };
-use photon_photonics::{ideal_model, FabricatedChip, Network};
+use photon_photonics::{ideal_model, FabricatedChip, Network, OnnChip};
 
 use crate::loss::{ClassificationHead, CoreError};
 use crate::metrics::{
@@ -159,6 +161,157 @@ pub struct TrainConfig {
     /// `None` honours `PHOTON_THREADS` (falling back to the machine's
     /// available parallelism); `Some(1)` forces exact serial execution.
     pub threads: Option<usize>,
+    /// Self-healing policy for faulty chips. The presets disable it, which
+    /// keeps the legacy training path bitwise intact; enable it (e.g.
+    /// [`RecoveryPolicy::standard`]) when the chip may drift, spike, or
+    /// drop reads.
+    pub recovery: RecoveryPolicy,
+}
+
+/// Self-healing policy: how the trainer reacts to faulty chip behaviour.
+///
+/// The recovery ladder, in escalation order:
+///
+/// 1. **retry** — non-finite loss readings are re-measured in place;
+/// 2. **reject** — outlier difference quotients are screened out and
+///    re-read (see [`photon_opt::RobustEval`]);
+/// 3. **rollback** — a diverging iteration (non-finite base loss, or base
+///    loss above `spike_factor ×` its running EMA) restores the last good
+///    `(θ, optimizer)` snapshot and shrinks the learning rate;
+/// 4. **recalibrate** — when the metric model's measured fidelity falls
+///    below `fidelity_threshold`, the chip is recalibrated in place and the
+///    model replaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch. When `false` every other field is ignored and the
+    /// training path is bitwise identical to the pre-recovery trainer.
+    pub enabled: bool,
+    /// Immediate re-measurements of a non-finite loss reading.
+    pub max_retries: u32,
+    /// Robust z-score beyond which a difference quotient is rejected.
+    pub outlier_zscore: f64,
+    /// Re-reads replacing a rejected probe (median taken).
+    pub rereads: usize,
+    /// Base-loss spike threshold as a multiple of the loss EMA.
+    pub spike_factor: f64,
+    /// EMA smoothing factor for the divergence guard (weight of the newest
+    /// loss).
+    pub ema_alpha: f64,
+    /// Learning-rate multiplier applied at each rollback.
+    pub lr_backoff: f64,
+    /// Maximum rollbacks per fine-tune run.
+    pub max_rollbacks: usize,
+    /// Power-fidelity floor below which auto-recalibration triggers.
+    pub fidelity_threshold: f64,
+    /// Check model fidelity every this many epochs (0 = never).
+    pub fidelity_every: usize,
+    /// Random probes per fidelity check.
+    pub fidelity_probes: usize,
+    /// Chip-query budget per auto-recalibration (0 = never recalibrate).
+    pub recalib_budget: usize,
+}
+
+impl RecoveryPolicy {
+    /// Recovery off: the trainer behaves exactly as if the policy did not
+    /// exist.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            max_retries: 0,
+            outlier_zscore: 0.0,
+            rereads: 0,
+            spike_factor: 0.0,
+            ema_alpha: 0.0,
+            lr_backoff: 1.0,
+            max_rollbacks: 0,
+            fidelity_threshold: 0.0,
+            fidelity_every: 0,
+            fidelity_probes: 0,
+            recalib_budget: 0,
+        }
+    }
+
+    /// A balanced default for chips with drift and transient faults.
+    pub fn standard() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            max_retries: 3,
+            outlier_zscore: 6.0,
+            rereads: 3,
+            spike_factor: 3.0,
+            ema_alpha: 0.3,
+            lr_backoff: 0.5,
+            max_rollbacks: 8,
+            fidelity_threshold: 0.995,
+            fidelity_every: 1,
+            fidelity_probes: 8,
+            recalib_budget: 64,
+        }
+    }
+}
+
+/// Counts of recovery actions over one epoch (on [`EpochRecord`]) or one
+/// run (on [`TrainOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Non-finite loss readings that were re-measured.
+    pub retries: u64,
+    /// Probes rejected by the outlier screen (including unrecoverable ones
+    /// that were zeroed out of the estimate).
+    pub rejected_probes: u64,
+    /// Divergence rollbacks to the last good snapshot.
+    pub rollbacks: u64,
+    /// Auto-recalibrations of the metric model.
+    pub recalibrations: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulates another period's stats into this one.
+    pub fn absorb(&mut self, other: RecoveryStats) {
+        self.retries += other.retries;
+        self.rejected_probes += other.rejected_probes;
+        self.rollbacks += other.rollbacks;
+        self.recalibrations += other.recalibrations;
+    }
+
+    /// `true` when no recovery action of any kind was taken.
+    pub fn is_quiet(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
+/// One structured recovery action, in the order it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// The divergence guard rolled training back to the last good snapshot.
+    Rollback {
+        /// Stage-2 epoch (1-based) the rollback occurred in.
+        epoch: usize,
+        /// Global iteration index at the rollback.
+        iteration: usize,
+        /// The offending base loss (may be infinite).
+        loss: f64,
+        /// The spike threshold it exceeded (infinite when the trigger was a
+        /// non-finite reading before any EMA existed).
+        threshold: f64,
+        /// Learning rate after the backoff.
+        new_lr: f64,
+    },
+    /// The fidelity monitor recalibrated the metric model in place.
+    Recalibration {
+        /// Stage-2 epoch (1-based) the recalibration occurred in.
+        epoch: usize,
+        /// Measured power fidelity that triggered the recalibration.
+        fidelity_before: f64,
+        /// Power fidelity of the freshly calibrated model.
+        fidelity_after: f64,
+        /// Chip queries the monitor + recalibration consumed.
+        queries: u64,
+        /// Whether the new model was adopted. A recalibration whose own
+        /// measurements were fault-corrupted can come out *worse* than the
+        /// incumbent; such a model is measured, rejected and discarded.
+        adopted: bool,
+    },
 }
 
 impl TrainConfig {
@@ -180,6 +333,7 @@ impl TrainConfig {
             eval_every: 0,
             mu_override: None,
             threads: None,
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 
@@ -199,6 +353,7 @@ impl TrainConfig {
             eval_every: 0,
             mu_override: None,
             threads: None,
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 }
@@ -217,6 +372,8 @@ pub struct EpochRecord {
     pub training_queries: u64,
     /// Wall-clock seconds since stage 2 started.
     pub elapsed: f64,
+    /// Recovery actions taken during this epoch.
+    pub recovery: RecoveryStats,
 }
 
 /// The result of a full two-stage run.
@@ -232,22 +389,29 @@ pub struct TrainOutcome {
     pub theta: RVector,
     /// Total training chip queries (stage 2, excluding evaluations).
     pub training_queries: u64,
+    /// Aggregate recovery actions over the whole run.
+    pub recovery: RecoveryStats,
+    /// Structured recovery events, in order of occurrence.
+    pub recovery_events: Vec<RecoveryEvent>,
 }
 
 /// Orchestrates two-stage training of one chip on one task.
+///
+/// Generic over the chip implementation: a plain [`FabricatedChip`] (the
+/// default) or any other [`OnnChip`], such as a fault-injecting wrapper.
 #[derive(Debug)]
-pub struct Trainer<'a> {
-    chip: &'a FabricatedChip,
+pub struct Trainer<'a, C: OnnChip = FabricatedChip> {
+    chip: &'a C,
     train: &'a Dataset,
     test: &'a Dataset,
     head: ClassificationHead,
     calibrated: Option<Network>,
 }
 
-impl<'a> Trainer<'a> {
+impl<'a, C: OnnChip> Trainer<'a, C> {
     /// Creates a trainer for `chip` on the given train/test split.
     pub fn new(
-        chip: &'a FabricatedChip,
+        chip: &'a C,
         train: &'a Dataset,
         test: &'a Dataset,
         head: ClassificationHead,
@@ -354,7 +518,7 @@ impl<'a> Trainer<'a> {
             ridge: config.ridge,
         };
 
-        let metric_model = match method {
+        let mut metric_model = match method {
             Method::ZoShaped { model } | Method::ZoNg { model } | Method::Lcng { model } => {
                 Some(self.model_for(model)?)
             }
@@ -363,6 +527,20 @@ impl<'a> Trainer<'a> {
             Method::BpOracle => Some(self.model_for(ModelChoice::OracleTrue)?),
             _ => None,
         };
+
+        let rp = config.recovery;
+        let robust_eval = RobustEval {
+            max_retries: rp.max_retries,
+            outlier_zscore: rp.outlier_zscore,
+            rereads: rp.rereads,
+        };
+        let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
+        let mut total_recovery = RecoveryStats::default();
+        // Divergence-guard state: EMA of the base loss, the last good
+        // (θ, optimizer state) snapshot, and the rollback budget.
+        let mut loss_ema: Option<f64> = None;
+        let mut snapshot: Option<(RVector, Adam, Option<CmaEs>)> = None;
+        let mut rollbacks_used: usize = 0;
 
         let mut adam = Adam::new(config.lr);
         let mut batcher = Batcher::new(self.train.len(), config.batch_size);
@@ -378,7 +556,14 @@ impl<'a> Trainer<'a> {
         for epoch in 1..=config.epochs {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
+            let mut epoch_recovery = RecoveryStats::default();
             for batch in batcher.epoch(rng) {
+                // One serial control point per optimizer iteration: slow
+                // chip state (e.g. thermal drift on a fault-injecting chip)
+                // advances here and only here, keeping every chip reading
+                // within the iteration a pure function of content.
+                self.chip.advance_to(iteration as u64 + 1);
+
                 let fisher_inputs =
                     batch_inputs(self.train, &batch[..batch.len().min(config.r_in)]);
                 let refresh = iteration.is_multiple_of(config.t_update.max(1));
@@ -390,12 +575,69 @@ impl<'a> Trainer<'a> {
                 let chip_loss =
                     |t: &RVector| chip_batch_loss_pooled(chip, data, batch_ref, &head, t, serial_ref);
 
+                // The base loss doubles as the divergence-guard signal for
+                // every estimator that measures it.
+                let needs_base = matches!(
+                    method,
+                    Method::ZoGaussian
+                        | Method::ZoCoordinate
+                        | Method::ZoShaped { .. }
+                        | Method::ZoNg { .. }
+                        | Method::ZoLc
+                        | Method::Lcng { .. }
+                );
+                let mut base = 0.0;
+                if needs_base {
+                    base = chip_loss(theta);
+                    if rp.enabled {
+                        let mut r = 0;
+                        while !base.is_finite() && r < rp.max_retries {
+                            base = chip_loss(theta);
+                            r += 1;
+                        }
+                        epoch_recovery.retries += u64::from(r);
+                        let threshold = loss_ema.map(|e| rp.spike_factor * e.max(1e-12));
+                        let spiking =
+                            !base.is_finite() || threshold.is_some_and(|t| base > t);
+                        if spiking {
+                            let mut rolled_back = false;
+                            if rollbacks_used < rp.max_rollbacks {
+                                if let Some((theta_good, adam_good, cma_good)) = &snapshot {
+                                    theta.copy_from(theta_good);
+                                    adam = adam_good.clone();
+                                    cma = cma_good.clone();
+                                    let new_lr = adam.learning_rate() * rp.lr_backoff;
+                                    adam.set_learning_rate(new_lr);
+                                    preconditioner = None;
+                                    sigma_segments = None;
+                                    rollbacks_used += 1;
+                                    epoch_recovery.rollbacks += 1;
+                                    recovery_events.push(RecoveryEvent::Rollback {
+                                        epoch,
+                                        iteration,
+                                        loss: base,
+                                        threshold: threshold.unwrap_or(f64::INFINITY),
+                                        new_lr,
+                                    });
+                                    rolled_back = true;
+                                }
+                            }
+                            if rolled_back || !base.is_finite() {
+                                // Rolled back, or no good state to return
+                                // to and no finite base to estimate from:
+                                // drop the batch either way.
+                                iteration += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+
                 let loss_val = match method {
                     Method::ZoGaussian
                     | Method::ZoCoordinate
                     | Method::ZoShaped { .. }
                     | Method::ZoNg { .. } => {
-                        let base = chip_loss(theta);
                         let pert_storage;
                         let pert: Perturbation<'_> = match method {
                             Method::ZoGaussian | Method::ZoNg { .. } => Perturbation::Gaussian,
@@ -431,8 +673,23 @@ impl<'a> Trainer<'a> {
                             }
                             _ => unreachable!(),
                         };
-                        let est =
-                            estimate_gradient_pooled(&chip_loss, theta, base, &zo, &pert, &pool, rng);
+                        let est = if rp.enabled {
+                            let (est, stats) = estimate_gradient_robust_pooled(
+                                &chip_loss,
+                                theta,
+                                base,
+                                &zo,
+                                &pert,
+                                &robust_eval,
+                                &pool,
+                                rng,
+                            );
+                            epoch_recovery.retries += stats.retries;
+                            epoch_recovery.rejected_probes += stats.rejected + stats.unrecovered;
+                            est
+                        } else {
+                            estimate_gradient_pooled(&chip_loss, theta, base, &zo, &pert, &pool, rng)
+                        };
                         let grad = if let Method::ZoNg { .. } = method {
                             if refresh || preconditioner.is_none() {
                                 let model = metric_model.as_ref().expect("model resolved above");
@@ -459,7 +716,6 @@ impl<'a> Trainer<'a> {
                         base
                     }
                     Method::ZoLc | Method::Lcng { .. } => {
-                        let base = chip_loss(theta);
                         let metric = match (&method, metric_model.as_ref()) {
                             (Method::ZoLc, _) => MetricSource::Identity,
                             (Method::Lcng { .. }, Some(model)) => MetricSource::Model {
@@ -468,17 +724,39 @@ impl<'a> Trainer<'a> {
                             },
                             _ => unreachable!(),
                         };
-                        let step = lcng_direction_pooled(
-                            &chip_loss,
-                            theta,
-                            base,
-                            &lcng_settings,
-                            &Perturbation::Gaussian,
-                            &metric,
-                            &pool,
-                            rng,
-                        )
-                        .map_err(|e| CoreError::InvalidConfig(format!("LCNG solve failed: {e}")))?;
+                        let step = if rp.enabled {
+                            let (step, stats) = lcng_direction_robust_pooled(
+                                &chip_loss,
+                                theta,
+                                base,
+                                &lcng_settings,
+                                &Perturbation::Gaussian,
+                                &metric,
+                                &robust_eval,
+                                &pool,
+                                rng,
+                            )
+                            .map_err(|e| {
+                                CoreError::InvalidConfig(format!("LCNG solve failed: {e}"))
+                            })?;
+                            epoch_recovery.retries += stats.retries;
+                            epoch_recovery.rejected_probes += stats.rejected + stats.unrecovered;
+                            step
+                        } else {
+                            lcng_direction_pooled(
+                                &chip_loss,
+                                theta,
+                                base,
+                                &lcng_settings,
+                                &Perturbation::Gaussian,
+                                &metric,
+                                &pool,
+                                rng,
+                            )
+                            .map_err(|e| {
+                                CoreError::InvalidConfig(format!("LCNG solve failed: {e}"))
+                            })?
+                        };
                         // Feed the negative direction to Adam as a surrogate
                         // gradient (the protocol the research line uses).
                         let surrogate = step.direction.scale(-1.0);
@@ -488,7 +766,10 @@ impl<'a> Trainer<'a> {
                     Method::Cma { .. } => {
                         let es = cma.as_mut().expect("initialized above");
                         let xs = es.ask(rng);
-                        let losses: Vec<f64> = pool.map(&xs, |_, x| chip_loss(x));
+                        let mut losses: Vec<f64> = pool.map(&xs, |_, x| chip_loss(x));
+                        if rp.enabled {
+                            epoch_recovery.rejected_probes += penalize_non_finite(&mut losses);
+                        }
                         es.tell(&xs, &losses).map_err(|e| {
                             CoreError::InvalidConfig(format!("CMA-ES update failed: {e}"))
                         })?;
@@ -506,7 +787,72 @@ impl<'a> Trainer<'a> {
                 };
                 epoch_loss += loss_val;
                 batches += 1;
+                if rp.enabled && needs_base && base.is_finite() {
+                    loss_ema = Some(match loss_ema {
+                        None => base,
+                        Some(e) => rp.ema_alpha * base + (1.0 - rp.ema_alpha) * e,
+                    });
+                    // This iteration measured sanely: its post-update state
+                    // becomes the rollback target.
+                    snapshot = Some((theta.clone(), adam.clone(), cma.clone()));
+                }
                 iteration += 1;
+            }
+
+            // Fidelity monitor: measure how faithfully the metric model
+            // still reproduces the (possibly drifting) chip, and
+            // recalibrate in place when it has degraded past the floor.
+            if rp.enabled
+                && method.queries_chip()
+                && rp.fidelity_every > 0
+                && epoch % rp.fidelity_every == 0
+                && metric_model.is_some()
+            {
+                let before_q = self.chip.query_count();
+                let report = evaluate_model(
+                    self.chip,
+                    metric_model.as_ref().expect("checked above"),
+                    rp.fidelity_probes.max(1),
+                    1,
+                    rng,
+                );
+                if report.power < rp.fidelity_threshold && rp.recalib_budget > 0 {
+                    let k = self.chip.input_dim();
+                    let calib_settings =
+                        CalibrationSettings::with_query_budget(k, rp.recalib_budget.max(2 * k));
+                    // A failed recalibration solve is non-fatal: training
+                    // continues on the old model.
+                    if let Ok(outcome) = calibrate(self.chip, &calib_settings, rng) {
+                        let after = evaluate_model(
+                            self.chip,
+                            &outcome.model,
+                            rp.fidelity_probes.max(1),
+                            1,
+                            rng,
+                        );
+                        // Guarded swap: a recalibration fitted to
+                        // fault-corrupted measurements can be worse than the
+                        // incumbent model — adopt only on measured
+                        // non-regression.
+                        let adopted = after.power >= report.power;
+                        if adopted {
+                            metric_model = Some(outcome.model);
+                            preconditioner = None;
+                            sigma_segments = None;
+                        }
+                        epoch_recovery.recalibrations += 1;
+                        recovery_events.push(RecoveryEvent::Recalibration {
+                            epoch,
+                            fidelity_before: report.power,
+                            fidelity_after: after.power,
+                            queries: self.chip.query_count() - before_q,
+                            adopted,
+                        });
+                    }
+                }
+                // Monitor + recalibration queries are bookkept alongside
+                // evaluation sweeps, not training queries.
+                eval_queries += self.chip.query_count() - before_q;
             }
 
             let test = if config.eval_every > 0 && epoch % config.eval_every == 0 {
@@ -517,12 +863,14 @@ impl<'a> Trainer<'a> {
             } else {
                 None
             };
+            total_recovery.absorb(epoch_recovery);
             history.push(EpochRecord {
                 epoch,
                 train_loss: epoch_loss / batches.max(1) as f64,
                 test,
                 training_queries: self.chip.query_count() - start_queries - eval_queries,
                 elapsed: start.elapsed().as_secs_f64(),
+                recovery: epoch_recovery,
             });
         }
 
@@ -536,6 +884,8 @@ impl<'a> Trainer<'a> {
             final_eval,
             theta: theta.clone(),
             training_queries: self.chip.query_count() - start_queries - eval_queries,
+            recovery: total_recovery,
+            recovery_events,
         })
     }
 }

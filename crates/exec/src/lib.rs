@@ -167,6 +167,27 @@ impl ExecPool {
             })
             .collect()
     }
+
+    /// Apply `f` to the items selected by `indices` (a subset of
+    /// `0..items.len()`), returning one result per selected index in
+    /// `indices` order.
+    ///
+    /// This is the recovery-path companion to [`ExecPool::map_with`]: after a
+    /// full sweep flags a few suspicious items, only those are re-evaluated,
+    /// with the same determinism guarantees as the full map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds for `items`.
+    pub fn map_subset<T, U, S, I, F>(&self, items: &[T], indices: &[usize], init: I, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> U + Sync,
+    {
+        self.map_with(indices, init, |scratch, _, &i| f(scratch, i, &items[i]))
+    }
 }
 
 /// Fixed-shape pairwise sum: the reduction tree depends only on `values.len()`,
@@ -274,6 +295,20 @@ mod tests {
         let caller = std::thread::current().id();
         let ids = pool.map(&[1, 2, 3], |_, _| std::thread::current().id());
         assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn map_subset_targets_selected_indices_only() {
+        let items: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let indices = [3usize, 7, 42];
+        for threads in [1usize, 4] {
+            let out = ExecPool::new(threads).map_subset(&items, &indices, || (), |(), i, &x| {
+                (i, x * 2.0)
+            });
+            assert_eq!(out, vec![(3, 6.0), (7, 14.0), (42, 84.0)]);
+        }
+        let empty = ExecPool::new(4).map_subset(&items, &[], || (), |(), _, &x| x);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub enum LinalgError {
     },
     /// An argument was invalid (e.g. zero dimension where nonzero required).
     InvalidArgument(String),
+    /// An input contained a non-finite (NaN or infinite) value where only
+    /// finite values are meaningful (e.g. entries of a normal-equation
+    /// right-hand side assembled from physical measurements).
+    NonFinite {
+        /// Human-readable description of where the non-finite value appeared.
+        context: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -63,6 +70,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "no convergence after {iterations} iterations")
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value in {context}")
+            }
         }
     }
 }

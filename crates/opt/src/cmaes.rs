@@ -302,11 +302,53 @@ impl CmaEs {
     }
 }
 
+/// Replaces non-finite member losses with a penalty strictly worse than the
+/// worst finite member, so CMA-ES ranking survives dropped/NaN chip reads.
+///
+/// Returns the number of members penalized. When *no* member is finite, a
+/// large fixed penalty is used for all of them (the generation carries no
+/// ranking information, but the update stays finite).
+pub fn penalize_non_finite(losses: &mut [f64]) -> u64 {
+    let worst_finite = losses
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let penalty = if worst_finite.is_finite() {
+        worst_finite.abs() * 10.0 + 1.0
+    } else {
+        1e30
+    };
+    let mut hit = 0;
+    for v in losses.iter_mut() {
+        if !v.is_finite() {
+            *v = penalty;
+            hit += 1;
+        }
+    }
+    hit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn penalize_non_finite_preserves_ranking() {
+        let mut losses = [1.0, f64::NAN, -3.0, f64::INFINITY, 7.0];
+        let hit = penalize_non_finite(&mut losses);
+        assert_eq!(hit, 2);
+        assert!(losses.iter().all(|v| v.is_finite()));
+        // Penalized entries rank strictly worse than every finite one.
+        assert!(losses[1] > 7.0 && losses[3] > 7.0);
+        assert_eq!(losses[0], 1.0);
+        // All-NaN generations still come back finite.
+        let mut all_bad = [f64::NAN, f64::NAN];
+        assert_eq!(penalize_non_finite(&mut all_bad), 2);
+        assert!(all_bad.iter().all(|v| v.is_finite()));
+    }
 
     #[test]
     fn sphere_converges() {

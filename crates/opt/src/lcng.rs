@@ -210,7 +210,7 @@ pub fn lcng_direction_pooled<R: Rng + ?Sized>(
 
 /// Assembles the Gram matrix and solves for the in-span step (shared tail of
 /// the serial and pooled entry points).
-fn solve_in_span(
+pub(crate) fn solve_in_span(
     theta: &RVector,
     settings: &LcngSettings,
     directions: Vec<RVector>,
@@ -219,6 +219,16 @@ fn solve_in_span(
 ) -> Result<LcngStep, LinalgError> {
     let n = theta.len();
     let q = settings.zo.q;
+
+    // A NaN quotient would silently poison the normal equations (the
+    // Cholesky may still "succeed" on a partially-NaN Gram), so reject
+    // non-finite measurements before they enter the solve. The robust entry
+    // points in `robust.rs` sanitize quotients *before* calling here.
+    if let Some(k) = quotients.iter().position(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite {
+            context: format!("difference quotient {k} of the LCNG solve"),
+        });
+    }
 
     // Gram G = Pᵀ(FP), symmetrized against fp noise.
     let mut gram = RMatrix::zeros(q, q);
@@ -232,6 +242,11 @@ fn solve_in_span(
     gram.symmetrize();
 
     let gram_scale = gram.trace().expect("gram is square") / q as f64;
+    if !gram_scale.is_finite() {
+        return Err(LinalgError::NonFinite {
+            context: "Gram matrix of the LCNG solve".to_string(),
+        });
+    }
     // ε = ridge·tr(G)/Q, with an absolute floor for degenerate landscapes.
     let eps = (settings.ridge * gram_scale).max(1e-12);
     gram.add_diagonal(eps);

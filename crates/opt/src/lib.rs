@@ -44,12 +44,17 @@ mod cmaes;
 mod first_order;
 mod lcng;
 mod natural;
+mod robust;
 mod tuning;
 mod zo;
 
-pub use cmaes::CmaEs;
+pub use cmaes::{penalize_non_finite, CmaEs};
 pub use first_order::{Adam, Optimizer, Sgd};
 pub use lcng::{lcng_direction, lcng_direction_pooled, LcngSettings, LcngStep, MetricSource};
+pub use robust::{
+    estimate_gradient_robust_pooled, lcng_direction_robust_pooled, retry_non_finite, RobustEval,
+    RobustStats,
+};
 pub use natural::{layered_sigma_segments, sigma_from_fisher, BlockNaturalPreconditioner};
 pub use tuning::{random_search, tune, LogUniform, Trial};
 pub use zo::{

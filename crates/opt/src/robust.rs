@@ -1,0 +1,494 @@
+//! Fault-tolerant measurement wrappers for the ZO estimators.
+//!
+//! Real chip readouts occasionally fail: a dropped read comes back NaN, an
+//! outlier spike turns one difference quotient into garbage. The robust
+//! entry points here wrap [`estimate_gradient_pooled`] /
+//! [`lcng_direction_pooled`] measurement loops with the recovery ladder
+//!
+//! 1. **retry** — a non-finite loss reading is re-measured up to
+//!    `max_retries` times (each re-read is a fresh chip query);
+//! 2. **reject** — difference quotients are screened by a median/MAD
+//!    outlier test; flagged probes are re-measured `rereads` times and
+//!    replaced by the median of the finite re-reads;
+//! 3. **zero** — a probe that stays non-finite after all of the above
+//!    contributes a zero quotient (the probe is dropped from the estimate)
+//!    and is counted as unrecovered.
+//!
+//! All decisions are functions of measured values only — never of thread
+//! scheduling — so with a content-deterministic chip (see `photon-faults`)
+//! the robust estimates stay bitwise identical across pool sizes.
+//!
+//! [`estimate_gradient_pooled`]: crate::estimate_gradient_pooled
+//! [`lcng_direction_pooled`]: crate::lcng_direction_pooled
+
+use photon_exec::ExecPool;
+use rand::Rng;
+
+use photon_linalg::{LinalgError, RVector};
+use photon_photonics::fisher_vector_products_pooled;
+
+use crate::lcng::{solve_in_span, LcngSettings, LcngStep, MetricSource};
+use crate::zo::{assemble_estimate, draw_perturbations, Perturbation, ZoEstimate, ZoSettings};
+
+/// Settings of the robust measurement ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustEval {
+    /// Maximum immediate re-measurements of a non-finite loss reading.
+    pub max_retries: u32,
+    /// Outlier threshold in robust z-score units
+    /// (`|q − median| > z·1.4826·MAD` flags the probe).
+    pub outlier_zscore: f64,
+    /// Number of re-reads a flagged probe is replaced by the median of.
+    pub rereads: usize,
+}
+
+impl RobustEval {
+    /// A balanced default: 3 retries, z = 6, median-of-3 re-reads.
+    pub fn standard() -> Self {
+        RobustEval {
+            max_retries: 3,
+            outlier_zscore: 6.0,
+            rereads: 3,
+        }
+    }
+}
+
+/// What the robust ladder had to do during one estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustStats {
+    /// Non-finite readings that were immediately re-measured.
+    pub retries: u64,
+    /// Probes flagged by the outlier test and re-read.
+    pub rejected: u64,
+    /// Probes that stayed non-finite and were zeroed out of the estimate.
+    pub unrecovered: u64,
+}
+
+impl RobustStats {
+    /// Accumulates another estimate's stats into this one.
+    pub fn absorb(&mut self, other: RobustStats) {
+        self.retries += other.retries;
+        self.rejected += other.rejected;
+        self.unrecovered += other.unrecovered;
+    }
+}
+
+/// Evaluates `loss(point)`, re-measuring while the reading is non-finite,
+/// up to `max_retries` extra attempts. Returns the last reading (possibly
+/// still non-finite) and the number of retries consumed.
+pub fn retry_non_finite(
+    loss: &(dyn Fn(&RVector) -> f64 + Sync),
+    point: &RVector,
+    max_retries: u32,
+) -> (f64, u32) {
+    let mut value = loss(point);
+    let mut retries = 0;
+    while !value.is_finite() && retries < max_retries {
+        value = loss(point);
+        retries += 1;
+    }
+    (value, retries)
+}
+
+/// Median of a non-empty slice (even lengths average the middle pair).
+fn median(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values only"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Measures the `Q` difference quotients for `directions` with the full
+/// retry → reject → re-read ladder.
+fn measure_quotients_robust(
+    loss: &(dyn Fn(&RVector) -> f64 + Sync),
+    theta: &RVector,
+    base_loss: f64,
+    mu: f64,
+    directions: &[RVector],
+    robust: &RobustEval,
+    pool: &ExecPool,
+) -> (Vec<f64>, RobustStats) {
+    let mut stats = RobustStats::default();
+
+    // Stage 1: sweep all probes, retrying non-finite readings in place.
+    let sweep: Vec<(f64, u32)> = pool.map_with(
+        directions,
+        || theta.clone(),
+        |probe, _, delta| {
+            probe.copy_from(theta);
+            probe.axpy(mu, delta);
+            let (l, retries) = retry_non_finite(loss, probe, robust.max_retries);
+            ((l - base_loss) / mu, retries)
+        },
+    );
+    let mut quotients: Vec<f64> = sweep.iter().map(|&(q, _)| q).collect();
+    stats.retries = sweep.iter().map(|&(_, r)| r as u64).sum();
+
+    // Stage 2: median/MAD outlier screen over the finite quotients.
+    let finite: Vec<f64> = quotients.iter().copied().filter(|v| v.is_finite()).collect();
+    let flagged: Vec<usize> = if finite.is_empty() {
+        (0..quotients.len()).collect()
+    } else {
+        let med = median(&finite);
+        let deviations: Vec<f64> = finite.iter().map(|v| (v - med).abs()).collect();
+        // 1.4826·MAD ≈ σ for Gaussian data; the floor keeps a zero-spread
+        // batch (e.g. a flat loss landscape) from flagging fp noise.
+        let scale = (1.4826 * median(&deviations)).max(1e-9 * med.abs().max(1.0));
+        quotients
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_finite() || (**v - med).abs() > robust.outlier_zscore * scale)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    if flagged.is_empty() {
+        return (quotients, stats);
+    }
+    stats.rejected = flagged.len() as u64;
+
+    // Stage 3: re-read every flagged probe `rereads` times and take the
+    // median of the finite readings.
+    let rereads = robust.rereads.max(1);
+    let replacements: Vec<f64> = pool.map_subset(
+        directions,
+        &flagged,
+        || theta.clone(),
+        |probe, _, delta| {
+            probe.copy_from(theta);
+            probe.axpy(mu, delta);
+            let readings: Vec<f64> = (0..rereads)
+                .filter_map(|_| {
+                    let (l, _) = retry_non_finite(loss, probe, robust.max_retries);
+                    l.is_finite().then(|| (l - base_loss) / mu)
+                })
+                .collect();
+            if readings.is_empty() {
+                f64::NAN
+            } else {
+                median(&readings)
+            }
+        },
+    );
+    for (&i, &q) in flagged.iter().zip(&replacements) {
+        if q.is_finite() {
+            quotients[i] = q;
+        } else {
+            // The probe is lost; a zero quotient removes it from the
+            // estimate without poisoning the rest.
+            quotients[i] = 0.0;
+            stats.unrecovered += 1;
+        }
+    }
+    (quotients, stats)
+}
+
+/// Fault-tolerant variant of
+/// [`estimate_gradient_pooled`](crate::estimate_gradient_pooled): the probe
+/// measurements run through the retry → reject → re-read ladder.
+///
+/// `base_loss` must already be finite (the trainer's divergence guard
+/// retries the base measurement before calling any estimator).
+#[allow(clippy::too_many_arguments)] // mirrors the non-robust entry point
+pub fn estimate_gradient_robust_pooled<R: Rng + ?Sized>(
+    loss: &(dyn Fn(&RVector) -> f64 + Sync),
+    theta: &RVector,
+    base_loss: f64,
+    settings: &ZoSettings,
+    pert: &Perturbation<'_>,
+    robust: &RobustEval,
+    pool: &ExecPool,
+    rng: &mut R,
+) -> (ZoEstimate, RobustStats) {
+    let directions = draw_perturbations(pert, theta.len(), settings.q, rng);
+    let (quotients, stats) = measure_quotients_robust(
+        loss,
+        theta,
+        base_loss,
+        settings.mu,
+        &directions,
+        robust,
+        pool,
+    );
+    (
+        assemble_estimate(theta.len(), settings, directions, quotients),
+        stats,
+    )
+}
+
+/// Fault-tolerant variant of
+/// [`lcng_direction_pooled`](crate::lcng_direction_pooled): probe
+/// measurements run through the retry → reject → re-read ladder before the
+/// in-span solve (which therefore never sees a non-finite quotient).
+///
+/// # Errors
+///
+/// Same as [`lcng_direction_pooled`](crate::lcng_direction_pooled).
+#[allow(clippy::too_many_arguments)] // mirrors the non-robust entry point
+pub fn lcng_direction_robust_pooled<R: Rng + ?Sized>(
+    loss: &(dyn Fn(&RVector) -> f64 + Sync),
+    theta: &RVector,
+    base_loss: f64,
+    settings: &LcngSettings,
+    pert: &Perturbation<'_>,
+    metric: &MetricSource<'_>,
+    robust: &RobustEval,
+    pool: &ExecPool,
+    rng: &mut R,
+) -> Result<(LcngStep, RobustStats), LinalgError> {
+    let n = theta.len();
+    let directions = draw_perturbations(pert, n, settings.zo.q, rng);
+    let (quotients, stats) = measure_quotients_robust(
+        loss,
+        theta,
+        base_loss,
+        settings.zo.mu,
+        &directions,
+        robust,
+        pool,
+    );
+    let metric_dirs: Vec<RVector> = match metric {
+        MetricSource::Identity => directions.clone(),
+        MetricSource::Model { model, inputs } => {
+            fisher_vector_products_pooled(model, theta, inputs, &directions, pool)
+        }
+    };
+    let step = solve_in_span(theta, settings, directions, quotients, metric_dirs)?;
+    Ok((step, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    fn quadratic(t: &RVector) -> f64 {
+        t.iter()
+            .enumerate()
+            .map(|(i, v)| (i + 1) as f64 * v * v)
+            .sum()
+    }
+
+    /// A loss oracle that fails deterministically by *content*: the k-th
+    /// evaluation of any given point follows a per-point fault schedule, so
+    /// results are scheduling-independent like a `FaultyChip`.
+    struct FaultyLoss {
+        attempts: Mutex<HashMap<u64, u32>>,
+        /// Fault decision per (content-hash, attempt).
+        fault: fn(u64, u32) -> Option<f64>,
+    }
+
+    impl FaultyLoss {
+        fn new(fault: fn(u64, u32) -> Option<f64>) -> Self {
+            FaultyLoss {
+                attempts: Mutex::new(HashMap::new()),
+                fault,
+            }
+        }
+
+        fn eval(&self, t: &RVector) -> f64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for v in t.iter() {
+                h = (h ^ v.to_bits()).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut attempts = self.attempts.lock().unwrap();
+            let a = attempts.entry(h).or_insert(0);
+            let attempt = *a;
+            *a += 1;
+            match (self.fault)(h, attempt) {
+                Some(v) => v,
+                None => quadratic(t),
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_transient_nan() {
+        // Every point NaNs on its first attempt, succeeds on the second.
+        let oracle = FaultyLoss::new(|_, attempt| (attempt == 0).then_some(f64::NAN));
+        let loss = |t: &RVector| oracle.eval(t);
+        let (v, retries) = retry_non_finite(&loss, &RVector::from_slice(&[1.0, 2.0]), 3);
+        assert_eq!(v, quadratic(&RVector::from_slice(&[1.0, 2.0])));
+        assert_eq!(retries, 1);
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        let oracle = FaultyLoss::new(|_, _| Some(f64::NAN));
+        let loss = |t: &RVector| oracle.eval(t);
+        let (v, retries) = retry_non_finite(&loss, &RVector::from_slice(&[1.0]), 3);
+        assert!(v.is_nan());
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn robust_estimate_matches_clean_when_faults_are_transient() {
+        // First attempt of ~1/4 of points is NaN; retries always recover, so
+        // the robust estimate must equal the fault-free one exactly.
+        let theta = RVector::from_slice(&[1.0, -1.0, 0.5, 0.25]);
+        let settings = ZoSettings::for_dimension(4, 12);
+        let robust = RobustEval::standard();
+        let clean = {
+            let mut rng = StdRng::seed_from_u64(33);
+            let loss = |t: &RVector| quadratic(t);
+            crate::estimate_gradient_pooled(
+                &loss,
+                &theta,
+                quadratic(&theta),
+                &settings,
+                &Perturbation::Gaussian,
+                &ExecPool::serial(),
+                &mut rng,
+            )
+        };
+        let oracle =
+            FaultyLoss::new(|h, attempt| (h % 4 == 0 && attempt == 0).then_some(f64::NAN));
+        let loss = |t: &RVector| oracle.eval(t);
+        let mut rng = StdRng::seed_from_u64(33);
+        let (est, stats) = estimate_gradient_robust_pooled(
+            &loss,
+            &theta,
+            quadratic(&theta),
+            &settings,
+            &Perturbation::Gaussian,
+            &robust,
+            &ExecPool::serial(),
+            &mut rng,
+        );
+        assert_eq!(stats.unrecovered, 0);
+        for (a, b) in clean.gradient.iter().zip(est.gradient.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn outlier_spike_is_rejected_and_replaced() {
+        // One content in ~8 spikes by ×1e6 on its first attempt only; the
+        // re-read path must restore the clean quotient.
+        let theta = RVector::from_slice(&[1.0, -1.0, 0.5, 0.25]);
+        let settings = ZoSettings::for_dimension(4, 16);
+        let clean = {
+            let mut rng = StdRng::seed_from_u64(35);
+            let loss = |t: &RVector| quadratic(t);
+            crate::estimate_gradient_pooled(
+                &loss,
+                &theta,
+                quadratic(&theta),
+                &settings,
+                &Perturbation::Gaussian,
+                &ExecPool::serial(),
+                &mut rng,
+            )
+        };
+        let oracle = FaultyLoss::new(|h, attempt| (h % 8 == 0 && attempt == 0).then_some(1e6));
+        let loss = |t: &RVector| oracle.eval(t);
+        let mut rng = StdRng::seed_from_u64(35);
+        let (est, stats) = estimate_gradient_robust_pooled(
+            &loss,
+            &theta,
+            quadratic(&theta),
+            &settings,
+            &Perturbation::Gaussian,
+            &RobustEval::standard(),
+            &ExecPool::serial(),
+            &mut rng,
+        );
+        assert!(stats.rejected > 0, "the spike should be flagged");
+        assert_eq!(stats.unrecovered, 0);
+        for (a, b) in clean.gradient.iter().zip(est.gradient.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn permanently_dead_probe_is_zeroed_not_propagated() {
+        let theta = RVector::from_slice(&[1.0, -1.0]);
+        let settings = ZoSettings::for_dimension(2, 8);
+        // A fraction of contents always NaN — unrecoverable.
+        let oracle = FaultyLoss::new(|h, _| (h % 3 == 0).then_some(f64::NAN));
+        let loss = |t: &RVector| oracle.eval(t);
+        let mut rng = StdRng::seed_from_u64(37);
+        let (est, stats) = estimate_gradient_robust_pooled(
+            &loss,
+            &theta,
+            quadratic(&theta),
+            &settings,
+            &Perturbation::Gaussian,
+            &RobustEval::standard(),
+            &ExecPool::serial(),
+            &mut rng,
+        );
+        assert!(stats.unrecovered > 0, "some probes must be dead");
+        assert!(est.gradient.iter().all(|v| v.is_finite()));
+        assert!(est.quotients.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn robust_lcng_survives_faults_and_rejects_all_nan() {
+        let theta = RVector::zeros(3);
+        let settings = LcngSettings::for_dimension(3, 8);
+        let oracle = FaultyLoss::new(|h, attempt| (h % 5 == 0 && attempt == 0).then_some(f64::NAN));
+        let loss = |t: &RVector| oracle.eval(t);
+        let mut rng = StdRng::seed_from_u64(39);
+        let (step, _) = lcng_direction_robust_pooled(
+            &loss,
+            &theta,
+            quadratic(&theta),
+            &settings,
+            &Perturbation::Gaussian,
+            &MetricSource::Identity,
+            &RobustEval::standard(),
+            &ExecPool::serial(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(step.direction.iter().all(|v| v.is_finite()));
+
+        // The raw (non-robust) pooled path must refuse NaN quotients.
+        let oracle = FaultyLoss::new(|_, _| Some(f64::NAN));
+        let loss = |t: &RVector| oracle.eval(t);
+        let mut rng = StdRng::seed_from_u64(39);
+        let err = crate::lcng_direction_pooled(
+            &loss,
+            &theta,
+            0.0,
+            &settings,
+            &Perturbation::Gaussian,
+            &MetricSource::Identity,
+            &ExecPool::serial(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn robust_stats_absorb_accumulates() {
+        let mut a = RobustStats {
+            retries: 1,
+            rejected: 2,
+            unrecovered: 3,
+        };
+        a.absorb(RobustStats {
+            retries: 10,
+            rejected: 20,
+            unrecovered: 30,
+        });
+        assert_eq!(
+            a,
+            RobustStats {
+                retries: 11,
+                rejected: 22,
+                unrecovered: 33,
+            }
+        );
+    }
+}

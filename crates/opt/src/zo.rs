@@ -184,7 +184,7 @@ pub fn estimate_gradient_pooled<R: Rng + ?Sized>(
 }
 
 /// Draws the `q` probe directions of one estimate in index order.
-fn draw_perturbations<R: Rng + ?Sized>(
+pub(crate) fn draw_perturbations<R: Rng + ?Sized>(
     pert: &Perturbation<'_>,
     n: usize,
     q: usize,
@@ -195,7 +195,7 @@ fn draw_perturbations<R: Rng + ?Sized>(
 
 /// Combines probe directions and measured quotients into the ZO estimate,
 /// accumulating in probe order.
-fn assemble_estimate(
+pub(crate) fn assemble_estimate(
     n: usize,
     settings: &ZoSettings,
     directions: Vec<RVector>,

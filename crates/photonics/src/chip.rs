@@ -40,6 +40,99 @@ impl ChipScratch {
     pub fn new() -> Self {
         ChipScratch::default()
     }
+
+    /// Mutable access to the field-readout buffer the last
+    /// [`OnnChip::forward_into`] wrote. Fault layers use this to corrupt a
+    /// reading in place after the underlying chip produced it.
+    pub fn field_mut(&mut self) -> &mut CVector {
+        &mut self.out
+    }
+
+    /// Mutable access to the power-readout buffer the last
+    /// [`OnnChip::forward_powers_into`] wrote. Fault layers use this to
+    /// corrupt a reading in place after the underlying chip produced it.
+    pub fn powers_mut(&mut self) -> &mut RVector {
+        &mut self.powers
+    }
+}
+
+/// The black-box chip interface all training, calibration and fault-layer
+/// code is written against.
+///
+/// [`FabricatedChip`] is the baseline implementation; wrappers (e.g. the
+/// fault injector in `photon-faults`) decorate another `OnnChip` while
+/// keeping the same measurement surface. The trait uses generic methods and
+/// is therefore consumed through generics (`C: OnnChip`), not trait objects.
+pub trait OnnChip: Sync {
+    /// The chip's architecture (the netlist is public, the errors are not).
+    fn architecture(&self) -> &Architecture;
+
+    /// Number of input waveguides.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output waveguides.
+    fn output_dim(&self) -> usize;
+
+    /// Number of programmable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Draws the standard initial parameter vector for this architecture.
+    fn init_params<R: Rng + ?Sized>(&self, rng: &mut R) -> RVector;
+
+    /// Programs the phases to `theta` and measures the output *field* for
+    /// input `x`, writing into caller-owned scratch. Counts one chip query.
+    fn forward_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut ChipScratch,
+    ) -> &'s CVector;
+
+    /// Programs the phases to `theta` and measures the per-port output
+    /// *powers*, writing into caller-owned scratch. Counts one chip query.
+    fn forward_powers_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut ChipScratch,
+    ) -> &'s RVector;
+
+    /// Allocating convenience wrapper over [`OnnChip::forward_into`].
+    fn forward(&self, x: &CVector, theta: &RVector) -> CVector {
+        let mut scratch = ChipScratch::new();
+        self.forward_into(x, theta, &mut scratch).clone()
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`OnnChip::forward_powers_into`].
+    fn forward_powers(&self, x: &CVector, theta: &RVector) -> RVector {
+        let mut scratch = ChipScratch::new();
+        self.forward_powers_into(x, theta, &mut scratch).clone()
+    }
+
+    /// Total number of forward queries issued so far.
+    fn query_count(&self) -> u64;
+
+    /// Resets the query counter (e.g. between experiment phases).
+    fn reset_query_count(&self);
+
+    /// **Oracle access** to the hidden error assignment (scoring only).
+    fn oracle_errors(&self) -> ErrorVector;
+
+    /// **Oracle access** to a white-box clone of the chip's true network
+    /// (upper-bound baselines only).
+    fn oracle_network(&self) -> Network;
+
+    /// Advances time-dependent chip state (thermal drift, fault schedules)
+    /// to logical step `step`.
+    ///
+    /// Called once per training iteration from a *serial* control point so
+    /// that slow state evolves identically regardless of how the iteration's
+    /// measurements are scheduled across worker threads. Static chips ignore
+    /// it.
+    fn advance_to(&self, step: u64) {
+        let _ = step;
+    }
 }
 
 /// Optional measurement-noise model of the chip's readout chain.
@@ -328,6 +421,62 @@ impl FabricatedChip {
     /// true network, for upper-bound baselines only.
     pub fn oracle_network(&self) -> Network {
         self.network.clone()
+    }
+}
+
+impl OnnChip for FabricatedChip {
+    fn architecture(&self) -> &Architecture {
+        FabricatedChip::architecture(self)
+    }
+
+    fn input_dim(&self) -> usize {
+        FabricatedChip::input_dim(self)
+    }
+
+    fn output_dim(&self) -> usize {
+        FabricatedChip::output_dim(self)
+    }
+
+    fn param_count(&self) -> usize {
+        FabricatedChip::param_count(self)
+    }
+
+    fn init_params<R: Rng + ?Sized>(&self, rng: &mut R) -> RVector {
+        FabricatedChip::init_params(self, rng)
+    }
+
+    fn forward_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut ChipScratch,
+    ) -> &'s CVector {
+        FabricatedChip::forward_into(self, x, theta, scratch)
+    }
+
+    fn forward_powers_into<'s>(
+        &self,
+        x: &CVector,
+        theta: &RVector,
+        scratch: &'s mut ChipScratch,
+    ) -> &'s RVector {
+        FabricatedChip::forward_powers_into(self, x, theta, scratch)
+    }
+
+    fn query_count(&self) -> u64 {
+        FabricatedChip::query_count(self)
+    }
+
+    fn reset_query_count(&self) {
+        FabricatedChip::reset_query_count(self)
+    }
+
+    fn oracle_errors(&self) -> ErrorVector {
+        FabricatedChip::oracle_errors(self)
+    }
+
+    fn oracle_network(&self) -> Network {
+        FabricatedChip::oracle_network(self)
     }
 }
 

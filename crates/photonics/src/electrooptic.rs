@@ -13,7 +13,7 @@
 
 use photon_linalg::{CVector, C64};
 
-use crate::error::{ErrorCursor, ErrorVector};
+use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
 use crate::module::{ModuleTape, OnnModule};
 
 /// Electro-optic activation layer with one trainable bias `φ_b` per
@@ -182,8 +182,11 @@ impl OnnModule for ElectroOptic {
         })
     }
 
-    fn with_errors(&self, _cursor: &mut ErrorCursor<'_>) -> Box<dyn OnnModule> {
-        Box::new(self.clone())
+    fn with_errors(
+        &self,
+        _cursor: &mut ErrorCursor<'_>,
+    ) -> Result<Box<dyn OnnModule>, ErrorVectorError> {
+        Ok(Box::new(self.clone()))
     }
 
     fn collect_errors(&self, _out: &mut ErrorVector) {}

@@ -14,10 +14,75 @@
 //! controls the overall error magnitude (`β = 1` models a real calibrated
 //! chip; `β = 0` is the ideal error-free circuit).
 
+use std::fmt;
+
 use rand::Rng;
 
 use photon_linalg::random::standard_normal;
 use photon_linalg::C64;
+
+/// Errors raised when consuming or constructing an [`ErrorVector`].
+///
+/// # Examples
+///
+/// ```
+/// use photon_photonics::{ErrorVector, ErrorVectorError};
+///
+/// match ErrorVector::from_flat(2, 2, &[0.0; 5]) {
+///     Err(ErrorVectorError::FlatLengthMismatch { expected: 6, found: 5 }) => {}
+///     other => panic!("expected length mismatch, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorVectorError {
+    /// A flat error buffer had the wrong length for the circuit shape.
+    FlatLengthMismatch {
+        /// Expected length `n_bs + 2·n_ps`.
+        expected: usize,
+        /// Length actually supplied.
+        found: usize,
+    },
+    /// A circuit builder asked for more beam-splitter errors than the
+    /// vector holds.
+    GammaExhausted {
+        /// Number of beam-splitter slots available.
+        available: usize,
+    },
+    /// A circuit builder asked for more phase-shifter errors than the
+    /// vector holds.
+    ZetaExhausted {
+        /// Number of phase-shifter slots available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ErrorVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorVectorError::FlatLengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "flat error vector length mismatch: expected {expected}, found {found}"
+                )
+            }
+            ErrorVectorError::GammaExhausted { available } => {
+                write!(
+                    f,
+                    "error vector exhausted: circuit needs more than {available} beam-splitter errors"
+                )
+            }
+            ErrorVectorError::ZetaExhausted { available } => {
+                write!(
+                    f,
+                    "error vector exhausted: circuit needs more than {available} phase-shifter errors"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ErrorVectorError {}
 
 /// Hyperparameters of the fabrication-error distribution.
 ///
@@ -172,20 +237,23 @@ impl ErrorVector {
 
     /// Rebuilds from the flat layout produced by [`ErrorVector::to_flat`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `flat.len() != n_bs + 2·n_ps`.
-    pub fn from_flat(n_bs: usize, n_ps: usize, flat: &[f64]) -> Self {
-        assert_eq!(
-            flat.len(),
-            n_bs + 2 * n_ps,
-            "flat error vector length mismatch"
-        );
-        ErrorVector {
+    /// Returns [`ErrorVectorError::FlatLengthMismatch`] when
+    /// `flat.len() != n_bs + 2·n_ps`.
+    pub fn from_flat(n_bs: usize, n_ps: usize, flat: &[f64]) -> Result<Self, ErrorVectorError> {
+        let expected = n_bs + 2 * n_ps;
+        if flat.len() != expected {
+            return Err(ErrorVectorError::FlatLengthMismatch {
+                expected,
+                found: flat.len(),
+            });
+        }
+        Ok(ErrorVector {
             gamma: flat[..n_bs].to_vec(),
             attenuation: flat[n_bs..n_bs + n_ps].to_vec(),
             phase: flat[n_bs + n_ps..].to_vec(),
-        }
+        })
     }
 
     /// Root-mean-square distance to another error vector of the same shape,
@@ -244,29 +312,38 @@ impl<'a> ErrorCursor<'a> {
 
     /// Takes the next beam-splitter angle error.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the error vector has fewer beam-splitter slots than the
-    /// circuit being built.
-    pub fn next_gamma(&mut self) -> f64 {
-        let g = self.errors.gamma[self.next_bs];
+    /// Returns [`ErrorVectorError::GammaExhausted`] when the error vector
+    /// has fewer beam-splitter slots than the circuit being built.
+    pub fn next_gamma(&mut self) -> Result<f64, ErrorVectorError> {
+        let g = *self.errors.gamma.get(self.next_bs).ok_or(
+            ErrorVectorError::GammaExhausted {
+                available: self.errors.n_beam_splitters(),
+            },
+        )?;
         self.next_bs += 1;
-        g
+        Ok(g)
     }
 
     /// Takes the next phase-shifter error as a complex factor `ζ`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the error vector has fewer phase-shifter slots than the
-    /// circuit being built.
-    pub fn next_zeta(&mut self) -> C64 {
+    /// Returns [`ErrorVectorError::ZetaExhausted`] when the error vector
+    /// has fewer phase-shifter slots than the circuit being built.
+    pub fn next_zeta(&mut self) -> Result<C64, ErrorVectorError> {
+        if self.next_ps >= self.errors.n_phase_shifters() {
+            return Err(ErrorVectorError::ZetaExhausted {
+                available: self.errors.n_phase_shifters(),
+            });
+        }
         let z = zeta_from_parts(
             self.errors.attenuation[self.next_ps],
             self.errors.phase[self.next_ps],
         );
         self.next_ps += 1;
-        z
+        Ok(z)
     }
 
     /// Number of beam-splitter slots consumed so far.
@@ -339,14 +416,37 @@ mod tests {
         let ev = ErrorVector::sample(4, 6, &ErrorModel::with_beta(1.0), &mut rng);
         let flat = ev.to_flat();
         assert_eq!(flat.len(), 4 + 12);
-        let back = ErrorVector::from_flat(4, 6, &flat);
+        let back = ErrorVector::from_flat(4, 6, &flat).unwrap();
         assert_eq!(ev, back);
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
     fn from_flat_rejects_bad_length() {
-        let _ = ErrorVector::from_flat(2, 2, &[0.0; 5]);
+        let err = ErrorVector::from_flat(2, 2, &[0.0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            ErrorVectorError::FlatLengthMismatch {
+                expected: 6,
+                found: 5
+            }
+        );
+        assert!(err.to_string().contains("length mismatch"));
+    }
+
+    #[test]
+    fn cursor_over_consumption_is_an_error() {
+        let ev = ErrorVector::zeros(1, 1);
+        let mut cur = ErrorCursor::new(&ev);
+        assert!(cur.next_gamma().is_ok());
+        assert!(cur.next_zeta().is_ok());
+        assert_eq!(
+            cur.next_gamma().unwrap_err(),
+            ErrorVectorError::GammaExhausted { available: 1 }
+        );
+        assert_eq!(
+            cur.next_zeta().unwrap_err(),
+            ErrorVectorError::ZetaExhausted { available: 1 }
+        );
     }
 
     #[test]
@@ -380,11 +480,11 @@ mod tests {
             phase: vec![0.5],
         };
         let mut cur = ErrorCursor::new(&ev);
-        assert_eq!(cur.next_gamma(), 0.1);
-        let z = cur.next_zeta();
+        assert_eq!(cur.next_gamma().unwrap(), 0.1);
+        let z = cur.next_zeta().unwrap();
         assert!((z.abs() - 0.99).abs() < 1e-12);
         assert!((z.arg() - 0.5).abs() < 1e-12);
-        assert_eq!(cur.next_gamma(), 0.2);
+        assert_eq!(cur.next_gamma().unwrap(), 0.2);
         assert_eq!(cur.beam_splitters_used(), 2);
         assert_eq!(cur.phase_shifters_used(), 1);
     }

@@ -203,7 +203,7 @@ mod tests {
         let ideal = MeshModule::clements(4, 3);
         let (n_bs, n_ps) = ideal.error_slots();
         let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(3.0), &mut rng);
-        let noisy = ideal.with_errors(&mut ErrorCursor::new(&ev));
+        let noisy = ideal.with_errors(&mut ErrorCursor::new(&ev)).unwrap();
         let theta: Vec<f64> = (0..noisy.param_count()).map(|_| rng.gen()).collect();
         assert!(check_jvp(noisy.as_ref(), &theta, 4, 1e-5, &mut rng).passed());
         assert!(check_adjoint(noisy.as_ref(), &theta, 4, 1e-9, &mut rng).passed());

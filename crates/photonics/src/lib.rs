@@ -54,9 +54,12 @@ mod ops;
 
 pub use chip::{
     calibrated_model, ideal_model, ChipScratch, FabricatedChip, MeasurementNoise, ModelKind,
+    OnnChip,
 };
 pub use electrooptic::ElectroOptic;
-pub use error::{zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector};
+pub use error::{
+    zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector, ErrorVectorError,
+};
 pub use fisher::{
     anisotropy_ratio, covariance_eigenvalues, fisher_vector_product, fisher_vector_products,
     fisher_vector_products_pooled, module_fisher_block, module_jacobian, output_covariance,

@@ -4,7 +4,7 @@
 
 use photon_linalg::{CMatrix, CVector, C64};
 
-use crate::error::{ErrorCursor, ErrorVector};
+use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
 use crate::module::{ModuleTape, OnnModule};
 use crate::ops::Op;
 
@@ -271,28 +271,30 @@ impl OnnModule for MeshModule {
         gstate
     }
 
-    fn with_errors(&self, cursor: &mut ErrorCursor<'_>) -> Box<dyn OnnModule> {
-        let ops = self
-            .ops
-            .iter()
-            .map(|op| match *op {
+    fn with_errors(
+        &self,
+        cursor: &mut ErrorCursor<'_>,
+    ) -> Result<Box<dyn OnnModule>, ErrorVectorError> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            ops.push(match *op {
                 Op::Ps { port, param, .. } => Op::Ps {
                     port,
                     param,
-                    zeta: cursor.next_zeta(),
+                    zeta: cursor.next_zeta()?,
                 },
                 Op::Bs { port, .. } => Op::Bs {
                     port,
-                    gamma: cursor.next_gamma(),
+                    gamma: cursor.next_gamma()?,
                 },
-            })
-            .collect();
-        Box::new(MeshModule {
+            });
+        }
+        Ok(Box::new(MeshModule {
             dim: self.dim,
             ops,
             param_count: self.param_count,
             kind: self.kind,
-        })
+        }))
     }
 
     fn collect_errors(&self, out: &mut ErrorVector) {
@@ -378,7 +380,7 @@ mod tests {
         let (n_bs, n_ps) = ideal.error_slots();
         let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(4.0), &mut rng);
         let mut cursor = ErrorCursor::new(&ev);
-        let noisy = ideal.with_errors(&mut cursor);
+        let noisy = ideal.with_errors(&mut cursor).unwrap();
         let theta = random_theta(noisy.param_count(), &mut rng);
         let x = normal_cvector(6, &mut rng);
         let y = noisy.forward(&x, &theta);
@@ -393,7 +395,7 @@ mod tests {
         let (n_bs, n_ps) = ideal.error_slots();
         assert_eq!(n_bs, n_ps); // MZIs have equal numbers of each
         let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(1.0), &mut rng);
-        let noisy = ideal.with_errors(&mut ErrorCursor::new(&ev));
+        let noisy = ideal.with_errors(&mut ErrorCursor::new(&ev)).unwrap();
         let mut collected = ErrorVector::default();
         noisy.collect_errors(&mut collected);
         let r = ev.rmse(&collected);

@@ -2,7 +2,7 @@
 
 use photon_linalg::{CVector, C64};
 
-use crate::error::{ErrorCursor, ErrorVector};
+use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
 use crate::module::{ModuleTape, OnnModule};
 
 /// Element-wise modReLU activation with one trainable bias per waveguide:
@@ -158,8 +158,11 @@ impl OnnModule for ModRelu {
         })
     }
 
-    fn with_errors(&self, _cursor: &mut ErrorCursor<'_>) -> Box<dyn OnnModule> {
-        Box::new(self.clone())
+    fn with_errors(
+        &self,
+        _cursor: &mut ErrorCursor<'_>,
+    ) -> Result<Box<dyn OnnModule>, ErrorVectorError> {
+        Ok(Box::new(self.clone()))
     }
 
     fn collect_errors(&self, _out: &mut ErrorVector) {}

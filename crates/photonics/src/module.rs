@@ -4,7 +4,7 @@ use std::fmt;
 
 use photon_linalg::CVector;
 
-use crate::error::{ErrorCursor, ErrorVector};
+use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
 
 /// Saved forward-pass state needed by [`OnnModule::jvp`] and
 /// [`OnnModule::vjp`].
@@ -177,7 +177,15 @@ pub trait OnnModule: fmt::Debug + Send + Sync {
 
     /// Rebuilds this module with fabrication errors taken from `cursor`
     /// (consumed in netlist order).
-    fn with_errors(&self, cursor: &mut ErrorCursor<'_>) -> Box<dyn OnnModule>;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorVectorError`] when the cursor runs out of error slots
+    /// before the module is fully instantiated.
+    fn with_errors(
+        &self,
+        cursor: &mut ErrorCursor<'_>,
+    ) -> Result<Box<dyn OnnModule>, ErrorVectorError>;
 
     /// Appends this module's current error assignment to `out` in netlist
     /// order.

@@ -273,11 +273,16 @@ impl Architecture {
             return Err(NetworkError::ErrorSlotMismatch { expected, found });
         }
         let mut cursor = ErrorCursor::new(errors);
-        let modules = self
-            .specs
-            .iter()
-            .map(|s| s.instantiate().with_errors(&mut cursor))
-            .collect();
+        let mut modules = Vec::with_capacity(self.specs.len());
+        for s in &self.specs {
+            // Slot counts were validated above, so cursor exhaustion can only
+            // mean the architecture and error vector disagree about layout.
+            modules.push(
+                s.instantiate()
+                    .with_errors(&mut cursor)
+                    .map_err(|_| NetworkError::ErrorSlotMismatch { expected, found })?,
+            );
+        }
         Ok(Network::from_modules(modules, self.clone()))
     }
 }

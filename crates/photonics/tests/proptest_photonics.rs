@@ -59,7 +59,7 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let (n_bs, n_ps) = mesh.error_slots();
         let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(3.0), &mut rng);
-        let noisy = mesh.with_errors(&mut ErrorCursor::new(&ev));
+        let noisy = mesh.with_errors(&mut ErrorCursor::new(&ev)).unwrap();
         let x = normal_cvector(4, &mut rng);
         let y = normal_cvector(4, &mut rng);
         let alpha = photon_linalg::C64::new(0.3, -0.7);
@@ -143,7 +143,7 @@ proptest! {
         let (n_bs, n_ps) = arch.error_slots();
         let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(1.0), &mut rng);
         let flat = ev.to_flat();
-        let back = ErrorVector::from_flat(n_bs, n_ps, &flat);
+        let back = ErrorVector::from_flat(n_bs, n_ps, &flat).unwrap();
         let net = arch.build_with_errors(&back).unwrap();
         let collected = net.collect_errors();
         let r = ev.rmse(&collected);

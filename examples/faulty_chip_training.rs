@@ -1,0 +1,102 @@
+//! Self-healing training on a faulty chip: wrap a fabricated ONN in a
+//! seeded fault layer — thermal drift, dropped reads, outlier spikes and a
+//! dead phase shifter — and let the recovery-enabled trainer ride through
+//! it with retries, outlier rejection, divergence rollbacks and automatic
+//! recalibration.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example faulty_chip_training
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_zo::core::recovery_report;
+use photon_zo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 81;
+    println!("photon-zo self-healing training demo (seed {seed})");
+    println!("=================================================");
+
+    let spec = TaskSpec::quick(4);
+    let task = build_task(&spec, seed)?;
+
+    // An initial calibration of the still-healthy chip: this model supplies
+    // the LCNG curvature and is what the fidelity monitor watches degrade.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+    let calibration = calibrate(&task.chip, &CalibrationSettings::default(), &mut rng)?;
+    println!(
+        "initial calibration: {} chip queries, fit cost {:.3e} -> {:.3e}",
+        calibration.chip_queries, calibration.initial_cost, calibration.fit_cost
+    );
+
+    // Then the lab heats up: slow thermal drift on every phase shifter,
+    // occasional dropped reads and detector spikes, and one actuator dies
+    // outright. Everything is derived from one seed, so the whole failure
+    // story replays bitwise — at any worker-pool size.
+    let plan = FaultPlan::new(42)
+        .with_drift(DriftConfig {
+            sigma: 0.04,
+            tau: 20.0,
+        })
+        .with_transients(TransientConfig {
+            drop_prob: 0.004,
+            spike_prob: 0.01,
+            spike_scale: 1e4,
+            burst_prob: 0.0,
+            burst_sigma: 0.0,
+        })
+        .with_stuck(StuckShifter {
+            index: 3,
+            value: 0.4,
+        });
+    let faulty = FaultyChip::new(task.chip, plan);
+    println!(
+        "fault schedule: OU drift sigma 0.04, drops 0.4%, spikes 1.0%, shifter 3 stuck at 0.4 rad"
+    );
+
+    let trainer = Trainer::new(&faulty, &task.train, &task.test, task.head)
+        .with_calibrated_model(calibration.model);
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 6;
+    config.eval_every = 2;
+    config.recovery = RecoveryPolicy::standard();
+
+    let result = trainer.train(
+        Method::Lcng {
+            model: ModelChoice::Calibrated,
+        },
+        &config,
+        &mut rng,
+    )?;
+
+    println!();
+    for rec in &result.history {
+        let r = rec.recovery;
+        print!(
+            "epoch {:>2}: train loss {:>8.4} | {} retries, {} rejected, {} rollbacks, {} recals",
+            rec.epoch, rec.train_loss, r.retries, r.rejected_probes, r.rollbacks, r.recalibrations
+        );
+        match rec.test {
+            Some(test) => println!(" | test acc {:.1}%", 100.0 * test.accuracy),
+            None => println!(),
+        }
+    }
+
+    println!();
+    println!("{}", recovery_report(&result));
+    let counts = faulty.fault_counts();
+    println!(
+        "faults injected: {} dropped reads, {} spikes, {} bursts",
+        counts.dropped, counts.spiked, counts.bursts
+    );
+    println!(
+        "final: test accuracy {:.1}%, {} training queries",
+        100.0 * result.final_eval.accuracy,
+        result.training_queries
+    );
+    Ok(())
+}

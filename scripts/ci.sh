@@ -9,4 +9,9 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --all-targets --workspace -- -D warnings
 
+# Robustness gate: the fault-injection suite plus a smoke run of the
+# self-healing training demo.
+cargo test -q --offline --test fault_injection
+cargo run --release --offline --example faulty_chip_training >/dev/null
+
 echo "ci: all gates green"

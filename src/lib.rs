@@ -22,6 +22,8 @@
 //! | [`opt`] | `photon-opt` | ZO, LCNG, natural gradient, CMA-ES, tuning |
 //! | [`calib`] | `photon-calib` | black-box chip calibration |
 //! | [`core`] | `photon-core` | losses, trainer, experiments, statistics |
+//! | [`exec`] | `photon-exec` | deterministic worker-pool evaluation |
+//! | [`faults`] | `photon-faults` | seeded fault injection for chip robustness studies |
 //!
 //! # Quickstart
 //!
@@ -83,17 +85,24 @@ pub mod exec {
     pub use photon_exec::*;
 }
 
+/// Seeded fault injection for chips (re-export of `photon-faults`).
+pub mod faults {
+    pub use photon_faults::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use photon_calib::{calibrate, evaluate_model, CalibrationSettings};
     pub use photon_core::{
-        build_task, run_method, ClassificationHead, Method, ModelChoice, TaskKind, TaskSpec,
-        TrainConfig, Trainer,
+        build_task, recovery_report, run_method, ClassificationHead, Method, ModelChoice,
+        RecoveryPolicy, TaskKind, TaskSpec, TrainConfig, Trainer,
     };
     pub use photon_data::{Dataset, GaussianClusters, SyntheticFashion, SyntheticMnist};
+    pub use photon_faults::{DriftConfig, FaultPlan, FaultyChip, StuckShifter, TransientConfig};
     pub use photon_linalg::{CVector, RVector, C64};
     pub use photon_opt::{Adam, CmaEs, LcngSettings, Optimizer, Perturbation, Sgd, ZoSettings};
     pub use photon_photonics::{
-        ideal_model, Architecture, ErrorModel, FabricatedChip, MeshModule, Network, OnnModule,
+        ideal_model, Architecture, ErrorModel, FabricatedChip, MeshModule, Network, OnnChip,
+        OnnModule,
     };
 }

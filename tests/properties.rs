@@ -58,7 +58,7 @@ proptest! {
         prop_assume!(x.norm_sqr() > 1e-12);
         let (n_bs, n_ps) = mesh.error_slots();
         let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(beta), &mut rng);
-        let noisy = mesh.with_errors(&mut ErrorCursor::new(&ev));
+        let noisy = mesh.with_errors(&mut ErrorCursor::new(&ev)).unwrap();
         let theta: Vec<f64> = phases.into_iter().take(noisy.param_count()).collect();
         prop_assume!(theta.len() == noisy.param_count());
         let y = noisy.forward(&x, &theta);
