@@ -16,7 +16,7 @@
 use rand::Rng;
 
 use photon_linalg::{LinalgError, RVector};
-use photon_photonics::{ErrorVector, Network, NetworkError, OnnChip};
+use photon_photonics::{ErrorVector, Network, NetworkError, NetworkScratch, OnnChip};
 
 use crate::gauss_newton::{levenberg_marquardt, LmSettings};
 use crate::probe::{measure_chip, Measurements, ProbePlan};
@@ -180,6 +180,9 @@ pub fn calibrate_from_measurements<C: OnnChip>(
     let k_out = chip.output_dim();
     let n_residuals = plan.residual_count(k_out);
 
+    // One forward scratch for every residual evaluation of the whole fit:
+    // the inner probe sweep performs no per-sample heap allocation.
+    let mut scratch = NetworkScratch::new();
     let mut residual = |flat: &RVector| -> RVector {
         let errors = ErrorVector::from_flat(n_bs, n_ps, flat.as_slice())
             .expect("length constructed to match");
@@ -190,13 +193,13 @@ pub fn calibrate_from_measurements<C: OnnChip>(
         let mut idx = 0;
         for (s, theta) in plan.settings.iter().enumerate() {
             for (p, x) in plan.inputs.iter().enumerate() {
-                let powers = model.forward(x, theta).powers();
+                let y = model.forward_into(x, theta, &mut scratch);
                 let target = &measured.powers[s][p];
                 for d in 0..k_out {
                     // A dropped/NaN reading must not poison the whole fit:
                     // its residual entry is zeroed, removing that detector
                     // sample from the least-squares objective.
-                    let e = powers[d] - target[d];
+                    let e = y[d].norm_sqr() - target[d];
                     r[idx] = if e.is_finite() { e } else { 0.0 };
                     idx += 1;
                 }

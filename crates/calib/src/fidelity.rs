@@ -6,7 +6,7 @@ use rand::Rng;
 use photon_linalg::random::random_unit_cvector;
 use photon_linalg::CVector;
 
-use photon_photonics::{Network, OnnChip};
+use photon_photonics::{ChipScratch, Network, NetworkScratch, OnnChip};
 
 /// Cosine-style field fidelity up to a global phase:
 /// `|⟨y_model, y_chip⟩| / (‖y_model‖·‖y_chip‖)`, in `[0, 1]`.
@@ -87,22 +87,29 @@ pub fn evaluate_model<C: OnnChip, R: Rng + ?Sized>(
     let mut field_acc = 0.0;
     let mut power_acc = 0.0;
     let mut count = 0usize;
+    // One scratch set for the whole sweep: no per-probe heap allocation.
+    let mut chip_scratch = ChipScratch::new();
+    let mut model_scratch = NetworkScratch::new();
+    let mut y_chip = CVector::zeros(0);
     for _ in 0..settings {
         let theta = chip.init_params(rng);
         for _ in 0..probes {
             let x = random_unit_cvector(k, rng);
-            let mut y_chip = chip.forward(&x, &theta);
             let mut attempts = 0;
-            while !y_chip.iter().all(|z| z.re.is_finite() && z.im.is_finite()) && attempts < 3 {
-                y_chip = chip.forward(&x, &theta);
+            loop {
+                y_chip.copy_from(chip.forward_into(&x, &theta, &mut chip_scratch));
+                let finite = y_chip.iter().all(|z| z.re.is_finite() && z.im.is_finite());
+                if finite || attempts >= 3 {
+                    break;
+                }
                 attempts += 1;
             }
             if !y_chip.iter().all(|z| z.re.is_finite() && z.im.is_finite()) {
                 continue;
             }
-            let y_model = model.forward(&x, &theta);
-            field_acc += field_fidelity(&y_model, &y_chip);
-            power_acc += power_fidelity(&y_model, &y_chip);
+            let y_model = model.forward_into(&x, &theta, &mut model_scratch);
+            field_acc += field_fidelity(y_model, &y_chip);
+            power_acc += power_fidelity(y_model, &y_chip);
             count += 1;
         }
     }

@@ -7,7 +7,14 @@ use photon_exec::ExecPool;
 use photon_linalg::random::random_unit_cvector;
 use photon_linalg::{CVector, RVector};
 
-use photon_photonics::{ChipScratch, OnnChip};
+use photon_photonics::{BatchScratch, ChipScratch, OnnChip};
+
+/// Number of probe inputs measured per batched chip read.
+///
+/// Fixed (never derived from the pool size) so the work items handed to the
+/// pool are identical for every pool size, keeping the sweep bitwise
+/// pool-size-invariant on noise-free chips.
+const INPUT_BLOCK: usize = 32;
 
 /// A calibration probe plan: input vectors × phase settings.
 ///
@@ -83,39 +90,52 @@ pub fn measure_chip<C: OnnChip>(chip: &C, plan: &ProbePlan) -> Measurements {
     measure_chip_pooled(chip, plan, &ExecPool::serial())
 }
 
-/// Runs the plan against the chip with `(setting, input)` pairs fanned out
-/// over `pool`, consuming `plan.query_cost()` queries.
+/// Runs the plan against the chip with `(setting, input-block)` sweeps
+/// fanned out over `pool`, consuming `plan.query_cost()` queries.
 ///
-/// Results come back in plan order regardless of pool size. For noise-free
-/// chips the powers are bitwise identical to [`measure_chip`]; noisy chips
-/// draw from a shared noise stream, so only the distribution is preserved.
+/// Each work item measures one phase setting on a fixed [`INPUT_BLOCK`] of
+/// probe inputs through [`OnnChip::forward_powers_batch_into`], so compiled
+/// chips pay one unitary compile per block instead of one interpreted op
+/// walk per probe. Results come back in plan order regardless of pool size.
+/// For noise-free chips the powers are bitwise identical to
+/// [`measure_chip`]; noisy chips draw from a shared noise stream, so only
+/// the distribution is preserved.
 ///
 /// A non-finite power reading (a dropped read on a faulty chip) is
-/// re-measured up to three times; if it stays non-finite the reading is
-/// recorded as-is and the calibrator's residual zeroes it out of the fit.
+/// re-measured individually up to three times; if it stays non-finite the
+/// reading is recorded as-is and the calibrator's residual zeroes it out of
+/// the fit.
 pub fn measure_chip_pooled<C: OnnChip>(
     chip: &C,
     plan: &ProbePlan,
     pool: &ExecPool,
 ) -> Measurements {
-    let pairs: Vec<(usize, usize)> = (0..plan.settings.len())
-        .flat_map(|s| (0..plan.inputs.len()).map(move |p| (s, p)))
+    let input_idx: Vec<usize> = (0..plan.inputs.len()).collect();
+    let items: Vec<(usize, &[usize])> = (0..plan.settings.len())
+        .flat_map(|s| input_idx.chunks(INPUT_BLOCK).map(move |block| (s, block)))
         .collect();
     let mut flat = pool
-        .map_with(&pairs, ChipScratch::new, |scratch, _, &(s, p)| {
-            let mut powers = chip
-                .forward_powers_into(&plan.inputs[p], &plan.settings[s], scratch)
-                .clone();
-            let mut attempts = 0;
-            while !powers.iter().all(|v| v.is_finite()) && attempts < 3 {
-                powers = chip
-                    .forward_powers_into(&plan.inputs[p], &plan.settings[s], scratch)
-                    .clone();
-                attempts += 1;
-            }
-            powers
-        })
-        .into_iter();
+        .map_with(
+            &items,
+            || (BatchScratch::new(), ChipScratch::new()),
+            |(batch, single), _, &(s, block)| {
+                let theta = &plan.settings[s];
+                let xs: Vec<&CVector> = block.iter().map(|&p| &plan.inputs[p]).collect();
+                let batched = chip.forward_powers_batch_into(&xs, theta, batch);
+                let mut out: Vec<RVector> = batched.to_vec();
+                for (powers, &p) in out.iter_mut().zip(block.iter()) {
+                    let mut attempts = 0;
+                    while !powers.iter().all(|v| v.is_finite()) && attempts < 3 {
+                        powers
+                            .copy_from(chip.forward_powers_into(&plan.inputs[p], theta, single));
+                        attempts += 1;
+                    }
+                }
+                out
+            },
+        )
+        .into_iter()
+        .flatten();
     let powers = (0..plan.settings.len())
         .map(|_| (&mut flat).take(plan.inputs.len()).collect())
         .collect();

@@ -3,9 +3,23 @@
 use photon_data::Dataset;
 use photon_exec::{tree_reduce, tree_sum, ExecPool};
 use photon_linalg::{CVector, RVector};
-use photon_photonics::{ChipScratch, Network, NetworkScratch, OnnChip};
+use photon_photonics::{BatchScratch, Network, NetworkScratch, OnnChip};
 
 use crate::loss::ClassificationHead;
+
+/// Number of samples per batched chip evaluation block.
+///
+/// A *fixed* constant (never derived from the pool size): the work items
+/// handed to the pool are always the same blocks in the same order, and
+/// each sample's compiled-GEMM output is bitwise-independent of which block
+/// or thread computed it — together that keeps every pooled reduction
+/// bitwise pool-size-invariant.
+const BATCH_BLOCK: usize = 32;
+
+/// The index blocks batched chip evaluation fans out over.
+fn batch_blocks(indices: &[usize]) -> Vec<&[usize]> {
+    indices.chunks(BATCH_BLOCK).collect()
+}
 
 /// Mean chip loss over the samples at `indices` (each sample = one chip
 /// query), evaluated on the [`ExecPool::from_env`] pool.
@@ -25,10 +39,14 @@ pub fn chip_batch_loss<C: OnnChip>(
 
 /// Mean chip loss over the samples at `indices`, evaluated on `pool`.
 ///
-/// Per-sample losses are combined along a fixed-shape reduction tree, so a
-/// noise-free chip yields a bitwise-identical mean for every pool size.
-/// Every worker reuses one [`ChipScratch`], so the steady-state forward path
-/// performs no per-sample heap allocation.
+/// Samples are evaluated in fixed [`BATCH_BLOCK`]-sized blocks through
+/// [`OnnChip::forward_batch_into`], so compiled chips amortize one unitary
+/// compile across a whole block instead of re-walking the op list per
+/// sample. Per-sample losses are flattened back into index order and
+/// combined along a fixed-shape reduction tree, so a noise-free chip yields
+/// a bitwise-identical mean for every pool size. Every worker reuses one
+/// [`BatchScratch`], so the steady-state forward path performs no per-sample
+/// heap allocation.
 ///
 /// # Panics
 ///
@@ -42,11 +60,16 @@ pub fn chip_batch_loss_pooled<C: OnnChip>(
     pool: &ExecPool,
 ) -> f64 {
     assert!(!indices.is_empty(), "batch must be non-empty");
-    let losses = pool.map_with(indices, ChipScratch::new, |scratch, _, &i| {
-        let (x, label) = data.sample(i);
-        let y = chip.forward_into(x, theta, scratch);
-        head.loss(y, label)
+    let blocks = batch_blocks(indices);
+    let per_block = pool.map_with(&blocks, BatchScratch::new, |scratch, _, block| {
+        let xs: Vec<&CVector> = block.iter().map(|&i| data.sample(i).0).collect();
+        let ys = chip.forward_batch_into(&xs, theta, scratch);
+        ys.iter()
+            .zip(block.iter())
+            .map(|(y, &i)| head.loss(y, data.sample(i).1))
+            .collect::<Vec<f64>>()
     });
+    let losses: Vec<f64> = per_block.into_iter().flatten().collect();
     tree_sum(&losses) / indices.len() as f64
 }
 
@@ -158,8 +181,11 @@ pub fn evaluate_chip<C: OnnChip>(
 /// Evaluates the chip on every sample of `data` using `pool` (costs
 /// `data.len()` chip queries).
 ///
-/// Losses are combined along a fixed-shape reduction tree, so a noise-free
-/// chip yields a bitwise-identical evaluation for every pool size.
+/// Samples run in fixed [`BATCH_BLOCK`]-sized blocks through
+/// [`OnnChip::forward_batch_into`] (one compile + one GEMM per block on
+/// compiled chips). Losses are flattened back into index order and combined
+/// along a fixed-shape reduction tree, so a noise-free chip yields a
+/// bitwise-identical evaluation for every pool size.
 ///
 /// # Panics
 ///
@@ -173,11 +199,19 @@ pub fn evaluate_chip_pooled<C: OnnChip>(
 ) -> Evaluation {
     assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
     let indices: Vec<usize> = (0..data.len()).collect();
-    let per_sample = pool.map_with(&indices, ChipScratch::new, |scratch, _, &i| {
-        let (x, label) = data.sample(i);
-        let y = chip.forward_into(x, theta, scratch);
-        (head.predict(y) == label, head.loss(y, label))
+    let blocks = batch_blocks(&indices);
+    let per_block = pool.map_with(&blocks, BatchScratch::new, |scratch, _, block| {
+        let xs: Vec<&CVector> = block.iter().map(|&i| data.sample(i).0).collect();
+        let ys = chip.forward_batch_into(&xs, theta, scratch);
+        ys.iter()
+            .zip(block.iter())
+            .map(|(y, &i)| {
+                let label = data.sample(i).1;
+                (head.predict(y) == label, head.loss(y, label))
+            })
+            .collect::<Vec<(bool, f64)>>()
     });
+    let per_sample: Vec<(bool, f64)> = per_block.into_iter().flatten().collect();
     let correct = per_sample.iter().filter(|(hit, _)| *hit).count();
     let losses: Vec<f64> = per_sample.iter().map(|(_, l)| *l).collect();
     Evaluation {
@@ -188,6 +222,9 @@ pub fn evaluate_chip_pooled<C: OnnChip>(
 }
 
 /// Confusion matrix `counts[truth][predicted]` of the chip on a dataset.
+///
+/// Runs in [`BATCH_BLOCK`]-sized blocks with one reused [`BatchScratch`],
+/// so the sweep performs no per-sample heap allocation.
 ///
 /// # Panics
 ///
@@ -201,10 +238,14 @@ pub fn confusion_matrix<C: OnnChip>(
     assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
     let c = head.num_classes();
     let mut counts = vec![vec![0usize; c]; c];
-    for i in 0..data.len() {
-        let (x, label) = data.sample(i);
-        let y = chip.forward(x, theta);
-        counts[label][head.predict(&y)] += 1;
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let mut scratch = BatchScratch::new();
+    for block in batch_blocks(&indices) {
+        let xs: Vec<&CVector> = block.iter().map(|&i| data.sample(i).0).collect();
+        let ys = chip.forward_batch_into(&xs, theta, &mut scratch);
+        for (y, &i) in ys.iter().zip(block.iter()) {
+            counts[data.sample(i).1][head.predict(y)] += 1;
+        }
     }
     counts
 }

@@ -500,7 +500,11 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
         let n = theta.len();
         // Outer-level parallelism: probes / population members / batch samples
         // fan out across `pool`; the per-probe batch loss stays serial so each
-        // worker owns exactly one scratch arena (no nested pools).
+        // worker owns exactly one scratch arena (no nested pools). Inside a
+        // probe, `chip_batch_loss_pooled` evaluates the batch in compiled
+        // blocks — one cached-unitary GEMM per block instead of an
+        // interpreted op walk per sample — so every ZO/LCNG/robust probe and
+        // CMA-ES population member amortizes its compile over the batch.
         let pool = ExecPool::with_threads(config.threads);
         let serial = ExecPool::serial();
         let start_queries = self.chip.query_count();

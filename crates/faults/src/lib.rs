@@ -62,7 +62,7 @@ use rand::{Rng, SeedableRng};
 
 use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector};
-use photon_photonics::{Architecture, ChipScratch, ErrorVector, Network, OnnChip};
+use photon_photonics::{Architecture, BatchScratch, ChipScratch, ErrorVector, Network, OnnChip};
 
 /// Ornstein–Uhlenbeck thermal drift on the phase-shifter drives.
 ///
@@ -330,6 +330,84 @@ impl<C: OnnChip> FaultyChip<C> {
         (eff, salted)
     }
 
+    /// Batched [`FaultyChip::prepare`]: resolves drift + stuck faults once
+    /// (they depend only on `theta` and the step, shared by the whole
+    /// batch) and derives one attempt-salted decision key per sample, in
+    /// batch order under a single lock. The keys are identical to what
+    /// per-sample reads of the same contents would produce, so fault
+    /// decisions stay schedule-independent.
+    fn prepare_batch(&self, xs: &[&CVector], theta: &RVector, tag: u64) -> (RVector, Vec<u64>) {
+        let mut st = self.state.lock();
+        let mut eff = theta.clone();
+        if self.plan.drift.is_some() {
+            eff.axpy(1.0, &st.drift);
+        }
+        for s in &self.plan.stuck {
+            eff.as_mut_slice()[s.index] = s.value;
+        }
+        let step = st.step;
+        let salts = xs
+            .iter()
+            .map(|x| {
+                let key = self.content_key(step, x, theta, tag);
+                let attempt = st.attempts.entry(key).or_insert(0);
+                let salted =
+                    splitmix64(key ^ (*attempt as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+                *attempt += 1;
+                salted
+            })
+            .collect();
+        (eff, salts)
+    }
+
+    /// Applies this read's transient fault (if any) to a field readout.
+    fn corrupt_field(&self, out: &mut CVector, salted: u64) {
+        match self.transient_for(salted) {
+            Some(Transient::Drop) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                for z in out.iter_mut() {
+                    z.re = f64::NAN;
+                    z.im = f64::NAN;
+                }
+            }
+            Some(Transient::Spike { port, scale }) => {
+                self.spiked.fetch_add(1, Ordering::Relaxed);
+                let p = (port % out.len() as u64) as usize;
+                out[p] = out[p].scale(scale);
+            }
+            Some(Transient::Burst { key, sigma }) => {
+                self.bursts.fetch_add(1, Ordering::Relaxed);
+                for (i, z) in out.iter_mut().enumerate() {
+                    z.re += sigma * hashed_normal(key ^ (2 * i) as u64);
+                    z.im += sigma * hashed_normal(key ^ (2 * i + 1) as u64);
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Applies this read's transient fault (if any) to a power readout.
+    fn corrupt_powers(&self, powers: &mut RVector, salted: u64) {
+        match self.transient_for(salted) {
+            Some(Transient::Drop) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                powers.fill(f64::NAN);
+            }
+            Some(Transient::Spike { port, scale }) => {
+                self.spiked.fetch_add(1, Ordering::Relaxed);
+                let p = (port % powers.len() as u64) as usize;
+                powers.as_mut_slice()[p] *= scale;
+            }
+            Some(Transient::Burst { key, sigma }) => {
+                self.bursts.fetch_add(1, Ordering::Relaxed);
+                for (i, p) in powers.iter_mut().enumerate() {
+                    *p = (*p + sigma * hashed_normal(key ^ i as u64)).max(0.0);
+                }
+            }
+            None => {}
+        }
+    }
+
     /// Whether the (drop / spike / burst) family fires for this read, and
     /// with what shape. At most one family fires, tried in severity order.
     fn transient_for(&self, salted: u64) -> Option<Transient> {
@@ -389,29 +467,38 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
         let (eff, salted) = self.prepare(x, theta, TAG_FIELD);
         self.inner.forward_into(x, &eff, scratch);
         let out = scratch.field_mut();
-        match self.transient_for(salted) {
-            Some(Transient::Drop) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                for z in out.iter_mut() {
-                    z.re = f64::NAN;
-                    z.im = f64::NAN;
-                }
-            }
-            Some(Transient::Spike { port, scale }) => {
-                self.spiked.fetch_add(1, Ordering::Relaxed);
-                let p = (port % out.len() as u64) as usize;
-                out[p] = out[p].scale(scale);
-            }
-            Some(Transient::Burst { key, sigma }) => {
-                self.bursts.fetch_add(1, Ordering::Relaxed);
-                for (i, z) in out.iter_mut().enumerate() {
-                    z.re += sigma * hashed_normal(key ^ (2 * i) as u64);
-                    z.im += sigma * hashed_normal(key ^ (2 * i + 1) as u64);
-                }
-            }
-            None => {}
-        }
+        self.corrupt_field(out, salted);
         &*out
+    }
+
+    fn forward_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [CVector] {
+        let (eff, salts) = self.prepare_batch(xs, theta, TAG_FIELD);
+        self.inner.forward_batch_into(xs, &eff, scratch);
+        let fields = &mut scratch.fields_mut()[..xs.len()];
+        for (out, salted) in fields.iter_mut().zip(salts) {
+            self.corrupt_field(out, salted);
+        }
+        &*fields
+    }
+
+    fn forward_powers_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [RVector] {
+        let (eff, salts) = self.prepare_batch(xs, theta, TAG_POWERS);
+        self.inner.forward_powers_batch_into(xs, &eff, scratch);
+        let powers = &mut scratch.powers_mut()[..xs.len()];
+        for (out, salted) in powers.iter_mut().zip(salts) {
+            self.corrupt_powers(out, salted);
+        }
+        &*powers
     }
 
     fn forward_powers_into<'s>(
@@ -423,24 +510,7 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
         let (eff, salted) = self.prepare(x, theta, TAG_POWERS);
         self.inner.forward_powers_into(x, &eff, scratch);
         let powers = scratch.powers_mut();
-        match self.transient_for(salted) {
-            Some(Transient::Drop) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                powers.fill(f64::NAN);
-            }
-            Some(Transient::Spike { port, scale }) => {
-                self.spiked.fetch_add(1, Ordering::Relaxed);
-                let p = (port % powers.len() as u64) as usize;
-                powers.as_mut_slice()[p] *= scale;
-            }
-            Some(Transient::Burst { key, sigma }) => {
-                self.bursts.fetch_add(1, Ordering::Relaxed);
-                for (i, p) in powers.iter_mut().enumerate() {
-                    *p = (*p + sigma * hashed_normal(key ^ i as u64)).max(0.0);
-                }
-            }
-            None => {}
-        }
+        self.corrupt_powers(powers, salted);
         &*powers
     }
 
@@ -592,6 +662,62 @@ mod tests {
             out
         };
         assert_eq!(read_all(&[0, 1, 2]), read_all(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn batched_reads_get_the_same_fault_decisions_as_serial_reads() {
+        // The same probes within the same step must receive identical
+        // transient decisions whether read one by one or as a batch.
+        let probes: Vec<CVector> = {
+            let mut rng = StdRng::seed_from_u64(6);
+            (0..8)
+                .map(|_| photon_linalg::random::random_unit_cvector(4, &mut rng))
+                .collect()
+        };
+        let serial_pattern = {
+            let (faulty, _, theta) = base_chip(19);
+            faulty.advance_to(1);
+            let mut scratch = ChipScratch::new();
+            probes
+                .iter()
+                .map(|x| {
+                    faulty
+                        .forward_powers_into(x, &theta, &mut scratch)
+                        .iter()
+                        .any(|v| v.is_nan())
+                })
+                .collect::<Vec<bool>>()
+        };
+        let (faulty, _, theta) = base_chip(19);
+        faulty.advance_to(1);
+        let refs: Vec<&CVector> = probes.iter().collect();
+        let mut scratch = BatchScratch::new();
+        let batched = faulty.forward_powers_batch_into(&refs, &theta, &mut scratch);
+        let batched_pattern: Vec<bool> = batched
+            .iter()
+            .map(|p| p.iter().any(|v| v.is_nan()))
+            .collect();
+        assert_eq!(serial_pattern, batched_pattern);
+        assert_eq!(faulty.query_count(), probes.len() as u64);
+    }
+
+    #[test]
+    fn batched_passthrough_matches_inner_batch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let theta = chip.init_params(&mut rng);
+        let xs: Vec<CVector> = (0..3)
+            .map(|_| photon_linalg::random::random_unit_cvector(4, &mut rng))
+            .collect();
+        let refs: Vec<&CVector> = xs.iter().collect();
+        let mut scratch = BatchScratch::new();
+        let clean: Vec<CVector> = chip.forward_batch_into(&refs, &theta, &mut scratch).to_vec();
+        let faulty = FaultyChip::new(chip, FaultPlan::new(77));
+        faulty.advance_to(3);
+        let mut scratch2 = BatchScratch::new();
+        let wrapped = faulty.forward_batch_into(&refs, &theta, &mut scratch2);
+        assert_eq!(clean.as_slice(), wrapped);
     }
 
     #[test]

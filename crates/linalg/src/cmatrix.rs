@@ -143,6 +143,38 @@ impl CMatrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Borrows row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [C64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrows adjacent rows `r` and `r + 1` as two mutable slices — the
+    /// operand shape of a 2×2 MZI rotation applied across all columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r + 1 >= self.rows()`.
+    #[inline]
+    pub fn rows_pair_mut(&mut self, r: usize) -> (&mut [C64], &mut [C64]) {
+        assert!(r + 1 < self.rows, "row pair out of bounds");
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut((r + 1) * cols);
+        (&mut head[r * cols..], &mut tail[..cols])
+    }
+
+    /// Reshapes to the `n × n` identity in place, reusing the allocation
+    /// whenever it is large enough.
+    pub fn reset_identity(&mut self, n: usize) {
+        self.rows = n;
+        self.cols = n;
+        self.data.clear();
+        self.data.resize(n * n, C64::ZERO);
+        for i in 0..n {
+            self.data[i * n + i] = C64::ONE;
+        }
+    }
+
     /// Extracts column `c` as a vector.
     pub fn col(&self, c: usize) -> CVector {
         CVector::from_fn(self.rows, |r| self[(r, c)])

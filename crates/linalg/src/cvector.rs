@@ -107,6 +107,14 @@ impl CVector {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Overwrites this vector with the complex slice `src`, reusing the
+    /// existing allocation when possible — the panel-column ↔ vector
+    /// transfer primitive of the batched forward paths.
+    pub fn copy_from_slice(&mut self, src: &[C64]) {
+        self.data.clear();
+        self.data.extend_from_slice(src);
+    }
+
     /// Overwrites this vector with the real slice `xs` (imaginary parts
     /// zero), reusing the existing allocation when possible.
     pub fn copy_from_real_slice(&mut self, xs: &[f64]) {

@@ -14,6 +14,9 @@
 //!   definite matrices (also the engine for `N(0, Σ)` sampling);
 //! - [`CQr`]: Householder QR;
 //! - [`symmetric_eig`] / [`hermitian_eig`]: Jacobi eigensolvers;
+//! - [`CPanel`] / [`gemm_into`] / [`mzi_rotate`]: packed `N×B` multi-RHS
+//!   panels and the blocked complex GEMM / fused-rotation kernels behind
+//!   the compiled batched forward paths;
 //! - [`random`]: seeded Gaussian vectors, Ginibre matrices and Haar-random
 //!   unitaries.
 //!
@@ -47,6 +50,7 @@ mod cmatrix;
 mod cvector;
 mod eig;
 mod error;
+mod gemm;
 mod lu;
 mod qr;
 mod rmatrix;
@@ -60,6 +64,7 @@ pub use cmatrix::CMatrix;
 pub use cvector::CVector;
 pub use eig::{hermitian_eig, symmetric_eig, HermitianEig, SymmetricEig};
 pub use error::{LinalgError, Result};
+pub use gemm::{gemm_into, mzi_rotate, scale_slice, CPanel};
 pub use lu::{CLu, RLu};
 pub use qr::CQr;
 pub use rmatrix::RMatrix;

@@ -23,6 +23,12 @@
 //! the natural-gradient step restricted to the probed subspace. The Gram
 //! matrix `PᵀFP` is assembled matrix-free from `Q` Fisher-vector products —
 //! never materializing the `N×N` Fisher.
+//!
+//! Cost split: the `Q` probe losses ride the compiled batched chip path
+//! (`chip_batch_loss_pooled`: one cached-unitary GEMM per batch block),
+//! while the Fisher-vector products stay on the interpreted tape machinery —
+//! they need per-op forward tangents, which a fused dense matrix no longer
+//! exposes.
 
 use photon_exec::ExecPool;
 use rand::Rng;

@@ -16,7 +16,10 @@
 //!
 //! All decisions are functions of measured values only — never of thread
 //! scheduling — so with a content-deterministic chip (see `photon-faults`)
-//! the robust estimates stay bitwise identical across pool sizes.
+//! the robust estimates stay bitwise identical across pool sizes. This
+//! holds on the compiled batched loss path too: batch blocks are fixed-size
+//! and index-ordered, so every re-measured loss reads the same content keys
+//! regardless of pool size.
 //!
 //! [`estimate_gradient_pooled`]: crate::estimate_gradient_pooled
 //! [`lcng_direction_pooled`]: crate::lcng_direction_pooled

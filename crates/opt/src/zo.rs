@@ -10,6 +10,11 @@
 //! Perturbation families: Gaussian (`N(0, I)`), Bernoulli sign vectors,
 //! coordinate-wise one-hot probes, and covariance-shaped Gaussian draws
 //! (used by the layered-perturbation extension).
+//!
+//! The loss closure is opaque to the estimator; in the training loop it is
+//! `chip_batch_loss_pooled`, which evaluates each probe's batch through the
+//! compiled batched chip path (one cached-unitary GEMM per block), so the
+//! per-probe cost is `O(ops·N) + O(N²·B)` rather than `O(ops·B)`.
 
 use photon_exec::ExecPool;
 use rand::Rng;

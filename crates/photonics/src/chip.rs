@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector, C64};
 
+use crate::compiled::CompiledNetwork;
 use crate::error::{ErrorModel, ErrorVector};
 use crate::network::{Architecture, Network, NetworkError, NetworkScratch};
 
@@ -53,6 +54,52 @@ impl ChipScratch {
     /// corrupt a reading in place after the underlying chip produced it.
     pub fn powers_mut(&mut self) -> &mut RVector {
         &mut self.powers
+    }
+}
+
+/// Reusable buffers for the batched chip measurement paths
+/// ([`OnnChip::forward_batch_into`],
+/// [`OnnChip::forward_powers_batch_into`]).
+///
+/// Owns the [`CompiledNetwork`] plan (cached compiled unitaries), the
+/// per-sample output buffers, and an inner [`ChipScratch`] used by
+/// decorators and default implementations that fall back to per-sample
+/// evaluation. One scratch belongs to one evaluation thread; after the
+/// first batch at fixed dimensions no heap allocation is performed.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    plan: CompiledNetwork,
+    theta_eff: RVector,
+    fields: Vec<CVector>,
+    powers: Vec<RVector>,
+    chip: ChipScratch,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow to the chip's dimensions on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Mutable access to the per-sample field buffers the last
+    /// [`OnnChip::forward_batch_into`] wrote (may be longer than the last
+    /// batch; entry `b` holds sample `b`). Fault layers use this to corrupt
+    /// readings in place after the underlying chip produced them.
+    pub fn fields_mut(&mut self) -> &mut [CVector] {
+        &mut self.fields
+    }
+
+    /// Mutable access to the per-sample power buffers the last
+    /// [`OnnChip::forward_powers_batch_into`] wrote. Fault layers use this
+    /// to corrupt readings in place after the underlying chip produced them.
+    pub fn powers_mut(&mut self) -> &mut [RVector] {
+        &mut self.powers
+    }
+
+    /// Recompile count of the owned compiled plan — see
+    /// [`CompiledNetwork::generation`].
+    pub fn generation(&self) -> u64 {
+        self.plan.generation()
     }
 }
 
@@ -96,6 +143,54 @@ pub trait OnnChip: Sync {
         theta: &RVector,
         scratch: &'s mut ChipScratch,
     ) -> &'s RVector;
+
+    /// Programs the phases to `theta` once and measures the output *fields*
+    /// for a whole batch of inputs, counting `xs.len()` chip queries.
+    /// Returns one output vector per input, in order.
+    ///
+    /// The default falls back to per-sample [`OnnChip::forward_into`] calls
+    /// — bitwise-identical to a caller-side loop, so decorators that only
+    /// override the per-sample path keep their exact semantics.
+    /// [`FabricatedChip`] overrides this with the compiled-plan GEMM path,
+    /// which matches the interpreted walk to rounding (≤1e-12) but not
+    /// bitwise.
+    fn forward_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [CVector] {
+        if scratch.fields.len() < xs.len() {
+            scratch.fields.resize_with(xs.len(), CVector::default);
+        }
+        let BatchScratch { fields, chip, .. } = scratch;
+        for (slot, x) in fields.iter_mut().zip(xs.iter()) {
+            slot.copy_from(self.forward_into(x, theta, chip));
+        }
+        &scratch.fields[..xs.len()]
+    }
+
+    /// Programs the phases to `theta` once and measures the per-port output
+    /// *powers* for a whole batch of inputs, counting `xs.len()` chip
+    /// queries. Returns one power vector per input, in order.
+    ///
+    /// Default and override semantics mirror
+    /// [`OnnChip::forward_batch_into`].
+    fn forward_powers_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [RVector] {
+        if scratch.powers.len() < xs.len() {
+            scratch.powers.resize_with(xs.len(), RVector::default);
+        }
+        let BatchScratch { powers, chip, .. } = scratch;
+        for (slot, x) in powers.iter_mut().zip(xs.iter()) {
+            slot.copy_from(self.forward_powers_into(x, theta, chip));
+        }
+        &scratch.powers[..xs.len()]
+    }
 
     /// Allocating convenience wrapper over [`OnnChip::forward_into`].
     fn forward(&self, x: &CVector, theta: &RVector) -> CVector {
@@ -396,6 +491,117 @@ impl FabricatedChip {
         powers
     }
 
+    /// Batched field measurement through the compiled plan: one cached
+    /// `theta`-compile plus one multi-RHS GEMM per linear stage, instead of
+    /// `xs.len()` interpreted op walks. Counts `xs.len()` chip queries.
+    ///
+    /// Thermal crosstalk is resolved once per batch (it depends only on
+    /// `theta`); readout noise is drawn per sample in batch order from the
+    /// same seeded stream as the per-sample path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/parameter shape mismatch.
+    pub fn forward_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [CVector] {
+        if xs.is_empty() {
+            return &scratch.fields[..0];
+        }
+        self.queries.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        let BatchScratch {
+            plan,
+            theta_eff,
+            fields,
+            ..
+        } = scratch;
+        let th = self.effective_theta(theta, theta_eff);
+        let panel = plan.forward_batch(&self.network, th, xs);
+        if fields.len() < xs.len() {
+            fields.resize_with(xs.len(), CVector::default);
+        }
+        for (j, slot) in fields.iter_mut().take(xs.len()).enumerate() {
+            slot.copy_from_slice(panel.col(j));
+        }
+        if let Some(noise) = self.noise {
+            let mut rng = self.noise_rng.lock();
+            for slot in fields.iter_mut().take(xs.len()) {
+                for v in slot.iter_mut() {
+                    *v += C64::new(
+                        noise.field * standard_normal(&mut *rng),
+                        noise.field * standard_normal(&mut *rng),
+                    );
+                }
+            }
+        }
+        &scratch.fields[..xs.len()]
+    }
+
+    /// Batched power measurement through the compiled plan — see
+    /// [`FabricatedChip::forward_batch_into`]. Counts `xs.len()` chip
+    /// queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/parameter shape mismatch.
+    pub fn forward_powers_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [RVector] {
+        if xs.is_empty() {
+            return &scratch.powers[..0];
+        }
+        self.queries.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        let BatchScratch {
+            plan,
+            theta_eff,
+            powers,
+            ..
+        } = scratch;
+        let th = self.effective_theta(theta, theta_eff);
+        let panel = plan.forward_batch(&self.network, th, xs);
+        if powers.len() < xs.len() {
+            powers.resize_with(xs.len(), RVector::default);
+        }
+        for (j, slot) in powers.iter_mut().take(xs.len()).enumerate() {
+            let col = panel.col(j);
+            slot.resize_zeroed(col.len());
+            for (p, z) in slot.iter_mut().zip(col.iter()) {
+                *p = z.norm_sqr();
+            }
+        }
+        if let Some(noise) = self.noise {
+            let mut rng = self.noise_rng.lock();
+            for slot in powers.iter_mut().take(xs.len()) {
+                for p in slot.iter_mut() {
+                    *p = (*p
+                        + noise.shot * p.sqrt() * standard_normal(&mut *rng)
+                        + noise.floor * standard_normal(&mut *rng))
+                    .max(0.0);
+                }
+            }
+        }
+        &scratch.powers[..xs.len()]
+    }
+
+    /// Resolves thermal crosstalk once per measurement: returns `theta`
+    /// unchanged when crosstalk is disabled, otherwise the effective phases
+    /// written into `theta_eff`.
+    fn effective_theta<'t>(&self, theta: &'t RVector, theta_eff: &'t mut RVector) -> &'t RVector {
+        if self.crosstalk == 0.0 {
+            theta
+        } else {
+            self.network
+                .apply_thermal_crosstalk_into(theta, self.crosstalk, theta_eff);
+            theta_eff
+        }
+    }
+
     /// Total number of forward queries issued so far — the currency every
     /// black-box training method is charged in.
     pub fn query_count(&self) -> u64 {
@@ -461,6 +667,24 @@ impl OnnChip for FabricatedChip {
         scratch: &'s mut ChipScratch,
     ) -> &'s RVector {
         FabricatedChip::forward_powers_into(self, x, theta, scratch)
+    }
+
+    fn forward_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [CVector] {
+        FabricatedChip::forward_batch_into(self, xs, theta, scratch)
+    }
+
+    fn forward_powers_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        theta: &RVector,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [RVector] {
+        FabricatedChip::forward_powers_batch_into(self, xs, theta, scratch)
     }
 
     fn query_count(&self) -> u64 {
@@ -684,6 +908,54 @@ mod tests {
         let out = net.apply_thermal_crosstalk(&e, coupling);
         assert_eq!(out[m0.end - 2], coupling);
         assert_eq!(out[m1.start], 0.0);
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample() {
+        let (chip, mut rng) = chip_and_rng();
+        let crosstalk_chip = FabricatedChip::with_errors(
+            &Architecture::single_mesh(4, 4).unwrap(),
+            &chip.oracle_errors(),
+        )
+        .unwrap()
+        .with_thermal_crosstalk(0.02);
+        let theta = chip.init_params(&mut rng);
+        let xs: Vec<CVector> = (0..5)
+            .map(|_| photon_linalg::random::normal_cvector(4, &mut rng))
+            .collect();
+        let refs: Vec<&CVector> = xs.iter().collect();
+        for c in [&chip, &crosstalk_chip] {
+            let mut batch = BatchScratch::new();
+            let mut single = ChipScratch::new();
+            let fields: Vec<CVector> = c
+                .forward_batch_into(&refs, &theta, &mut batch)
+                .to_vec();
+            let powers: Vec<RVector> = c
+                .forward_powers_batch_into(&refs, &theta, &mut batch)
+                .to_vec();
+            assert_eq!(fields.len(), 5);
+            for (j, x) in xs.iter().enumerate() {
+                let want_f = c.forward_into(x, &theta, &mut single).clone();
+                assert!((&fields[j] - &want_f).max_abs() < 1e-12, "field {j}");
+                let want_p = c.forward_powers_into(x, &theta, &mut single).clone();
+                assert!((&powers[j] - &want_p).max_abs() < 1e-12, "powers {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_counts_batch_queries() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let xs: Vec<CVector> = (0..6).map(|k| CVector::basis(4, k % 4)).collect();
+        let refs: Vec<&CVector> = xs.iter().collect();
+        let mut scratch = BatchScratch::new();
+        chip.forward_batch_into(&refs, &theta, &mut scratch);
+        assert_eq!(chip.query_count(), 6);
+        chip.forward_powers_batch_into(&refs[..2], &theta, &mut scratch);
+        assert_eq!(chip.query_count(), 8);
+        // Same theta: the second call must have reused the compiled plan.
+        assert_eq!(scratch.generation(), 1);
     }
 
     #[test]

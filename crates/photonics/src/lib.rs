@@ -13,6 +13,9 @@
 //!   tangent pass);
 //! - the black-box chip abstraction ([`FabricatedChip`]): hidden fabrication
 //!   errors, query counting, oracle escape hatches for upper-bound baselines;
+//! - compiled forward plans ([`CompiledNetwork`], [`BatchScratch`]): cached
+//!   dense unitaries applied batch-wide as multi-RHS GEMMs through
+//!   [`OnnChip::forward_batch_into`] / [`OnnChip::forward_powers_batch_into`];
 //! - Fisher-information machinery ([`fisher_vector_product`],
 //!   [`module_fisher_block`], [`output_covariance`]) used by the linear
 //!   combination natural gradient optimizer.
@@ -42,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 mod chip;
+mod compiled;
 mod electrooptic;
 mod error;
 mod fisher;
@@ -53,9 +57,10 @@ mod network;
 mod ops;
 
 pub use chip::{
-    calibrated_model, ideal_model, ChipScratch, FabricatedChip, MeasurementNoise, ModelKind,
-    OnnChip,
+    calibrated_model, ideal_model, BatchScratch, ChipScratch, FabricatedChip, MeasurementNoise,
+    ModelKind, OnnChip,
 };
+pub use compiled::CompiledNetwork;
 pub use electrooptic::ElectroOptic;
 pub use error::{
     zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector, ErrorVectorError,

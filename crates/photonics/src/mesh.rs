@@ -224,9 +224,12 @@ impl OnnModule for MeshModule {
         (out, tape)
     }
 
+    // Dimension checks in the per-op hot paths are debug-only: callers go
+    // through the validated `Network`/chip boundary, which asserts input and
+    // parameter lengths once per evaluation.
     fn forward_into(&self, x: &CVector, theta: &[f64], out: &mut CVector) {
-        assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        debug_assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        debug_assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
         out.copy_from(x);
         for op in &self.ops {
             op.apply(out, theta);
@@ -234,8 +237,8 @@ impl OnnModule for MeshModule {
     }
 
     fn forward_tape_into(&self, x: &CVector, theta: &[f64], out: &mut CVector, tape: &mut ModuleTape) {
-        assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        debug_assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        debug_assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
         // Push-then-apply: each slot is seeded with a copy of its
         // predecessor and the op is applied in place, instead of mutating a
         // running state and cloning it per op.
@@ -245,6 +248,19 @@ impl OnnModule for MeshModule {
             op.apply(tape.advance(i), theta);
         }
         out.copy_from(tape.output());
+    }
+
+    fn is_compilable(&self) -> bool {
+        true
+    }
+
+    fn compile_apply(&self, theta: &[f64], acc: &mut CMatrix) -> bool {
+        debug_assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        debug_assert_eq!(acc.rows(), self.dim, "accumulator row mismatch");
+        for op in &self.ops {
+            op.apply_to_rows(acc, theta);
+        }
+        true
     }
 
     fn jvp(&self, tape: &ModuleTape, theta: &[f64], dx: &CVector, dtheta: &[f64]) -> CVector {
@@ -480,6 +496,33 @@ mod tests {
         let y = m.forward(&x, &theta);
         for k in 0..3 {
             assert!((y[k] - C64::cis(theta[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compile_matrix_matches_transfer_matrix() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for module in [
+            MeshModule::clements(6, 6),
+            MeshModule::clements(6, 3),
+            MeshModule::reck(5),
+            MeshModule::phase_diag(4),
+        ] {
+            let (n_bs, n_ps) = module.error_slots();
+            let ev = ErrorVector::sample(n_bs, n_ps, &ErrorModel::with_beta(2.0), &mut rng);
+            let noisy = module.with_errors(&mut ErrorCursor::new(&ev)).unwrap();
+            let theta = random_theta(noisy.param_count(), &mut rng);
+            let compiled = noisy.compile_matrix(&theta).expect("meshes are compilable");
+            let mut reference = CMatrix::zeros(module.input_dim(), module.input_dim());
+            for k in 0..module.input_dim() {
+                let y = noisy.forward(&CVector::basis(module.input_dim(), k), &theta);
+                reference.set_col(k, &y);
+            }
+            assert!(
+                (&compiled - &reference).max_abs() < 1e-13,
+                "{} compiled matrix diverges",
+                module.name()
+            );
         }
     }
 

@@ -91,9 +91,11 @@ impl OnnModule for ModRelu {
         )
     }
 
+    // Debug-only checks: lengths are validated once at the `Network`/chip
+    // boundary before the per-module hot loop runs.
     fn forward_into(&self, x: &CVector, theta: &[f64], out: &mut CVector) {
-        assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        assert_eq!(theta.len(), self.dim, "parameter count mismatch");
+        debug_assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        debug_assert_eq!(theta.len(), self.dim, "parameter count mismatch");
         out.resize_zeroed(self.dim);
         for (k, o) in out.iter_mut().enumerate() {
             let z = x[k];

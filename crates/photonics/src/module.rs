@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use photon_linalg::CVector;
+use photon_linalg::{CMatrix, CVector};
 
 use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
 
@@ -158,6 +158,42 @@ pub trait OnnModule: fmt::Debug + Send + Sync {
         let (y, t) = self.forward_tape(x, theta);
         *out = y;
         *tape = t;
+    }
+
+    /// `true` when this module is linear in the optical field for fixed
+    /// `theta`, i.e. representable as a dense transfer matrix that
+    /// [`OnnModule::compile_apply`] can build. Element-wise nonlinear
+    /// modules (modReLU, electro-optic activations) return `false`.
+    fn is_compilable(&self) -> bool {
+        false
+    }
+
+    /// Premultiplies this module's transfer matrix onto the accumulator
+    /// `acc` (shape `N×W` for any panel width `W`), returning `true` on
+    /// success or `false` when the module is not compilable (in which case
+    /// `acc` is untouched).
+    ///
+    /// Walking the op list over `acc`'s rows costs `O(ops·W)` with the trig
+    /// hoisted to once per op; consecutive compilable modules chain on the
+    /// same accumulator, fusing a whole linear run into one matrix without
+    /// any `O(N³)` matrix-matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic (debug assertions) when
+    /// `theta.len() != self.param_count()` or `acc.rows()` does not match
+    /// the module dimension.
+    fn compile_apply(&self, theta: &[f64], acc: &mut CMatrix) -> bool {
+        let _ = (theta, acc);
+        false
+    }
+
+    /// Compiles this module's dense transfer matrix at `theta` (errors are
+    /// already baked into the op list), or `None` when the module is
+    /// nonlinear and has no fixed transfer matrix.
+    fn compile_matrix(&self, theta: &[f64]) -> Option<CMatrix> {
+        let mut acc = CMatrix::identity(self.input_dim());
+        self.compile_apply(theta, &mut acc).then_some(acc)
     }
 
     /// Forward-mode derivative: the output tangent produced by input tangent

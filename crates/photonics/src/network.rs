@@ -412,6 +412,7 @@ impl Network {
     /// Panics when `x.len() != self.input_dim()` or
     /// `theta.len() != self.param_count()`.
     pub fn forward(&self, x: &CVector, theta: &RVector) -> CVector {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
         assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
         let mut state = x.clone();
         for (i, m) in self.modules.iter().enumerate() {
@@ -457,6 +458,9 @@ impl Network {
         theta: &RVector,
         scratch: &'s mut NetworkScratch,
     ) -> &'s CVector {
+        // The single validated boundary check: module-level hot loops below
+        // only carry debug assertions.
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
         assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
         scratch.ping.copy_from(x);
         let mut cur_is_ping = true;
@@ -497,6 +501,7 @@ impl Network {
         out: &mut CVector,
         tape: &mut NetworkTape,
     ) {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
         assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
         assert_eq!(
             tape.tapes.len(),

@@ -9,7 +9,7 @@
 use std::f64::consts::FRAC_PI_2;
 
 
-use photon_linalg::{CVector, C64};
+use photon_linalg::{mzi_rotate, scale_slice, CMatrix, CVector, C64};
 
 /// A primitive operation in a linear photonic module.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +53,28 @@ impl Op {
                 let b = state[port + 1];
                 state[port] = a.scale(c) + C64::new(-s * b.im, s * b.re);
                 state[port + 1] = C64::new(-s * a.im, s * a.re) + b.scale(c);
+            }
+        }
+    }
+
+    /// Applies the op to every column of an accumulating transfer matrix at
+    /// once, premultiplying the op's 2×2 (or 1×1) block onto `acc`.
+    ///
+    /// This is the compile-time dual of [`Op::apply`]: walking a module's
+    /// op list over an identity-seeded `acc` builds the module's dense
+    /// transfer matrix in `O(ops·N)` with the trig evaluated once per op
+    /// instead of once per sample. Row-major `acc` makes each op touch one
+    /// or two contiguous rows, serviced by the fused multi-RHS kernels.
+    #[inline]
+    pub fn apply_to_rows(&self, acc: &mut CMatrix, theta: &[f64]) {
+        match *self {
+            Op::Ps { port, param, zeta } => {
+                scale_slice(acc.row_mut(port), zeta * C64::cis(theta[param]));
+            }
+            Op::Bs { port, gamma } => {
+                let phi = (FRAC_PI_2 + gamma) / 2.0;
+                let (top, bot) = acc.rows_pair_mut(port);
+                mzi_rotate(top, bot, phi.cos(), phi.sin());
             }
         }
     }
@@ -269,6 +291,42 @@ mod tests {
             assert!((&x - &expected).max_abs() < 1e-12);
         }
         assert!(reference.is_unitary(1e-12));
+    }
+
+    /// `apply_to_rows` on an identity-seeded matrix must reproduce the
+    /// column-by-column basis push of `apply` exactly.
+    #[test]
+    fn apply_to_rows_matches_basis_push() {
+        let ops = [
+            Op::Ps {
+                port: 1,
+                param: 0,
+                zeta: C64::from_polar(0.97, 0.1),
+            },
+            Op::Bs { port: 0, gamma: 0.2 },
+            Op::Bs {
+                port: 1,
+                gamma: -0.1,
+            },
+            Op::Ps {
+                port: 2,
+                param: 1,
+                zeta: C64::ONE,
+            },
+        ];
+        let theta = [0.3, -1.1];
+        let mut acc = CMatrix::identity(3);
+        for op in &ops {
+            op.apply_to_rows(&mut acc, &theta);
+        }
+        for basis in 0..3 {
+            let mut x = CVector::basis(3, basis);
+            for op in &ops {
+                op.apply(&mut x, &theta);
+            }
+            let col = acc.col(basis);
+            assert!((&x - &col).max_abs() < 1e-14, "basis column {basis}");
+        }
     }
 
     #[test]

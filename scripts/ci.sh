@@ -14,4 +14,18 @@ cargo clippy --offline --all-targets --workspace -- -D warnings
 cargo test -q --offline --test fault_injection
 cargo run --release --offline --example faulty_chip_training >/dev/null
 
+# Perf gate: quick run of the compiled-vs-interpreted forward bench. This
+# regenerates BENCH_gemm.json at the workspace root and fails loudly if the
+# compiled path stops beating the interpreted one (guards against silent
+# regressions in the GEMM/compile plumbing).
+cargo bench -q --offline -p photon-bench --bench gemm_forward >/dev/null
+python3 - <<'EOF'
+import json
+with open("BENCH_gemm.json") as f:
+    report = json.load(f)
+speedup = report["speedup_compiled_vs_interpreted"]
+assert speedup == speedup and speedup > 1.0, f"compiled path slower than interpreted: {speedup}"
+print(f"ci: gemm_forward speedup {speedup:.2f}x")
+EOF
+
 echo "ci: all gates green"

@@ -56,6 +56,48 @@ fn batch_loss_and_gradients_are_pool_size_invariant() {
 }
 
 #[test]
+fn batched_compiled_paths_are_pool_size_invariant_across_blocks() {
+    // 80 samples spans multiple fixed-size batch blocks, so this exercises
+    // the block partition of the compiled GEMM paths, not just one panel.
+    use photon_zo::core::{evaluate_chip_pooled, ClassificationHead};
+    use photon_zo::data::GaussianClusters;
+    use photon_zo::photonics::{Architecture, ErrorModel, FabricatedChip};
+
+    let mut rng = StdRng::seed_from_u64(51);
+    let arch = Architecture::single_mesh(4, 2).unwrap();
+    let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+    let data = GaussianClusters::new(4, 4, 0.1)
+        .generate(80, &mut rng)
+        .unwrap();
+    let head = ClassificationHead::new(4, 4, 10.0).unwrap();
+    let theta = chip.init_params(&mut rng);
+    let idx: Vec<usize> = (0..80).collect();
+
+    let serial = ExecPool::serial();
+    let loss_ref = chip_batch_loss_pooled(&chip, &data, &idx, &head, &theta, &serial);
+    let ev_ref = evaluate_chip_pooled(&chip, &data, &head, &theta, &serial);
+
+    for threads in [1usize, 3, 4] {
+        let pool = ExecPool::new(threads);
+        let loss = chip_batch_loss_pooled(&chip, &data, &idx, &head, &theta, &pool);
+        assert_eq!(
+            loss.to_bits(),
+            loss_ref.to_bits(),
+            "batched chip loss diverged at {threads} threads"
+        );
+        let ev = evaluate_chip_pooled(&chip, &data, &head, &theta, &pool);
+        assert_eq!(
+            ev.loss.to_bits(),
+            ev_ref.loss.to_bits(),
+            "batched evaluation loss diverged at {threads} threads"
+        );
+        assert_eq!(ev.accuracy, ev_ref.accuracy);
+    }
+    // Every pooled sweep above queried each sample exactly once.
+    assert_eq!(chip.query_count(), 2 * 4 * 80);
+}
+
+#[test]
 fn zo_estimates_and_lcng_directions_are_pool_size_invariant() {
     let task = build_task(&TaskSpec::quick(4), 43).unwrap();
     let mut rng = StdRng::seed_from_u64(44);
