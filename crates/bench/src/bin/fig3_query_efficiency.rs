@@ -49,6 +49,16 @@ fn main() {
     for method in methods {
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0x32b);
         let mut theta = theta0.clone();
+        // With --trace, each method writes its own JSONL artifact whose
+        // query_ledger events break the cumulative counts down by category.
+        let mut config = config.clone();
+        config.trace = args.trace_handle(&format!(
+            "fig3_{}_trace",
+            method
+                .label()
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        ));
         match trainer.finetune(method, &config, &mut theta, &mut rng) {
             Ok(out) => {
                 for rec in &out.history {

@@ -45,6 +45,12 @@ fn main() {
             config.warm_epochs = args.pick(3, 10);
             config.epochs = args.pick(6, 40);
             config.batch_size = args.pick(25, 100);
+            // With --trace, every run of this (task, K) cell appends its
+            // span of events to one JSONL artifact next to the CSVs.
+            config.trace = args.trace_handle(&format!(
+                "table1_{}_k{k}_trace",
+                kind.label().to_lowercase().replace('-', "_")
+            ));
 
             // CMA only at the smallest width — it does not scale (the same
             // failure the paper reports).
@@ -80,7 +86,7 @@ fn main() {
             let best_idx = results
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.accuracy.mean.partial_cmp(&b.1.accuracy.mean).unwrap())
+                .max_by(|a, b| a.1.accuracy.mean.total_cmp(&b.1.accuracy.mean))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             for (i, res) in results.iter().enumerate() {

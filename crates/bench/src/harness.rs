@@ -4,11 +4,13 @@
 use std::path::PathBuf;
 
 use photon_core::{Method, ModelChoice};
+use photon_trace::TraceHandle;
 
 /// Command-line arguments shared by every experiment binary.
 ///
 /// Flags: `--quick` (small sizes for smoke runs), `--seed N`, `--runs N`,
-/// `--out DIR` (default `results/`).
+/// `--out DIR` (default `results/`), `--trace` (write per-run JSONL trace
+/// artifacts next to the CSVs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Use reduced sizes/epochs so the binary finishes in seconds.
@@ -19,6 +21,8 @@ pub struct BenchArgs {
     pub runs: usize,
     /// Output directory for CSV series.
     pub out_dir: PathBuf,
+    /// Write structured-telemetry JSONL artifacts into `out_dir`.
+    pub trace: bool,
 }
 
 impl BenchArgs {
@@ -44,11 +48,13 @@ impl BenchArgs {
             seed: 42,
             runs: 0,
             out_dir: PathBuf::from("results"),
+            trace: false,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => out.quick = true,
+                "--trace" => out.trace = true,
                 "--seed" => {
                     let v = it.next().expect("--seed needs a value");
                     out.seed = v.parse().expect("--seed must be an integer");
@@ -61,7 +67,9 @@ impl BenchArgs {
                     let v = it.next().expect("--out needs a value");
                     out.out_dir = PathBuf::from(v);
                 }
-                other => panic!("unknown flag {other}; known: --quick --seed --runs --out"),
+                other => {
+                    panic!("unknown flag {other}; known: --quick --seed --runs --out --trace")
+                }
             }
         }
         out
@@ -85,6 +93,23 @@ impl BenchArgs {
             quick
         } else {
             full
+        }
+    }
+
+    /// A trace handle for the artifact `<out_dir>/<name>.jsonl` when
+    /// `--trace` was given, else the null handle (zero overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the artifact file cannot be created (developer tool;
+    /// loud failure is the right behavior).
+    pub fn trace_handle(&self, name: &str) -> TraceHandle {
+        if self.trace {
+            let path = self.out_dir.join(format!("{name}.jsonl"));
+            TraceHandle::jsonl(&path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()))
+        } else {
+            TraceHandle::null()
         }
     }
 }
@@ -127,6 +152,15 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert_eq!(a.runs_or(2, 8), 8);
         assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn trace_flag_and_handle() {
+        let a = BenchArgs::from_iter(Vec::<String>::new());
+        assert!(!a.trace);
+        assert!(!a.trace_handle("x").is_enabled());
+        let b = BenchArgs::from_iter(["--trace".to_string()]);
+        assert!(b.trace);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rand::Rng;
 
 use photon_linalg::{LinalgError, RVector};
 use photon_photonics::{ErrorVector, Network, NetworkError, NetworkScratch, OnnChip};
+use photon_trace::{QueryCategory, TraceEvent, TraceHandle};
 
 use crate::gauss_newton::{levenberg_marquardt, LmSettings};
 use crate::probe::{measure_chip, Measurements, ProbePlan};
@@ -161,6 +162,41 @@ pub fn calibrate<C: OnnChip, R: Rng + ?Sized>(
     );
     let measured = measure_chip(chip, &plan);
     calibrate_from_measurements(chip, &plan, &measured, &settings.lm)
+}
+
+/// [`calibrate`], with telemetry: emits a [`TraceEvent::Calibration`] fit
+/// summary plus an epoch-0 [`TraceEvent::QueryLedger`] entry in the
+/// `Calibration` category covering the chip queries the measurement sweep
+/// actually consumed. With a null handle this is exactly [`calibrate`].
+///
+/// Use this for standalone (pre-training) calibration so a traced run's
+/// ledger accounts for every chip query; in-run recalibrations are ledgered
+/// by the trainer itself.
+///
+/// # Errors
+///
+/// See [`CalibError`].
+pub fn calibrate_traced<C: OnnChip, R: Rng + ?Sized>(
+    chip: &C,
+    settings: &CalibrationSettings,
+    rng: &mut R,
+    trace: &TraceHandle,
+) -> Result<CalibrationOutcome, CalibError> {
+    let before = chip.query_count();
+    let outcome = calibrate(chip, settings, rng)?;
+    let spent = chip.query_count().saturating_sub(before);
+    trace.emit(|| TraceEvent::Calibration {
+        queries: spent,
+        initial_cost: outcome.initial_cost,
+        fit_cost: outcome.fit_cost,
+        iterations: outcome.iterations as u64,
+    });
+    trace.emit(|| TraceEvent::QueryLedger {
+        epoch: 0,
+        category: QueryCategory::Calibration,
+        queries: spent,
+    });
+    Ok(outcome)
 }
 
 /// Calibrates from an existing measurement sweep (useful when the sweep is

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use photon_calib::{calibrate, CalibrationSettings};
+use photon_calib::{calibrate_traced, CalibrationSettings};
 use photon_data::{images_to_dataset, Dataset, GaussianClusters, SyntheticFashion, SyntheticMnist};
 use photon_photonics::{Architecture, ErrorModel, FabricatedChip};
 
@@ -212,7 +212,10 @@ pub fn run_method(
 
         let mut trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
         if let Some(cal_settings) = calibration {
-            let outcome = calibrate(&task.chip, cal_settings, &mut rng)
+            // Pre-run calibration goes through the traced entry point so a
+            // traced experiment ledgers its epoch-0 spend; with a null sink
+            // this is identical to plain `calibrate`.
+            let outcome = calibrate_traced(&task.chip, cal_settings, &mut rng, &config.trace)
                 .map_err(|e| CoreError::InvalidConfig(format!("calibration: {e}")))?;
             trainer = trainer.with_calibrated_model(outcome.model);
         }

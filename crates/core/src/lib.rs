@@ -49,7 +49,7 @@ pub use metrics::{
     evaluate_chip_pooled, model_batch_loss, model_batch_loss_and_grad,
     model_batch_loss_and_grad_pooled, Evaluation,
 };
-pub use report::{downsample, recovery_report, sparkline, CsvWriter, TextTable};
+pub use report::{downsample, recovery_report, sparkline, trace_summary, CsvWriter, TextTable};
 pub use stats::{mann_whitney_u, normal_sf, MannWhitney, RunSummary};
 pub use trainer::{
     EpochRecord, Method, ModelChoice, RecoveryEvent, RecoveryPolicy, RecoveryStats, TrainConfig,

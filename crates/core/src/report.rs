@@ -6,6 +6,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use photon_trace::{LedgerCounts, TraceEvent};
+
 use crate::trainer::{RecoveryEvent, TrainOutcome};
 
 /// A fixed-width plain-text table builder.
@@ -275,9 +277,210 @@ pub fn downsample(values: &[f64], max_points: usize) -> Vec<f64> {
     out
 }
 
+/// Renders a recorded trace (e.g. from a
+/// [`photon_trace::MemorySink`]) as a plain-text block: run header,
+/// per-epoch progress lines, the aggregated query ledger, and the
+/// cache/pool/reconciliation footers.
+///
+/// Returns `"no trace events"` for an empty slice, so callers can embed the
+/// result unconditionally.
+#[must_use]
+pub fn trace_summary(events: &[TraceEvent]) -> String {
+    if events.is_empty() {
+        return "no trace events".to_string();
+    }
+    let mut out = String::new();
+    let mut ledger = LedgerCounts::new();
+    let mut epochs = 0u64;
+    for event in events {
+        match event {
+            TraceEvent::RunStart {
+                method,
+                epochs,
+                batch_size,
+                probes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "run [{method}]: {epochs} epochs, batch {batch_size}, Q={probes}"
+                );
+            }
+            TraceEvent::EpochSpan {
+                epoch,
+                train_loss,
+                test_accuracy,
+                learning_rate,
+                wall_secs,
+                training_queries,
+                ..
+            } => {
+                epochs = epochs.max(*epoch);
+                let acc = match test_accuracy {
+                    Some(a) => format!("{:.2}%", a * 100.0),
+                    None => "--".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  epoch {epoch:>3}: loss {train_loss:.4e}  acc {acc:>7}  \
+                     lr {learning_rate:.3e}  queries {training_queries:>8}  \
+                     t {wall_secs:.2}s"
+                );
+            }
+            TraceEvent::QueryLedger {
+                category, queries, ..
+            } => ledger.add(*category, *queries),
+            TraceEvent::Calibration {
+                queries,
+                initial_cost,
+                fit_cost,
+                iterations,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  calibration: cost {initial_cost:.4e} -> {fit_cost:.4e} \
+                     in {iterations} iters ({queries} queries)"
+                );
+            }
+            TraceEvent::Rollback {
+                epoch,
+                iteration,
+                loss,
+                new_lr,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  rollback    epoch {epoch:>3} iter {iteration:>5}: \
+                     loss {loss:.4e}, lr -> {new_lr:.3e}"
+                );
+            }
+            TraceEvent::Recalibration {
+                epoch,
+                fidelity_before,
+                fidelity_after,
+                adopted,
+                ..
+            } => {
+                let verdict = if *adopted { "adopted" } else { "rejected" };
+                let _ = writeln!(
+                    out,
+                    "  recalibrate epoch {epoch:>3}: fidelity \
+                     {fidelity_before:.4} -> {fidelity_after:.4} ({verdict})"
+                );
+            }
+            TraceEvent::FaultStats {
+                step,
+                dropped,
+                spiked,
+                bursts,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  faults      step {step:>5}: {dropped} dropped, \
+                     {spiked} spiked, {bursts} bursts"
+                );
+            }
+            TraceEvent::CacheStats {
+                hits,
+                misses,
+                invalidations,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "cache: {hits} hits, {misses} misses, {invalidations} invalidations"
+                );
+            }
+            TraceEvent::PoolStats {
+                threads,
+                map_calls,
+                items,
+                peak_worker_share_milli,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "pool: {threads} threads, {map_calls} calls, {items} items, \
+                     peak worker share {:.1}%",
+                    *peak_worker_share_milli as f64 / 10.0
+                );
+            }
+            TraceEvent::RunEnd {
+                training_queries,
+                eval_queries,
+                run_queries,
+                chip_query_count,
+                wall_secs,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "end: {training_queries} training + {eval_queries} eval = \
+                     {run_queries} run queries (chip total {chip_query_count}) \
+                     in {wall_secs:.2}s"
+                );
+            }
+        }
+    }
+    if ledger.total() > 0 {
+        let _ = writeln!(out, "query ledger ({} total):", ledger.total());
+        for (category, queries) in ledger.iter() {
+            if queries > 0 {
+                let _ = writeln!(out, "  {:<16} {queries:>10}", category.label());
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_summary_renders_ledger_and_reconciliation() {
+        use photon_trace::QueryCategory;
+        assert_eq!(trace_summary(&[]), "no trace events");
+        let events = vec![
+            TraceEvent::RunStart {
+                method: "ZO-LCNG(calib)".to_string(),
+                epochs: 1,
+                batch_size: 8,
+                probes: 20,
+            },
+            TraceEvent::QueryLedger {
+                epoch: 1,
+                category: QueryCategory::Probe,
+                queries: 40,
+            },
+            TraceEvent::QueryLedger {
+                epoch: 1,
+                category: QueryCategory::Eval,
+                queries: 10,
+            },
+            TraceEvent::EpochSpan {
+                epoch: 1,
+                train_loss: 0.5,
+                test_accuracy: Some(0.9),
+                test_loss: Some(0.4),
+                learning_rate: 0.01,
+                wall_secs: 0.1,
+                training_queries: 40,
+            },
+            TraceEvent::RunEnd {
+                method: "ZO-LCNG(calib)".to_string(),
+                training_queries: 40,
+                eval_queries: 10,
+                run_queries: 50,
+                chip_query_count: 50,
+                wall_secs: 0.1,
+            },
+        ];
+        let s = trace_summary(&events);
+        assert!(s.contains("run [ZO-LCNG(calib)]"));
+        assert!(s.contains("query ledger (50 total)"));
+        assert!(s.contains("probe"));
+        assert!(s.contains("90.00%"));
+        assert!(s.contains("40 training + 10 eval = 50 run queries"));
+    }
 
     #[test]
     fn sparkline_shapes() {

@@ -105,14 +105,21 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
         .map(|&v| (v, 0usize))
         .chain(b.iter().map(|&v| (v, 1usize)))
         .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    // `total_cmp`, not `partial_cmp().unwrap()`: fault-injected runs feed
+    // NaN losses into significance tests, and ranking must never panic.
+    // NaNs order after +inf, each forming its own "tie" group of one.
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
     let total = pooled.len();
     let mut ranks = vec![0.0f64; total];
     let mut tie_term = 0.0f64;
+    // Adjacent NaNs count as tied (IEEE `==` would split them into
+    // singleton groups, under-counting ties and making an all-NaN pool
+    // look significant).
+    let tied = |x: f64, y: f64| x == y || (x.is_nan() && y.is_nan());
     let mut i = 0;
     while i < total {
         let mut j = i;
-        while j + 1 < total && pooled[j + 1].0 == pooled[i].0 {
+        while j + 1 < total && tied(pooled[j + 1].0, pooled[i].0) {
             j += 1;
         }
         let midrank = (i + j) as f64 / 2.0 + 1.0;
@@ -135,7 +142,10 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
     let mean_u = n1 * n2 / 2.0;
     let n = n1 + n2;
     let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
-    if var_u <= 0.0 {
+    // When every pooled sample ties, the tie-corrected variance is exactly
+    // zero and z would be 0/0. The negated comparison also catches a NaN
+    // variance, so the p-value is always well-defined (never NaN).
+    if var_u.is_nan() || var_u <= 0.0 {
         // All values identical: no evidence of difference.
         return MannWhitney {
             u: u1,
@@ -223,6 +233,29 @@ mod tests {
         let a = [2.0; 6];
         let t = mann_whitney_u(&a, &a);
         assert_eq!(t.p_value, 1.0);
+        assert_eq!(t.annotation(), "ns");
+    }
+
+    #[test]
+    fn nan_samples_never_panic_or_poison_p() {
+        // Fault-injected runs can hand the test NaN losses; ranking must
+        // not panic and the p-value must stay a number.
+        let a = [0.1, f64::NAN, 0.2, 0.15];
+        let b = [0.4, 0.5, f64::NAN, 0.45];
+        let t = mann_whitney_u(&a, &b);
+        assert!(t.p_value.is_finite(), "p {}", t.p_value);
+        assert!((0.0..=1.0).contains(&t.p_value));
+    }
+
+    #[test]
+    fn all_nan_pool_has_well_defined_p() {
+        // Every pooled sample ties (NaN == NaN under total order ranking →
+        // one tie group), so the tie-corrected variance vanishes; the
+        // guard must return p = 1 rather than NaN.
+        let a = [f64::NAN; 4];
+        let t = mann_whitney_u(&a, &a);
+        assert_eq!(t.p_value, 1.0);
+        assert_eq!(t.z, 0.0);
         assert_eq!(t.annotation(), "ns");
     }
 

@@ -35,6 +35,7 @@ use photon_opt::{
     RobustEval, ZoSettings,
 };
 use photon_photonics::{ideal_model, FabricatedChip, Network, OnnChip};
+use photon_trace::{LedgerCounts, QueryCategory, TraceEvent, TraceHandle};
 
 use crate::loss::{ClassificationHead, CoreError};
 use crate::metrics::{
@@ -128,7 +129,7 @@ impl Method {
 }
 
 /// Hyperparameters shared by the two training stages.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Stage-1 warm-start epochs (backprop on the ideal model).
     pub warm_epochs: usize,
@@ -166,6 +167,13 @@ pub struct TrainConfig {
     /// [`RecoveryPolicy::standard`]) when the chip may drift, spike, or
     /// drop reads.
     pub recovery: RecoveryPolicy,
+    /// Telemetry sink. Defaults to the null handle, which keeps the
+    /// training hot paths allocation-free and the run bitwise identical to
+    /// an untraced one; attach a sink (e.g.
+    /// [`photon_trace::TraceHandle::jsonl`]) to receive structured
+    /// [`TraceEvent`]s — epoch spans, the per-category query ledger, cache
+    /// / pool counters and recovery actions.
+    pub trace: TraceHandle,
 }
 
 /// Self-healing policy: how the trainer reacts to faulty chip behaviour.
@@ -334,6 +342,7 @@ impl TrainConfig {
             mu_override: None,
             threads: None,
             recovery: RecoveryPolicy::disabled(),
+            trace: TraceHandle::null(),
         }
     }
 
@@ -354,6 +363,7 @@ impl TrainConfig {
             mu_override: None,
             threads: None,
             recovery: RecoveryPolicy::disabled(),
+            trace: TraceHandle::null(),
         }
     }
 }
@@ -505,12 +515,32 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
         // blocks — one cached-unitary GEMM per block instead of an
         // interpreted op walk per sample — so every ZO/LCNG/robust probe and
         // CMA-ES population member amortizes its compile over the batch.
-        let pool = ExecPool::with_threads(config.threads);
+        let trace = &config.trace;
+        let pool = if trace.is_enabled() {
+            // Instrumentation is telemetry-only (relaxed counters on the
+            // side); an instrumented pool schedules and computes exactly
+            // like a plain one.
+            ExecPool::with_threads(config.threads).instrumented()
+        } else {
+            ExecPool::with_threads(config.threads)
+        };
         let serial = ExecPool::serial();
         let start_queries = self.chip.query_count();
+        let cache_start = self.chip.cache_stats();
         let mut eval_queries: u64 = 0;
+        // Per-category attribution of every chip query this run spends.
+        // Kept even on untraced runs (plain u64 arithmetic) so the final
+        // debug_assert can reconcile the ledger against the chip's own
+        // counter in every test run.
+        let mut ledger = LedgerCounts::new();
         let start = Instant::now();
         let mut history = Vec::with_capacity(config.epochs);
+        trace.emit(|| TraceEvent::RunStart {
+            method: method.label(),
+            epochs: config.epochs as u64,
+            batch_size: config.batch_size as u64,
+            probes: config.q as u64,
+        });
 
         let zo = ZoSettings {
             q: config.q,
@@ -561,6 +591,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             let mut epoch_recovery = RecoveryStats::default();
+            let mut epoch_ledger = LedgerCounts::new();
             for batch in batcher.epoch(rng) {
                 // One serial control point per optimizer iteration: slow
                 // chip state (e.g. thermal drift on a fault-injecting chip)
@@ -590,6 +621,10 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                         | Method::ZoLc
                         | Method::Lcng { .. }
                 );
+                // Every chip query below happens at a serial point (the
+                // pooled estimators join before returning), so attributing
+                // spend by diffing the monotonic query counter is exact.
+                let base_q = self.chip.query_count();
                 let mut base = 0.0;
                 if needs_base {
                     base = chip_loss(theta);
@@ -623,20 +658,43 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                                         threshold: threshold.unwrap_or(f64::INFINITY),
                                         new_lr,
                                     });
+                                    trace.emit(|| TraceEvent::Rollback {
+                                        epoch: epoch as u64,
+                                        iteration: iteration as u64,
+                                        loss: base,
+                                        threshold: threshold.unwrap_or(f64::INFINITY),
+                                        new_lr,
+                                    });
                                     rolled_back = true;
                                 }
                             }
                             if rolled_back || !base.is_finite() {
                                 // Rolled back, or no good state to return
                                 // to and no finite base to estimate from:
-                                // drop the batch either way.
+                                // drop the batch either way. The wasted
+                                // measurements still ledger as batch loss.
+                                epoch_ledger.add(
+                                    QueryCategory::BatchLoss,
+                                    self.chip.query_count().saturating_sub(base_q),
+                                );
                                 iteration += 1;
                                 continue;
                             }
                         }
                     }
+                    epoch_ledger.add(
+                        QueryCategory::BatchLoss,
+                        self.chip.query_count().saturating_sub(base_q),
+                    );
                 }
 
+                // Queries inside the update step are probes, except the
+                // Fisher-metric refreshes, which are tracked separately:
+                // they are expected to cost zero chip queries (the metric
+                // comes from the calibrated software model — the paper's
+                // central claim), and the ledger makes that measurable.
+                let probe_q = self.chip.query_count();
+                let mut fisher_q: u64 = 0;
                 let loss_val = match method {
                     Method::ZoGaussian
                     | Method::ZoCoordinate
@@ -654,6 +712,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                             }
                             Method::ZoShaped { .. } => {
                                 if refresh || sigma_segments.is_none() {
+                                    let fq = self.chip.query_count();
                                     let model =
                                         metric_model.as_ref().expect("model resolved above");
                                     sigma_segments = Some(
@@ -669,6 +728,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                                             ))
                                         })?,
                                     );
+                                    fisher_q += self.chip.query_count().saturating_sub(fq);
                                 }
                                 pert_storage = sigma_segments.as_ref().unwrap();
                                 Perturbation::Shaped {
@@ -696,6 +756,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                         };
                         let grad = if let Method::ZoNg { .. } = method {
                             if refresh || preconditioner.is_none() {
+                                let fq = self.chip.query_count();
                                 let model = metric_model.as_ref().expect("model resolved above");
                                 preconditioner = Some(
                                     BlockNaturalPreconditioner::assemble(
@@ -711,6 +772,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                                         ))
                                     })?,
                                 );
+                                fisher_q += self.chip.query_count().saturating_sub(fq);
                             }
                             preconditioner.as_ref().unwrap().apply(&est.gradient)
                         } else {
@@ -789,6 +851,10 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                         loss
                     }
                 };
+                let step_spent = self.chip.query_count().saturating_sub(probe_q);
+                debug_assert!(fisher_q <= step_spent);
+                epoch_ledger.add(QueryCategory::Fisher, fisher_q);
+                epoch_ledger.add(QueryCategory::Probe, step_spent.saturating_sub(fisher_q));
                 epoch_loss += loss_val;
                 batches += 1;
                 if rp.enabled && needs_base && base.is_finite() {
@@ -820,19 +886,36 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                     1,
                     rng,
                 );
+                epoch_ledger.add(
+                    QueryCategory::RecoveryMonitor,
+                    self.chip.query_count().saturating_sub(before_q),
+                );
                 if report.power < rp.fidelity_threshold && rp.recalib_budget > 0 {
                     let k = self.chip.input_dim();
                     let calib_settings =
                         CalibrationSettings::with_query_budget(k, rp.recalib_budget.max(2 * k));
                     // A failed recalibration solve is non-fatal: training
-                    // continues on the old model.
-                    if let Ok(outcome) = calibrate(self.chip, &calib_settings, rng) {
+                    // continues on the old model — but its measurement
+                    // sweep spent real queries either way, so ledger the
+                    // spend before inspecting the result.
+                    let calib_q = self.chip.query_count();
+                    let calib_result = calibrate(self.chip, &calib_settings, rng);
+                    epoch_ledger.add(
+                        QueryCategory::Calibration,
+                        self.chip.query_count().saturating_sub(calib_q),
+                    );
+                    if let Ok(outcome) = calib_result {
+                        let monitor_q = self.chip.query_count();
                         let after = evaluate_model(
                             self.chip,
                             &outcome.model,
                             rp.fidelity_probes.max(1),
                             1,
                             rng,
+                        );
+                        epoch_ledger.add(
+                            QueryCategory::RecoveryMonitor,
+                            self.chip.query_count().saturating_sub(monitor_q),
                         );
                         // Guarded swap: a recalibration fitted to
                         // fault-corrupted measurements can be worse than the
@@ -849,30 +932,61 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                             epoch,
                             fidelity_before: report.power,
                             fidelity_after: after.power,
-                            queries: self.chip.query_count() - before_q,
+                            queries: self.chip.query_count().saturating_sub(before_q),
+                            adopted,
+                        });
+                        trace.emit(|| TraceEvent::Recalibration {
+                            epoch: epoch as u64,
+                            fidelity_before: report.power,
+                            fidelity_after: after.power,
+                            queries: self.chip.query_count().saturating_sub(before_q),
                             adopted,
                         });
                     }
                 }
                 // Monitor + recalibration queries are bookkept alongside
                 // evaluation sweeps, not training queries.
-                eval_queries += self.chip.query_count() - before_q;
+                eval_queries += self.chip.query_count().saturating_sub(before_q);
             }
 
             let test = if config.eval_every > 0 && epoch % config.eval_every == 0 {
                 let before = self.chip.query_count();
                 let ev = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, &pool);
-                eval_queries += self.chip.query_count() - before;
+                let spent = self.chip.query_count().saturating_sub(before);
+                eval_queries += spent;
+                epoch_ledger.add(QueryCategory::Eval, spent);
                 Some(ev)
             } else {
                 None
             };
             total_recovery.absorb(epoch_recovery);
+            ledger.absorb(&epoch_ledger);
+            let train_loss = epoch_loss / batches.max(1) as f64;
+            let training_queries =
+                training_query_total(self.chip.query_count(), start_queries, eval_queries);
+            for (category, queries) in epoch_ledger.iter() {
+                if queries > 0 {
+                    trace.emit(|| TraceEvent::QueryLedger {
+                        epoch: epoch as u64,
+                        category,
+                        queries,
+                    });
+                }
+            }
+            trace.emit(|| TraceEvent::EpochSpan {
+                epoch: epoch as u64,
+                train_loss,
+                test_accuracy: test.as_ref().map(|t| t.accuracy),
+                test_loss: test.as_ref().map(|t| t.loss),
+                learning_rate: adam.learning_rate(),
+                wall_secs: start.elapsed().as_secs_f64(),
+                training_queries,
+            });
             history.push(EpochRecord {
                 epoch,
-                train_loss: epoch_loss / batches.max(1) as f64,
+                train_loss,
                 test,
-                training_queries: self.chip.query_count() - start_queries - eval_queries,
+                training_queries,
                 elapsed: start.elapsed().as_secs_f64(),
                 recovery: epoch_recovery,
             });
@@ -880,18 +994,81 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
 
         let before = self.chip.query_count();
         let final_eval = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, &pool);
-        eval_queries += self.chip.query_count() - before;
+        let final_eval_spent = self.chip.query_count().saturating_sub(before);
+        eval_queries += final_eval_spent;
+        ledger.add(QueryCategory::Eval, final_eval_spent);
+        if final_eval_spent > 0 {
+            trace.emit(|| TraceEvent::QueryLedger {
+                epoch: config.epochs as u64,
+                category: QueryCategory::Eval,
+                queries: final_eval_spent,
+            });
+        }
+
+        let run_queries = self.chip.query_count().saturating_sub(start_queries);
+        // Reconciliation: every chip query this run spent must be attributed
+        // to exactly one ledger category. A mismatch means an unledgered
+        // measurement path crept in.
+        debug_assert_eq!(
+            ledger.total(),
+            run_queries,
+            "query ledger does not reconcile with the chip's query counter"
+        );
+        let training_queries =
+            training_query_total(self.chip.query_count(), start_queries, eval_queries);
+        if trace.is_enabled() {
+            let cache = self.chip.cache_stats().since(cache_start);
+            trace.emit(|| TraceEvent::CacheStats {
+                hits: cache.hits,
+                misses: cache.misses,
+                invalidations: cache.invalidations,
+            });
+            if let Some(metrics) = pool.metrics() {
+                let snap = metrics.snapshot();
+                trace.emit(|| TraceEvent::PoolStats {
+                    threads: pool.threads() as u64,
+                    map_calls: snap.map_calls,
+                    items: snap.items,
+                    peak_worker_share_milli: snap.peak_worker_share_milli,
+                });
+            }
+            trace.emit(|| TraceEvent::RunEnd {
+                method: method.label(),
+                training_queries,
+                eval_queries,
+                run_queries,
+                chip_query_count: self.chip.query_count(),
+                wall_secs: start.elapsed().as_secs_f64(),
+            });
+            trace.flush();
+        }
 
         Ok(TrainOutcome {
             method: method.label(),
             history,
             final_eval,
             theta: theta.clone(),
-            training_queries: self.chip.query_count() - start_queries - eval_queries,
+            training_queries,
             recovery: total_recovery,
             recovery_events,
         })
     }
+}
+
+/// Training queries = total run spend minus evaluation-side spend, with the
+/// subtractions saturating so a bookkeeping slip degrades to a clamped count
+/// instead of a wrapped-around garbage value (debug builds assert instead).
+fn training_query_total(query_count: u64, start_queries: u64, eval_queries: u64) -> u64 {
+    debug_assert!(
+        query_count >= start_queries,
+        "chip query counter moved backwards"
+    );
+    let run_total = query_count.saturating_sub(start_queries);
+    debug_assert!(
+        eval_queries <= run_total,
+        "eval query bookkeeping exceeds the run's total chip queries"
+    );
+    run_total.saturating_sub(eval_queries)
 }
 
 #[cfg(test)]

@@ -23,20 +23,77 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+/// Aggregate counters for one instrumented pool: how many map calls ran,
+/// how many items they processed, and the worst observed load imbalance.
+///
+/// Counters are advisory telemetry — they use relaxed atomics and never
+/// participate in the computation, so instrumented and uninstrumented pools
+/// produce bitwise-identical results.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    map_calls: AtomicU64,
+    items: AtomicU64,
+    peak_share_milli: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's [`PoolMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// `map`/`map_with`/`map_subset` calls executed.
+    pub map_calls: u64,
+    /// Total items processed across all calls.
+    pub items: u64,
+    /// Worst per-call imbalance: the largest share (in 1/1000ths of that
+    /// call's items) claimed by a single worker. 1000 means one worker
+    /// processed every item — expected for serial pools and tiny inputs.
+    pub peak_worker_share_milli: u64,
+}
+
+impl PoolMetrics {
+    fn record_call(&self, items: u64, max_claimed: u64) {
+        self.map_calls.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        if let Some(share) = max_claimed.saturating_mul(1000).checked_div(items) {
+            self.peak_share_milli.fetch_max(share, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            map_calls: self.map_calls.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            peak_worker_share_milli: self.peak_share_milli.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A sized worker pool executing independent items with deterministic,
 /// index-ordered results.
 ///
-/// The pool is a lightweight description (just a thread count): threads are
-/// scoped per call, so an `ExecPool` can be freely stored in configs, cloned,
-/// and shared.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The pool is a lightweight description (a thread count plus an optional
+/// metrics handle): threads are scoped per call, so an `ExecPool` can be
+/// freely stored in configs, cloned, and shared.
+#[derive(Debug, Clone)]
 pub struct ExecPool {
     threads: usize,
+    metrics: Option<Arc<PoolMetrics>>,
 }
+
+/// Pools compare by configuration (thread count); metrics are telemetry,
+/// not identity.
+impl PartialEq for ExecPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for ExecPool {}
 
 impl Default for ExecPool {
     fn default() -> Self {
@@ -49,12 +106,29 @@ impl ExecPool {
     pub fn new(threads: usize) -> Self {
         ExecPool {
             threads: threads.max(1),
+            metrics: None,
         }
     }
 
     /// Single-threaded pool: every call runs inline on the caller's thread.
     pub fn serial() -> Self {
-        ExecPool { threads: 1 }
+        ExecPool {
+            threads: 1,
+            metrics: None,
+        }
+    }
+
+    /// Attaches fresh [`PoolMetrics`] counters to this pool. Metrics are
+    /// shared by clones of the instrumented pool; read them back with
+    /// [`ExecPool::metrics`].
+    pub fn instrumented(mut self) -> Self {
+        self.metrics = Some(Arc::new(PoolMetrics::default()));
+        self
+    }
+
+    /// The attached metrics, when [`ExecPool::instrumented`] was called.
+    pub fn metrics(&self) -> Option<&PoolMetrics> {
+        self.metrics.as_deref()
     }
 
     /// Pool sized from the environment: `PHOTON_THREADS` if set to a positive
@@ -123,15 +197,22 @@ impl ExecPool {
         let workers = self.threads.min(items.len());
         if workers <= 1 {
             let mut scratch = init();
-            return items
+            let out: Vec<U> = items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| f(&mut scratch, i, item))
                 .collect();
+            if let Some(m) = &self.metrics {
+                m.record_call(items.len() as u64, items.len() as u64);
+            }
+            return out;
         }
 
         let slots: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        // Telemetry only: the largest number of items any single worker
+        // claimed in this call (relaxed — never read mid-call).
+        let max_claimed = AtomicU64::new(0);
         let result = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
@@ -139,14 +220,21 @@ impl ExecPool {
                 let cursor = &cursor;
                 let init = &init;
                 let f = &f;
+                let max_claimed = &max_claimed;
+                let count_claims = self.metrics.is_some();
                 handles.push(scope.spawn(move |_| {
                     let mut scratch = init();
+                    let mut claimed: u64 = 0;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
+                        claimed += 1;
                         *slots[i].lock() = Some(f(&mut scratch, i, &items[i]));
+                    }
+                    if count_claims {
+                        max_claimed.fetch_max(claimed, Ordering::Relaxed);
                     }
                 }));
             }
@@ -156,6 +244,9 @@ impl ExecPool {
                 }
             }
         });
+        if let Some(m) = &self.metrics {
+            m.record_call(items.len() as u64, max_claimed.load(Ordering::Relaxed));
+        }
         if let Err(payload) = result {
             std::panic::resume_unwind(payload);
         }
@@ -309,6 +400,35 @@ mod tests {
         }
         let empty = ExecPool::new(4).map_subset(&items, &[], || (), |(), _, &x| x);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn instrumented_pool_counts_calls_and_items() {
+        let pool = ExecPool::new(4).instrumented();
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(out.len(), 100);
+        pool.map(&items[..10], |_, &x| x);
+        let snap = pool.metrics().unwrap().snapshot();
+        assert_eq!(snap.map_calls, 2);
+        assert_eq!(snap.items, 110);
+        assert!(snap.peak_worker_share_milli <= 1000);
+        assert!(snap.peak_worker_share_milli > 0);
+
+        // Instrumentation must not change results.
+        let plain = ExecPool::new(4).map(&items, |_, &x| x + 1);
+        assert_eq!(out, plain);
+
+        // Uninstrumented pools expose no metrics.
+        assert!(ExecPool::serial().metrics().is_none());
+
+        // Serial instrumented pool: one worker claims everything.
+        let serial = ExecPool::serial().instrumented();
+        serial.map(&items, |_, &x| x);
+        assert_eq!(
+            serial.metrics().unwrap().snapshot().peak_worker_share_milli,
+            1000
+        );
     }
 
     #[test]

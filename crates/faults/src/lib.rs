@@ -62,7 +62,10 @@ use rand::{Rng, SeedableRng};
 
 use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector};
-use photon_photonics::{Architecture, BatchScratch, ChipScratch, ErrorVector, Network, OnnChip};
+use photon_photonics::{
+    Architecture, BatchScratch, CacheStats, ChipScratch, ErrorVector, Network, OnnChip,
+};
+use photon_trace::{TraceEvent, TraceHandle};
 
 /// Ornstein–Uhlenbeck thermal drift on the phase-shifter drives.
 ///
@@ -202,6 +205,9 @@ struct FaultState {
     /// content gets an independent fault decision, so retries see fresh
     /// readings regardless of worker-thread scheduling.
     attempts: HashMap<u64, u32>,
+    /// Fault totals last forwarded to the trace handle (emission happens
+    /// only at the serial control point, so event order is deterministic).
+    reported: FaultCounts,
 }
 
 /// An [`OnnChip`] decorator that injects the [`FaultPlan`]'s faults into
@@ -217,6 +223,7 @@ pub struct FaultyChip<C: OnnChip> {
     dropped: AtomicU64,
     spiked: AtomicU64,
     bursts: AtomicU64,
+    trace: TraceHandle,
 }
 
 const TAG_FIELD: u64 = 0x1;
@@ -260,11 +267,24 @@ impl<C: OnnChip> FaultyChip<C> {
                 drift: RVector::zeros(n),
                 rng: StdRng::seed_from_u64(splitmix64(seed)),
                 attempts: HashMap::new(),
+                reported: FaultCounts::default(),
             }),
             dropped: AtomicU64::new(0),
             spiked: AtomicU64::new(0),
             bursts: AtomicU64::new(0),
+            trace: TraceHandle::null(),
         }
+    }
+
+    /// Forwards cumulative fault counters to `trace` as
+    /// [`TraceEvent::FaultStats`] events, emitted from the serial
+    /// `advance_to` control point whenever the totals changed since the
+    /// last emission. Telemetry only: fault decisions, drift evolution and
+    /// readings are unaffected.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The wrapped chip.
@@ -530,6 +550,10 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
         self.inner.oracle_network()
     }
 
+    fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
+    }
+
     /// Advances the OU drift by `step − current` increments and resets the
     /// per-step re-read counters. Serial control point: call exactly once
     /// per training iteration, never from worker threads.
@@ -551,6 +575,21 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
         }
         st.step = step;
         st.attempts.clear();
+        // Telemetry: forward cumulative fault totals when they moved since
+        // the last control point. Emitting only here (never from worker
+        // threads) keeps the event stream deterministic.
+        if self.trace.is_enabled() {
+            let counts = self.fault_counts();
+            if counts != st.reported {
+                st.reported = counts;
+                self.trace.emit(|| TraceEvent::FaultStats {
+                    step,
+                    dropped: counts.dropped,
+                    spiked: counts.spiked,
+                    bursts: counts.bursts,
+                });
+            }
+        }
         self.inner.advance_to(step);
     }
 }

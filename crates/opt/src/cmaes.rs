@@ -196,7 +196,10 @@ impl CmaEs {
 
         debug_assert_eq!(self.weights.len(), self.mu, "weights track μ parents");
         let mut order: Vec<usize> = (0..self.lambda).collect();
-        order.sort_by(|&a, &b| losses[a].partial_cmp(&losses[b]).unwrap());
+        // `total_cmp` ranks NaN losses (dropped chip readings on a faulty
+        // chip) strictly after +inf — worst of the population — instead of
+        // panicking mid-run.
+        order.sort_by(|&a, &b| losses[a].total_cmp(&losses[b]));
 
         if self
             .best

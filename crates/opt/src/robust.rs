@@ -97,7 +97,9 @@ pub fn retry_non_finite(
 fn median(values: &[f64]) -> f64 {
     debug_assert!(!values.is_empty());
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values only"));
+    // Callers screen for finite values, but a NaN slipping through must
+    // degrade the median, not panic the robust ladder.
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]

@@ -95,7 +95,8 @@ pub fn random_search<R: Rng + ?Sized>(
         let score = objective(value);
         results.push(Trial { value, score });
     }
-    results.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+    // NaN scores (a diverged objective) sort last instead of panicking.
+    results.sort_by(|a, b| a.score.total_cmp(&b.score));
     results
 }
 

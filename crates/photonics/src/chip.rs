@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector, C64};
 
-use crate::compiled::CompiledNetwork;
+use crate::compiled::{CacheStats, CompiledNetwork};
 use crate::error::{ErrorModel, ErrorVector};
 use crate::network::{Architecture, Network, NetworkError, NetworkScratch};
 
@@ -228,6 +228,14 @@ pub trait OnnChip: Sync {
     fn advance_to(&self, step: u64) {
         let _ = step;
     }
+
+    /// Aggregate compiled-plan cache counters across every batched
+    /// evaluation this chip served (per-worker plans are transient, so the
+    /// chip is the only place their counters survive). Chips without a
+    /// compiled path report zeros.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
 }
 
 /// Optional measurement-noise model of the chip's readout chain.
@@ -257,6 +265,37 @@ impl MeasurementNoise {
     }
 }
 
+/// Thread-safe aggregate of [`CacheStats`] deltas from transient
+/// per-worker compiled plans.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheCounters {
+    fn add(&self, d: CacheStats) {
+        if d.hits > 0 {
+            self.hits.fetch_add(d.hits, Ordering::Relaxed);
+        }
+        if d.misses > 0 {
+            self.misses.fetch_add(d.misses, Ordering::Relaxed);
+        }
+        if d.invalidations > 0 {
+            self.invalidations.fetch_add(d.invalidations, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A simulated fabricated ONN chip with hidden fabrication errors.
 ///
 /// # Examples
@@ -280,6 +319,7 @@ impl MeasurementNoise {
 pub struct FabricatedChip {
     network: Network,
     queries: AtomicU64,
+    cache: CacheCounters,
     noise: Option<MeasurementNoise>,
     noise_rng: Mutex<StdRng>,
     crosstalk: f64,
@@ -306,6 +346,7 @@ impl FabricatedChip {
         FabricatedChip {
             network,
             queries: AtomicU64::new(0),
+            cache: CacheCounters::default(),
             noise: None,
             noise_rng: Mutex::new(StdRng::seed_from_u64(rng.gen())),
             crosstalk: 0.0,
@@ -323,6 +364,7 @@ impl FabricatedChip {
         Ok(FabricatedChip {
             network: arch.build_with_errors(errors)?,
             queries: AtomicU64::new(0),
+            cache: CacheCounters::default(),
             noise: None,
             noise_rng: Mutex::new(StdRng::seed_from_u64(0)),
             crosstalk: 0.0,
@@ -519,6 +561,7 @@ impl FabricatedChip {
             ..
         } = scratch;
         let th = self.effective_theta(theta, theta_eff);
+        let cache_before = plan.cache_stats();
         let panel = plan.forward_batch(&self.network, th, xs);
         if fields.len() < xs.len() {
             fields.resize_with(xs.len(), CVector::default);
@@ -526,6 +569,7 @@ impl FabricatedChip {
         for (j, slot) in fields.iter_mut().take(xs.len()).enumerate() {
             slot.copy_from_slice(panel.col(j));
         }
+        self.cache.add(plan.cache_stats().since(cache_before));
         if let Some(noise) = self.noise {
             let mut rng = self.noise_rng.lock();
             for slot in fields.iter_mut().take(xs.len()) {
@@ -564,6 +608,7 @@ impl FabricatedChip {
             ..
         } = scratch;
         let th = self.effective_theta(theta, theta_eff);
+        let cache_before = plan.cache_stats();
         let panel = plan.forward_batch(&self.network, th, xs);
         if powers.len() < xs.len() {
             powers.resize_with(xs.len(), RVector::default);
@@ -575,6 +620,7 @@ impl FabricatedChip {
                 *p = z.norm_sqr();
             }
         }
+        self.cache.add(plan.cache_stats().since(cache_before));
         if let Some(noise) = self.noise {
             let mut rng = self.noise_rng.lock();
             for slot in powers.iter_mut().take(xs.len()) {
@@ -611,6 +657,15 @@ impl FabricatedChip {
     /// Resets the query counter (e.g. between experiment phases).
     pub fn reset_query_count(&self) {
         self.queries.store(0, Ordering::Relaxed);
+    }
+
+    /// Aggregate compiled-plan cache counters over every batched
+    /// evaluation this chip served. The per-worker [`BatchScratch`] plans
+    /// are transient (created per map call), so their counter deltas are
+    /// folded into the chip here — the only place a run-level cache view
+    /// survives.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.snapshot()
     }
 
     /// **Oracle access** to the hidden error assignment.
@@ -693,6 +748,10 @@ impl OnnChip for FabricatedChip {
 
     fn reset_query_count(&self) {
         FabricatedChip::reset_query_count(self)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        FabricatedChip::cache_stats(self)
     }
 
     fn oracle_errors(&self) -> ErrorVector {

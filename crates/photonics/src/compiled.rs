@@ -61,10 +61,45 @@ pub struct CompiledNetwork {
     cached_theta: RVector,
     valid: bool,
     generation: u64,
+    hits: u64,
+    invalidations: u64,
     ping: CPanel,
     pong: CPanel,
     col_in: CVector,
     col_out: CVector,
+}
+
+/// Cache counters for one [`CompiledNetwork`] plan (or an aggregate over
+/// the transient per-worker plans of a chip — see `OnnChip::cache_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `ensure` calls served by the cached matrices (theta unchanged).
+    pub hits: u64,
+    /// Compilations — every `ensure` that rebuilt the stage matrices.
+    pub misses: u64,
+    /// The subset of misses that evicted a previously valid plan (i.e.
+    /// theta moved); `misses - invalidations` are cold compiles.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Counterwise sum (aggregating several plans into one chip view).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+
+    /// Counterwise difference against an earlier snapshot of the same
+    /// monotone counters.
+    #[must_use]
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
 }
 
 impl CompiledNetwork {
@@ -80,6 +115,19 @@ impl CompiledNetwork {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Cache counters for this plan. `misses` equals
+    /// [`CompiledNetwork::generation`]; `hits` counts `ensure` calls that
+    /// reused the cached matrices; `invalidations` counts recompiles that
+    /// replaced a previously valid plan.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.generation,
+            invalidations: self.invalidations,
+        }
     }
 
     fn build_structure(&mut self, net: &Network) {
@@ -127,7 +175,11 @@ impl CompiledNetwork {
             self.build_structure(net);
         }
         if self.valid && self.cached_theta.as_slice() == theta.as_slice() {
+            self.hits += 1;
             return false;
+        }
+        if self.valid {
+            self.invalidations += 1;
         }
         for stage in &mut self.stages {
             if let Stage::Linear {

@@ -60,7 +60,7 @@ pub use chip::{
     calibrated_model, ideal_model, BatchScratch, ChipScratch, FabricatedChip, MeasurementNoise,
     ModelKind, OnnChip,
 };
-pub use compiled::CompiledNetwork;
+pub use compiled::{CacheStats, CompiledNetwork};
 pub use electrooptic::ElectroOptic;
 pub use error::{
     zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector, ErrorVectorError,

@@ -1,0 +1,95 @@
+//! Structured telemetry end to end: run a calibrated ZO-LCNG training with
+//! a trace handle fanning out to an in-memory sink (for the summary below)
+//! and a JSONL file (`results/trace_demo.jsonl`, one event per line), then
+//! reconcile the per-category query ledger against the chip's own counter.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example traced_training
+//! ```
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_zo::prelude::*;
+use photon_zo::trace::{LedgerCounts, TraceSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+    println!("photon-zo traced training demo (seed {seed})");
+    println!("============================================");
+
+    let jsonl_path = "results/trace_demo.jsonl";
+    let memory = Arc::new(MemorySink::new(0));
+    let jsonl = Arc::new(JsonlSink::create(jsonl_path)?);
+    let trace = TraceHandle::tee(vec![
+        memory.clone() as Arc<dyn TraceSink>,
+        jsonl as Arc<dyn TraceSink>,
+    ]);
+
+    // A fresh chip, so every query it will ever serve happens under the
+    // trace: the ledger must sum exactly to `chip.query_count()`.
+    let task = build_task(&TaskSpec::quick(4), seed)?;
+    assert_eq!(task.chip.query_count(), 0, "chip must start unqueried");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+    let calibration = calibrate_traced(
+        &task.chip,
+        &CalibrationSettings::default(),
+        &mut rng,
+        &trace,
+    )?;
+    println!(
+        "calibration: {} chip queries, fit cost {:.3e} -> {:.3e}",
+        calibration.chip_queries, calibration.initial_cost, calibration.fit_cost
+    );
+
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head)
+        .with_calibrated_model(calibration.model);
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 4;
+    config.eval_every = 2;
+    config.trace = trace;
+    let outcome = trainer.train(
+        Method::Lcng {
+            model: ModelChoice::Calibrated,
+        },
+        &config,
+        &mut rng,
+    )?;
+
+    // Reconciliation: every chip query — calibration sweep, probes, batch
+    // losses, evaluations — is attributed to exactly one ledger category.
+    let events = memory.events();
+    let mut ledger = LedgerCounts::new();
+    for event in &events {
+        if let TraceEvent::QueryLedger {
+            category, queries, ..
+        } = event
+        {
+            ledger.add(*category, *queries);
+        }
+    }
+    assert_eq!(
+        ledger.total(),
+        task.chip.query_count(),
+        "query ledger must reconcile with the chip's query counter"
+    );
+
+    println!();
+    println!("{}", photon_zo::core::trace_summary(&events));
+    println!(
+        "ledger reconciles: {} ledgered == {} counted by the chip",
+        ledger.total(),
+        task.chip.query_count()
+    );
+    println!(
+        "final: test accuracy {:.1}%, trace written to {jsonl_path} ({} events)",
+        100.0 * outcome.final_eval.accuracy,
+        events.len()
+    );
+    Ok(())
+}

@@ -14,6 +14,28 @@ cargo clippy --offline --all-targets --workspace -- -D warnings
 cargo test -q --offline --test fault_injection
 cargo run --release --offline --example faulty_chip_training >/dev/null
 
+# Telemetry gate: run the traced end-to-end demo (it asserts internally that
+# the query ledger reconciles with chip.query_count()), then re-check the
+# JSONL artifact from the outside: every line parses, and the per-category
+# query_ledger events sum exactly to the chip's final counter.
+cargo run --release --offline --example traced_training >/dev/null
+python3 - <<'EOF'
+import json
+events = []
+with open("results/trace_demo.jsonl") as f:
+    for line in f:
+        events.append(json.loads(line))
+assert events, "trace_demo.jsonl is empty"
+ledgered = sum(e["queries"] for e in events if e["type"] == "query_ledger")
+run_end = [e for e in events if e["type"] == "run_end"]
+assert len(run_end) == 1, f"expected one run_end event, got {len(run_end)}"
+counted = run_end[0]["chip_query_count"]
+assert ledgered == counted, f"query ledger {ledgered} != chip query count {counted}"
+categories = {e["category"] for e in events if e["type"] == "query_ledger"}
+assert "calibration" in categories and "probe" in categories, f"missing categories: {categories}"
+print(f"ci: telemetry ledger reconciles ({ledgered} queries across {sorted(categories)})")
+EOF
+
 # Perf gate: quick run of the compiled-vs-interpreted forward bench. This
 # regenerates BENCH_gemm.json at the workspace root and fails loudly if the
 # compiled path stops beating the interpreted one (guards against silent

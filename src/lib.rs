@@ -24,6 +24,7 @@
 //! | [`core`] | `photon-core` | losses, trainer, experiments, statistics |
 //! | [`exec`] | `photon-exec` | deterministic worker-pool evaluation |
 //! | [`faults`] | `photon-faults` | seeded fault injection for chip robustness studies |
+//! | [`trace`] | `photon-trace` | structured telemetry: trace sinks, typed events, query ledger |
 //!
 //! # Quickstart
 //!
@@ -90,12 +91,17 @@ pub mod faults {
     pub use photon_faults::*;
 }
 
+/// Structured telemetry (re-export of `photon-trace`).
+pub mod trace {
+    pub use photon_trace::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
-    pub use photon_calib::{calibrate, evaluate_model, CalibrationSettings};
+    pub use photon_calib::{calibrate, calibrate_traced, evaluate_model, CalibrationSettings};
     pub use photon_core::{
-        build_task, recovery_report, run_method, ClassificationHead, Method, ModelChoice,
-        RecoveryPolicy, TaskKind, TaskSpec, TrainConfig, Trainer,
+        build_task, recovery_report, run_method, trace_summary, ClassificationHead, Method,
+        ModelChoice, RecoveryPolicy, TaskKind, TaskSpec, TrainConfig, Trainer,
     };
     pub use photon_data::{Dataset, GaussianClusters, SyntheticFashion, SyntheticMnist};
     pub use photon_faults::{DriftConfig, FaultPlan, FaultyChip, StuckShifter, TransientConfig};
@@ -104,5 +110,8 @@ pub mod prelude {
     pub use photon_photonics::{
         ideal_model, Architecture, ErrorModel, FabricatedChip, MeshModule, Network, OnnChip,
         OnnModule,
+    };
+    pub use photon_trace::{
+        JsonlSink, MemorySink, NullSink, QueryCategory, TeeSink, TraceEvent, TraceHandle,
     };
 }

@@ -258,3 +258,62 @@ fn self_healing_replays_bitwise_across_pool_sizes() {
     assert_eq!(losses(&a), losses(&b));
     assert_eq!(a.training_queries, b.training_queries);
 }
+
+/// A chip whose reads drop to NaN so often that whole probe batches come
+/// back non-finite. With recovery disabled nothing sanitizes the losses,
+/// so they flow straight into CMA-ES ranking — which must order NaNs
+/// deterministically (total order) instead of panicking.
+#[test]
+fn nan_probe_batches_survive_cmaes_ranking() {
+    let task = build_task(&TaskSpec::quick(4), 91).unwrap();
+    let plan = FaultPlan::new(92).with_transients(TransientConfig {
+        drop_prob: 0.35,
+        ..TransientConfig::default()
+    });
+    let faulty = FaultyChip::new(task.chip, plan);
+    let trainer = Trainer::new(&faulty, &task.train, &task.test, task.head);
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 2;
+    config.recovery = RecoveryPolicy::disabled();
+    let mut rng = StdRng::seed_from_u64(93);
+    let out = trainer
+        .train(Method::Cma { sigma0: 0.1 }, &config, &mut rng)
+        .unwrap();
+    assert_eq!(out.history.len(), 2, "run must complete every epoch");
+    assert!(faulty.fault_counts().dropped > 0, "faults must have fired");
+}
+
+/// The same NaN-heavy chip through the robust recovery ladder: retries,
+/// probe penalization and the rollback guard must carry an LCNG run to
+/// completion without a panic.
+#[test]
+fn nan_probe_batches_survive_robust_ladder() {
+    let task = build_task(&TaskSpec::quick(4), 94).unwrap();
+    let model = task.chip.oracle_network();
+    let plan = FaultPlan::new(95).with_transients(TransientConfig {
+        drop_prob: 0.25,
+        ..TransientConfig::default()
+    });
+    let faulty = FaultyChip::new(task.chip, plan);
+    let trainer =
+        Trainer::new(&faulty, &task.train, &task.test, task.head).with_calibrated_model(model);
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 2;
+    config.recovery = healing_policy();
+    let mut rng = StdRng::seed_from_u64(96);
+    let out = trainer
+        .train(
+            Method::Lcng {
+                model: ModelChoice::Calibrated,
+            },
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(out.history.len(), 2, "run must complete every epoch");
+    let r = out.recovery;
+    assert!(
+        r.retries + r.rejected_probes + r.rollbacks > 0,
+        "a 25% drop rate must exercise the recovery ladder"
+    );
+}
