@@ -83,7 +83,10 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-const MAGIC: &str = "photon-zo-checkpoint v1";
+use crate::journal::crc32;
+
+const MAGIC_V1: &str = "photon-zo-checkpoint v1";
+const MAGIC_V2: &str = "photon-zo-checkpoint v2";
 
 impl Checkpoint {
     /// Bundles a snapshot.
@@ -107,22 +110,34 @@ impl Checkpoint {
 
     /// Writes the checkpoint to `path`, creating parent directories.
     ///
-    /// The write is atomic: the text goes to a temporary file in the same
-    /// directory which is then renamed over `path`, so a crash mid-write
-    /// can never clobber the last good checkpoint (the rename is atomic
-    /// within one filesystem).
+    /// The write is atomic *and durable*: the text goes to a temporary file
+    /// in the same directory, which is fsynced and then renamed over `path`
+    /// (atomic within one filesystem); the parent directory is fsynced after
+    /// the rename so the new name itself survives a crash. A kill at any
+    /// instant leaves either the old checkpoint or the new one — never a
+    /// half-written file under the final name.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
         }
         let mut tmp_name = path.as_os_str().to_owned();
         tmp_name.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp_name);
-        if let Err(e) = fs::write(&tmp, self.to_string()) {
+        let write_synced = || -> io::Result<()> {
+            use io::Write;
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(self.to_string().as_bytes())?;
+            // The temp file's bytes must be on disk *before* the rename
+            // publishes them under the final name.
+            file.sync_all()
+        };
+        if let Err(e) = write_synced() {
             let _ = fs::remove_file(&tmp);
             return Err(e.into());
         }
@@ -130,6 +145,7 @@ impl Checkpoint {
             let _ = fs::remove_file(&tmp);
             return Err(e.into());
         }
+        crate::journal::sync_parent_dir(path);
         Ok(())
     }
 
@@ -143,73 +159,102 @@ impl Checkpoint {
     }
 }
 
-impl fmt::Display for Checkpoint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{MAGIC}")?;
-        writeln!(f, "arch {}", self.architecture.specs().len())?;
+impl Checkpoint {
+    /// The v2 body: everything except the trailing checksum line.
+    fn body_text(&self) -> String {
+        use fmt::Write;
+        let mut f = String::with_capacity(64 * (1 + self.theta.len()));
+        let _ = writeln!(f, "{MAGIC_V2}");
+        let _ = writeln!(f, "arch {}", self.architecture.specs().len());
         for spec in self.architecture.specs() {
             match *spec {
-                ModuleSpec::Clements { dim, layers } => writeln!(f, "clements {dim} {layers}")?,
-                ModuleSpec::Reck { dim } => writeln!(f, "reck {dim}")?,
-                ModuleSpec::PhaseDiag { dim } => writeln!(f, "phasediag {dim}")?,
-                ModuleSpec::ModRelu { dim } => writeln!(f, "modrelu {dim}")?,
+                ModuleSpec::Clements { dim, layers } => {
+                    let _ = writeln!(f, "clements {dim} {layers}");
+                }
+                ModuleSpec::Reck { dim } => {
+                    let _ = writeln!(f, "reck {dim}");
+                }
+                ModuleSpec::PhaseDiag { dim } => {
+                    let _ = writeln!(f, "phasediag {dim}");
+                }
+                ModuleSpec::ModRelu { dim } => {
+                    let _ = writeln!(f, "modrelu {dim}");
+                }
                 ModuleSpec::ElectroOptic { dim, alpha, gain } => {
-                    writeln!(f, "electrooptic {dim} {alpha:?} {gain:?}")?
+                    let _ = writeln!(f, "electrooptic {dim} {alpha:?} {gain:?}");
                 }
             }
         }
-        writeln!(f, "theta {}", self.theta.len())?;
+        let _ = writeln!(f, "theta {}", self.theta.len());
         for v in self.theta.iter() {
-            // {:e} keeps full round-trip precision via the debug fallback.
-            writeln!(f, "{v:?}")?;
+            // {:?} keeps full round-trip precision.
+            let _ = writeln!(f, "{v:?}");
         }
         match &self.errors {
-            None => writeln!(f, "errors none")?,
+            None => {
+                let _ = writeln!(f, "errors none");
+            }
             Some(ev) => {
-                writeln!(
+                let _ = writeln!(
                     f,
                     "errors {} {}",
                     ev.n_beam_splitters(),
                     ev.n_phase_shifters()
-                )?;
+                );
                 for v in ev.to_flat() {
-                    writeln!(f, "{v:?}")?;
+                    let _ = writeln!(f, "{v:?}");
                 }
             }
         }
-        Ok(())
+        f
+    }
+}
+
+impl fmt::Display for Checkpoint {
+    /// Writes the current (v2) format: the v1 body under a v2 magic line,
+    /// terminated by a `checksum <crc32-hex>` line covering every preceding
+    /// byte. The parser still accepts checksum-less v1 files.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = self.body_text();
+        writeln!(f, "{body}checksum {:08x}", crc32(body.as_bytes()))
     }
 }
 
 impl FromStr for Checkpoint {
     type Err = CheckpointError;
 
+    /// Parses either format version. v2 (the current writer's output) must
+    /// carry a valid trailing `checksum` line; v1 (older files) has none.
+    /// Both versions are otherwise parsed strictly: every error names the
+    /// offending 1-based line, and trailing content — including duplicated
+    /// sections — is rejected.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut lines = s.lines().enumerate();
-        let mut next = |expect: &str| -> Result<(usize, String), CheckpointError> {
-            lines
-                .next()
-                .map(|(i, l)| (i + 1, l.trim().to_string()))
-                .ok_or_else(|| CheckpointError::Parse {
-                    line: 0,
-                    message: format!("unexpected end of file, expected {expect}"),
-                })
-        };
         let parse_err = |line: usize, message: String| CheckpointError::Parse { line, message };
+        let first = s.lines().next().unwrap_or("").trim();
+        let version = match first {
+            MAGIC_V1 => 1,
+            MAGIC_V2 => 2,
+            other if other.starts_with("photon-zo-checkpoint ") => {
+                return Err(parse_err(
+                    1,
+                    format!("unsupported checkpoint version {other:?}"),
+                ))
+            }
+            other => return Err(parse_err(1, format!("bad magic {other:?}"))),
+        };
+        let body = if version == 2 { verify_checksum(s)? } else { s };
 
-        let (line, magic) = next("magic header")?;
-        if magic != MAGIC {
-            return Err(parse_err(line, format!("bad magic {magic:?}")));
-        }
+        let mut cur = Cursor::new(body);
+        let _ = cur.next("magic header")?; // validated above
 
-        let (line, arch_header) = next("arch header")?;
+        let (arch_line, arch_header) = cur.next("arch header")?;
         let n_specs: usize = arch_header
             .strip_prefix("arch ")
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| parse_err(line, "expected `arch <count>`".into()))?;
+            .ok_or_else(|| parse_err(arch_line, "expected `arch <count>`".into()))?;
         let mut specs = Vec::with_capacity(n_specs);
         for _ in 0..n_specs {
-            let (line, l) = next("module spec")?;
+            let (line, l) = cur.next("module spec")?;
             let parts: Vec<&str> = l.split_whitespace().collect();
             let spec = match parts.as_slice() {
                 ["clements", dim, layers] => {
@@ -242,16 +287,16 @@ impl FromStr for Checkpoint {
             specs.push(spec);
         }
         let architecture = Architecture::new(specs)
-            .map_err(|e| parse_err(0, format!("invalid architecture: {e}")))?;
+            .map_err(|e| parse_err(arch_line, format!("invalid architecture: {e}")))?;
 
-        let (line, theta_header) = next("theta header")?;
+        let (theta_line, theta_header) = cur.next("theta header")?;
         let n_theta: usize = theta_header
             .strip_prefix("theta ")
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| parse_err(line, "expected `theta <count>`".into()))?;
+            .ok_or_else(|| parse_err(theta_line, "expected `theta <count>`".into()))?;
         let mut theta = Vec::with_capacity(n_theta);
         for _ in 0..n_theta {
-            let (line, l) = next("theta value")?;
+            let (line, l) = cur.next("theta value")?;
             theta.push(
                 l.parse::<f64>()
                     .map_err(|_| parse_err(line, format!("bad float {l:?}")))?,
@@ -260,7 +305,7 @@ impl FromStr for Checkpoint {
         let theta = RVector::from_vec(theta);
         if theta.len() != architecture.param_count() {
             return Err(parse_err(
-                0,
+                theta_line,
                 format!(
                     "theta has {} values but architecture needs {}",
                     theta.len(),
@@ -269,26 +314,26 @@ impl FromStr for Checkpoint {
             ));
         }
 
-        let (line, err_header) = next("errors header")?;
+        let (err_line, err_header) = cur.next("errors header")?;
         let errors = if err_header == "errors none" {
             None
         } else {
             let rest = err_header
                 .strip_prefix("errors ")
-                .ok_or_else(|| parse_err(line, "expected `errors …`".into()))?;
+                .ok_or_else(|| parse_err(err_line, "expected `errors …`".into()))?;
             let mut it = rest.split_whitespace();
             let n_bs: usize = it
                 .next()
                 .and_then(|v| v.parse().ok())
-                .ok_or_else(|| parse_err(line, "bad beam-splitter count".into()))?;
+                .ok_or_else(|| parse_err(err_line, "bad beam-splitter count".into()))?;
             let n_ps: usize = it
                 .next()
                 .and_then(|v| v.parse().ok())
-                .ok_or_else(|| parse_err(line, "bad phase-shifter count".into()))?;
+                .ok_or_else(|| parse_err(err_line, "bad phase-shifter count".into()))?;
             let total = n_bs + 2 * n_ps;
             let mut flat = Vec::with_capacity(total);
             for _ in 0..total {
-                let (line, l) = next("error value")?;
+                let (line, l) = cur.next("error value")?;
                 flat.push(
                     l.parse::<f64>()
                         .map_err(|_| parse_err(line, format!("bad float {l:?}")))?,
@@ -297,7 +342,7 @@ impl FromStr for Checkpoint {
             let expected = architecture.error_slots();
             if (n_bs, n_ps) != expected {
                 return Err(parse_err(
-                    0,
+                    err_line,
                     format!(
                         "error slots {:?} do not match architecture {expected:?}",
                         (n_bs, n_ps)
@@ -306,9 +351,18 @@ impl FromStr for Checkpoint {
             }
             Some(
                 ErrorVector::from_flat(n_bs, n_ps, &flat)
-                    .map_err(|e| parse_err(0, format!("invalid error vector: {e}")))?,
+                    .map_err(|e| parse_err(err_line, format!("invalid error vector: {e}")))?,
             )
         };
+
+        // Strict tail: anything after the errors section (e.g. a duplicated
+        // section pasted onto the file) is an error, not silently ignored.
+        if let Some((line, l)) = cur.next_nonempty() {
+            return Err(parse_err(
+                line,
+                format!("unexpected trailing line {l:?} (duplicated section?)"),
+            ));
+        }
 
         Ok(Checkpoint {
             architecture,
@@ -316,6 +370,82 @@ impl FromStr for Checkpoint {
             errors,
         })
     }
+}
+
+/// Sequential 1-based-line cursor over a checkpoint body.
+struct Cursor<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    total: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            lines: s.lines().enumerate(),
+            total: s.lines().count(),
+        }
+    }
+
+    /// Next line as `(1-based number, trimmed content)`. EOF reports the
+    /// line number *past the end* (where the expected content is missing),
+    /// never the sentinel 0.
+    fn next(&mut self, expect: &str) -> Result<(usize, String), CheckpointError> {
+        self.lines
+            .next()
+            .map(|(i, l)| (i + 1, l.trim().to_string()))
+            .ok_or_else(|| CheckpointError::Parse {
+                line: self.total + 1,
+                message: format!("unexpected end of file, expected {expect}"),
+            })
+    }
+
+    /// The next non-empty line, if any remain.
+    fn next_nonempty(&mut self) -> Option<(usize, String)> {
+        for (i, l) in self.lines.by_ref() {
+            let t = l.trim();
+            if !t.is_empty() {
+                return Some((i + 1, t.to_string()));
+            }
+        }
+        None
+    }
+}
+
+/// Validates a v2 checkpoint's trailing checksum line and returns the body
+/// it covers.
+fn verify_checksum(s: &str) -> Result<&str, CheckpointError> {
+    let mut start = 0usize;
+    let mut no = 0usize;
+    let mut last: Option<(usize, usize, &str)> = None; // (line, byte start, content)
+    for line in s.split_inclusive('\n') {
+        no += 1;
+        let content = line.trim();
+        if !content.is_empty() {
+            last = Some((no, start, content));
+        }
+        start += line.len();
+    }
+    let (line, byte_start, content) = last.expect("caller matched a non-empty magic line");
+    let hex = content
+        .strip_prefix("checksum ")
+        .ok_or_else(|| CheckpointError::Parse {
+            line,
+            message: "missing trailing checksum line".into(),
+        })?;
+    let expected = u32::from_str_radix(hex.trim(), 16).map_err(|_| CheckpointError::Parse {
+        line,
+        message: format!("bad checksum value {hex:?}"),
+    })?;
+    let computed = crc32(&s.as_bytes()[..byte_start]);
+    if computed != expected {
+        return Err(CheckpointError::Parse {
+            line,
+            message: format!(
+                "checksum mismatch: file says {expected:08x}, computed {computed:08x}"
+            ),
+        });
+    }
+    Ok(&s[..byte_start])
 }
 
 #[cfg(test)]
@@ -409,11 +539,111 @@ mod tests {
     }
 
     #[test]
-    fn wrong_theta_count_rejected() {
-        let mut text = String::from(MAGIC);
+    fn wrong_theta_count_rejected_with_real_line_number() {
+        let mut text = String::from(MAGIC_V1);
         text.push_str("\narch 1\nphasediag 3\ntheta 2\n0.0\n0.0\nerrors none\n");
         let err = text.parse::<Checkpoint>().unwrap_err();
         assert!(err.to_string().contains("architecture needs"));
+        // Regression: the count mismatch is anchored to the `theta` header
+        // (line 4), not the old line-0 sentinel.
+        assert!(
+            matches!(err, CheckpointError::Parse { line: 4, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v1_files_without_checksum_still_parse() {
+        let ckpt = sample_checkpoint(true);
+        let v2 = ckpt.to_string();
+        // Reconstruct what the old writer produced: v1 magic, no checksum.
+        let v1 = v2
+            .replacen(MAGIC_V2, MAGIC_V1, 1)
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back: Checkpoint = v1.parse().unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn current_writer_emits_v2_with_valid_checksum() {
+        let text = sample_checkpoint(true).to_string();
+        assert!(text.starts_with(MAGIC_V2));
+        let checksum_line = text.lines().last().unwrap();
+        assert!(checksum_line.starts_with("checksum "), "{checksum_line}");
+        assert!(text.parse::<Checkpoint>().is_ok());
+    }
+
+    #[test]
+    fn flipped_checksum_rejected() {
+        let text = sample_checkpoint(false).to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        let last = lines.len();
+        // Flip one hex digit of the stored checksum.
+        let tampered = text.replace(
+            lines[last - 1],
+            &format!(
+                "checksum {:08x}",
+                u32::from_str_radix(lines[last - 1].strip_prefix("checksum ").unwrap(), 16)
+                    .unwrap()
+                    ^ 1
+            ),
+        );
+        let err = tampered.parse::<Checkpoint>().unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        assert!(matches!(err, CheckpointError::Parse { line, .. } if line == last));
+    }
+
+    #[test]
+    fn corrupted_body_fails_checksum_before_section_parse() {
+        let text = sample_checkpoint(false).to_string();
+        // Flip a digit inside a theta value: the checksum catches it even
+        // though the line still parses as a float.
+        let corrupted = text.replacen("0.", "1.", 1);
+        assert_ne!(corrupted, text);
+        let err = corrupted.parse::<Checkpoint>().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let err = "photon-zo-checkpoint v9\narch 0\n"
+            .parse::<Checkpoint>()
+            .unwrap_err();
+        assert!(err.to_string().contains("unsupported checkpoint version"));
+        assert!(matches!(err, CheckpointError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn trailing_duplicated_section_rejected() {
+        let ckpt = sample_checkpoint(false);
+        let body = ckpt.body_text();
+        // Duplicate the errors section after the real one (v1 framing so no
+        // checksum shields the parser from seeing it).
+        let mut v1 = body.replacen(MAGIC_V2, MAGIC_V1, 1);
+        v1.push_str("errors none\n");
+        let err = v1.parse::<Checkpoint>().unwrap_err();
+        assert!(
+            err.to_string().contains("unexpected trailing line"),
+            "{err}"
+        );
+        let expected_line = v1.lines().count();
+        assert!(matches!(err, CheckpointError::Parse { line, .. } if line == expected_line));
+    }
+
+    #[test]
+    fn truncation_reports_line_past_end() {
+        let mut text = String::from(MAGIC_V1);
+        text.push_str("\narch 1\nphasediag 3\ntheta 3\n0.0\n");
+        let err = text.parse::<Checkpoint>().unwrap_err();
+        // 5 lines present; the missing theta value is "at" line 6.
+        assert!(
+            matches!(err, CheckpointError::Parse { line: 6, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("unexpected end of file"));
     }
 
     #[test]

@@ -1,0 +1,1171 @@
+//! The crash-safe run journal: a write-ahead log of full training state.
+//!
+//! A training run spends its budget in chip queries; a crash that loses the
+//! optimizer state throws that spend away. The journal makes stage-2
+//! training durable: after every epoch the trainer appends one framed,
+//! checksummed record carrying the complete [`RunState`] (theta, optimizer
+//! internals, query ledger, recovery bookkeeping) plus that epoch's
+//! [`EpochRecord`]. On startup, [`RunJournal::replay`] walks the log,
+//! truncates any torn tail left by a kill mid-append, and returns the last
+//! consistent epoch — from which [`Trainer::resume`](crate::Trainer::resume)
+//! continues bitwise-identically to an uninterrupted run.
+//!
+//! # Record framing
+//!
+//! The file is plain text. Line 1 is the magic header. Every record is
+//!
+//! ```text
+//! record <payload-bytes> <crc32-hex>\n
+//! <payload…>
+//! ```
+//!
+//! appended with a single `write_all` on an `O_APPEND` handle followed by
+//! `sync_data`. The CRC covers the payload bytes only. Replay accepts the
+//! longest prefix of intact records: a frame line that does not parse, a
+//! payload shorter than its declared length, or a checksum mismatch all mark
+//! the torn tail, which is truncated in place.
+//!
+//! # RNG discipline
+//!
+//! No generator state is ever serialized. Each epoch draws from a fresh
+//! `StdRng` seeded by [`epoch_seed`]`(root_seed, epoch)` (and the warm start
+//! from epoch 0), so the stream position is a pure function of
+//! `(root_seed, epoch)` and resume re-derives it exactly.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use photon_linalg::{RMatrix, RVector};
+use photon_opt::{AdamState, CmaEsState};
+use photon_photonics::ErrorVector;
+use photon_trace::{LedgerCounts, QueryCategory};
+
+use crate::metrics::Evaluation;
+use crate::trainer::{EpochRecord, Method, RecoveryEvent, RecoveryStats};
+
+const JOURNAL_MAGIC: &str = "photon-zo-journal v1";
+
+/// Computes the CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of
+/// `bytes`. Shared by the journal record frames and the v2 checkpoint
+/// format's trailing checksum line.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// SplitMix64: a tiny, high-quality mixing function used to derive
+/// independent seeds from a root seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed for one stage-2 epoch from the run's root seed.
+///
+/// Epoch 0 is the warm start's stream; epochs `1..=E` are the fine-tune
+/// epochs. Distinct `(root_seed, epoch)` pairs map to statistically
+/// independent streams, and the derivation is pure, so a resumed run
+/// re-creates each epoch's generator without ever serializing RNG state.
+pub fn epoch_seed(root_seed: u64, epoch: usize) -> u64 {
+    splitmix64(root_seed ^ splitmix64((epoch as u64).wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Errors raised while writing or replaying a run journal.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The journal (or one payload) is not valid. Only raised for damage
+    /// that torn-tail truncation cannot repair, e.g. a bad magic header.
+    Parse {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o failed: {e}"),
+            JournalError::Parse { message } => write!(f, "journal parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+fn perr(message: impl Into<String>) -> JournalError {
+    JournalError::Parse {
+        message: message.into(),
+    }
+}
+
+/// The run identity written as the journal's first record. Resume refuses a
+/// journal whose header contradicts the caller's configuration: the
+/// determinism contract only holds for the original `(method, root seed,
+/// batch size, probe count)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// The stage-2 training method.
+    pub method: Method,
+    /// Root seed all per-epoch RNG streams derive from.
+    pub root_seed: u64,
+    /// Stage-2 epochs the run was started with (informational).
+    pub epochs: usize,
+    /// Mini-batch size (affects the per-epoch shuffle stream).
+    pub batch_size: usize,
+    /// Probe count per ZO estimate (affects the probe stream).
+    pub q: usize,
+}
+
+/// The complete loop-carried state of stage-2 training at an epoch
+/// boundary. One `RunState` plus the epoch's [`EpochRecord`] make up each
+/// journal record; restoring it (plus re-deriving the next epoch's RNG)
+/// resumes the run bitwise-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunState {
+    /// Last completed stage-2 epoch (1-based).
+    pub epoch: usize,
+    /// Global optimizer-iteration counter (serial chip control points).
+    pub iteration: usize,
+    /// Rotation offset of coordinate-wise ZO probes.
+    pub coord_offset: usize,
+    /// Divergence-guard rollbacks consumed so far.
+    pub rollbacks_used: usize,
+    /// Divergence-guard EMA of the base loss.
+    pub loss_ema: Option<f64>,
+    /// Cumulative evaluation-side chip queries.
+    pub eval_queries: u64,
+    /// Cumulative per-category query ledger.
+    pub ledger: LedgerCounts,
+    /// Cumulative recovery-action totals.
+    pub recovery: RecoveryStats,
+    /// Current parameters.
+    pub theta: RVector,
+    /// Adam optimizer internals.
+    pub adam: AdamState,
+    /// CMA-ES internals, when the method is CMA.
+    pub cma: Option<CmaEsState>,
+    /// The divergence guard's last good `(θ, optimizer)` snapshot.
+    pub rollback_snapshot: Option<RollbackSnapshot>,
+    /// Error assignment of an *adopted* auto-recalibration, when one
+    /// occurred. Resume rebuilds the replacement metric model from it.
+    pub metric_errors: Option<ErrorVector>,
+    /// Structured recovery events so far, in order.
+    pub recovery_events: Vec<RecoveryEvent>,
+}
+
+/// The divergence guard's rollback target, serialized alongside
+/// [`RunState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollbackSnapshot {
+    /// Last good parameters.
+    pub theta: RVector,
+    /// Optimizer state at that point.
+    pub adam: AdamState,
+    /// CMA-ES state at that point, when the method is CMA.
+    pub cma: Option<CmaEsState>,
+}
+
+/// One journal record: the full state at an epoch boundary plus that
+/// epoch's bookkeeping line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochEntry {
+    /// Full loop-carried state after the epoch.
+    pub state: RunState,
+    /// The epoch's [`EpochRecord`] (what `TrainOutcome::history` collects).
+    pub record: EpochRecord,
+}
+
+/// The result of replaying a journal from disk.
+#[derive(Debug)]
+pub struct Replay {
+    /// The run identity record.
+    pub header: JournalHeader,
+    /// All intact epoch entries, in epoch order.
+    pub entries: Vec<EpochEntry>,
+    /// Bytes of torn tail that were truncated away (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only handle on a run journal.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: fs::File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl RunJournal {
+    /// Creates (truncating any previous file) a new journal at `path` and
+    /// writes the header record durably.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, JournalError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, format!("{JOURNAL_MAGIC}\n"))?;
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        let mut journal = RunJournal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        };
+        journal.append_payload(&header_payload(header))?;
+        sync_parent_dir(path);
+        Ok(journal)
+    }
+
+    /// Re-opens an existing journal for appending. Call
+    /// [`RunJournal::replay`] first so the tail is known-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn open_append(path: &Path) -> Result<Self, JournalError> {
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        Ok(RunJournal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Records appended through *this handle* (not the whole file).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one epoch entry: a single framed, checksummed, fsynced
+    /// write, so a kill at any instant leaves at worst a torn tail that
+    /// replay truncates. Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn append_epoch(&mut self, entry: &EpochEntry) -> Result<u64, JournalError> {
+        self.append_payload(&entry_payload(entry))
+    }
+
+    fn append_payload(&mut self, payload: &str) -> Result<u64, JournalError> {
+        let frame = format!(
+            "record {} {:08x}\n{payload}",
+            payload.len(),
+            crc32(payload.as_bytes())
+        );
+        // One write_all on an O_APPEND handle: the kernel appends the chunk
+        // at a single offset, so concurrent readers (and a crash) see either
+        // nothing or a contiguous (possibly torn) chunk — never interleaving.
+        self.file.write_all(frame.as_bytes())?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Replays the journal at `path`: verifies the magic header, walks the
+    /// framed records, and **truncates** any torn tail (incomplete frame,
+    /// short payload, or checksum mismatch) in place so subsequent appends
+    /// continue from the last consistent record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failures; [`JournalError::Parse`]
+    /// when the file is not a journal at all (bad magic) or an *intact*
+    /// record fails validation (e.g. epochs out of order) — damage that
+    /// truncation cannot repair.
+    pub fn replay(path: &Path) -> Result<Replay, JournalError> {
+        let mut file = fs::OpenOptions::new().read(true).write(true).open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        let magic_end = text
+            .find('\n')
+            .ok_or_else(|| perr("missing or torn magic header"))?;
+        if &text[..magic_end] != JOURNAL_MAGIC {
+            let got = &text[..magic_end.min(64)];
+            if got.starts_with("photon-zo-journal ") {
+                return Err(perr(format!("unsupported journal version {got:?}")));
+            }
+            return Err(perr(format!("bad journal magic {got:?}")));
+        }
+
+        let mut offset = magic_end + 1;
+        let mut header: Option<JournalHeader> = None;
+        let mut entries: Vec<EpochEntry> = Vec::new();
+        let mut good_end = offset;
+        while offset < text.len() {
+            let Some((payload, next_offset)) = next_record(&text, offset) else {
+                break; // torn tail: truncate from `good_end`
+            };
+            if header.is_none() {
+                header = Some(parse_header_payload(payload)?);
+            } else {
+                let entry = parse_entry_payload(payload)?;
+                if let Some(prev) = entries.last() {
+                    if entry.state.epoch <= prev.state.epoch {
+                        return Err(perr(format!(
+                            "epochs out of order: {} after {}",
+                            entry.state.epoch, prev.state.epoch
+                        )));
+                    }
+                }
+                entries.push(entry);
+            }
+            offset = next_offset;
+            good_end = next_offset;
+        }
+        let truncated_bytes = (text.len() - good_end) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(good_end as u64)?;
+            file.seek(io::SeekFrom::End(0))?;
+            file.sync_data()?;
+        }
+        let header = header.ok_or_else(|| perr("journal has no intact header record"))?;
+        Ok(Replay {
+            header,
+            entries,
+            truncated_bytes,
+        })
+    }
+}
+
+/// Fsyncs `path`'s parent directory so the file's creation itself survives
+/// a crash. Best-effort: some filesystems refuse directory fsync.
+pub(crate) fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    if let Ok(dir) = fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
+}
+
+/// Parses one framed record starting at byte `offset`. Returns the payload
+/// slice and the offset just past it, or `None` when the record is torn
+/// (malformed frame line, short payload, or checksum mismatch).
+fn next_record(text: &str, offset: usize) -> Option<(&str, usize)> {
+    let rest = &text[offset..];
+    let line_end = rest.find('\n')?;
+    let frame = &rest[..line_end];
+    let mut it = frame.split_whitespace();
+    if it.next() != Some("record") {
+        return None;
+    }
+    let len: usize = it.next()?.parse().ok()?;
+    let crc: u32 = u32::from_str_radix(it.next()?, 16).ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    let payload_start = line_end + 1;
+    let payload_end = payload_start.checked_add(len)?;
+    if payload_end > rest.len() || !rest.is_char_boundary(payload_end) {
+        return None;
+    }
+    let payload = &rest[payload_start..payload_end];
+    if crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    Some((payload, offset + payload_end))
+}
+
+// ---------------------------------------------------------------------------
+// Payload serialization. Strict line-oriented `key value…` text: writers and
+// parsers are kept adjacent so the format cannot drift.
+// ---------------------------------------------------------------------------
+
+fn header_payload(h: &JournalHeader) -> String {
+    format!(
+        "header\nmethod {}\nroot_seed {}\nepochs {}\nbatch_size {}\nq {}\n",
+        h.method.encode(),
+        h.root_seed,
+        h.epochs,
+        h.batch_size,
+        h.q
+    )
+}
+
+fn parse_header_payload(payload: &str) -> Result<JournalHeader, JournalError> {
+    let mut r = LineReader::new(payload);
+    r.expect_line("header")?;
+    let method_code = r.tagged("method")?;
+    let method = Method::decode(method_code)
+        .ok_or_else(|| perr(format!("unknown method code {method_code:?}")))?;
+    let header = JournalHeader {
+        method,
+        root_seed: r.tagged("root_seed")?.parse().map_err(|_| perr("bad root_seed"))?,
+        epochs: r.tagged("epochs")?.parse().map_err(|_| perr("bad epochs"))?,
+        batch_size: r
+            .tagged("batch_size")?
+            .parse()
+            .map_err(|_| perr("bad batch_size"))?,
+        q: r.tagged("q")?.parse().map_err(|_| perr("bad q"))?,
+    };
+    r.expect_end()?;
+    Ok(header)
+}
+
+fn entry_payload(entry: &EpochEntry) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("epoch-entry\n");
+    write_state(&mut out, &entry.state);
+    write_record(&mut out, &entry.record);
+    out
+}
+
+fn parse_entry_payload(payload: &str) -> Result<EpochEntry, JournalError> {
+    let mut r = LineReader::new(payload);
+    r.expect_line("epoch-entry")?;
+    let state = read_state(&mut r)?;
+    let record = read_record(&mut r)?;
+    r.expect_end()?;
+    Ok(EpochEntry { state, record })
+}
+
+fn write_state(out: &mut String, s: &RunState) {
+    use fmt::Write;
+    let _ = writeln!(out, "epoch {}", s.epoch);
+    let _ = writeln!(out, "iteration {}", s.iteration);
+    let _ = writeln!(out, "coord_offset {}", s.coord_offset);
+    let _ = writeln!(out, "rollbacks_used {}", s.rollbacks_used);
+    match s.loss_ema {
+        None => out.push_str("loss_ema none\n"),
+        Some(v) => {
+            let _ = writeln!(out, "loss_ema {v:?}");
+        }
+    }
+    let _ = writeln!(out, "eval_queries {}", s.eval_queries);
+    write_recovery(out, "recovery", &s.recovery);
+    out.push_str("ledger");
+    for cat in QueryCategory::ALL {
+        let _ = write!(out, " {}", s.ledger.get(cat));
+    }
+    out.push('\n');
+    write_rvec(out, "theta", &s.theta);
+    write_adam(out, &s.adam);
+    write_cma(out, s.cma.as_ref());
+    match &s.rollback_snapshot {
+        None => out.push_str("rollback_snapshot none\n"),
+        Some(snap) => {
+            out.push_str("rollback_snapshot some\n");
+            write_rvec(out, "theta", &snap.theta);
+            write_adam(out, &snap.adam);
+            write_cma(out, snap.cma.as_ref());
+        }
+    }
+    match &s.metric_errors {
+        None => out.push_str("metric_errors none\n"),
+        Some(ev) => {
+            let _ = write!(
+                out,
+                "metric_errors {} {}",
+                ev.n_beam_splitters(),
+                ev.n_phase_shifters()
+            );
+            for v in ev.to_flat() {
+                let _ = write!(out, " {v:?}");
+            }
+            out.push('\n');
+        }
+    }
+    let _ = writeln!(out, "events {}", s.recovery_events.len());
+    for ev in &s.recovery_events {
+        match ev {
+            RecoveryEvent::Rollback {
+                epoch,
+                iteration,
+                loss,
+                threshold,
+                new_lr,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "event rollback {epoch} {iteration} {loss:?} {threshold:?} {new_lr:?}"
+                );
+            }
+            RecoveryEvent::Recalibration {
+                epoch,
+                fidelity_before,
+                fidelity_after,
+                queries,
+                adopted,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "event recalibration {epoch} {fidelity_before:?} {fidelity_after:?} {queries} {}",
+                    u8::from(*adopted)
+                );
+            }
+        }
+    }
+}
+
+fn read_state(r: &mut LineReader<'_>) -> Result<RunState, JournalError> {
+    let epoch = r.tagged("epoch")?.parse().map_err(|_| perr("bad epoch"))?;
+    let iteration = r
+        .tagged("iteration")?
+        .parse()
+        .map_err(|_| perr("bad iteration"))?;
+    let coord_offset = r
+        .tagged("coord_offset")?
+        .parse()
+        .map_err(|_| perr("bad coord_offset"))?;
+    let rollbacks_used = r
+        .tagged("rollbacks_used")?
+        .parse()
+        .map_err(|_| perr("bad rollbacks_used"))?;
+    let loss_ema = match r.tagged("loss_ema")? {
+        "none" => None,
+        v => Some(parse_f64(v)?),
+    };
+    let eval_queries = r
+        .tagged("eval_queries")?
+        .parse()
+        .map_err(|_| perr("bad eval_queries"))?;
+    let recovery = read_recovery(r, "recovery")?;
+    let ledger_line = r.tagged("ledger")?;
+    let mut ledger = LedgerCounts::new();
+    let counts: Vec<&str> = ledger_line.split_whitespace().collect();
+    if counts.len() != QueryCategory::ALL.len() {
+        return Err(perr("ledger count mismatch"));
+    }
+    for (cat, tok) in QueryCategory::ALL.into_iter().zip(counts) {
+        ledger.add(cat, tok.parse().map_err(|_| perr("bad ledger count"))?);
+    }
+    let theta = read_rvec(r, "theta")?;
+    let adam = read_adam(r)?;
+    let cma = read_cma(r)?;
+    let rollback_snapshot = match r.tagged("rollback_snapshot")? {
+        "none" => None,
+        "some" => Some(RollbackSnapshot {
+            theta: read_rvec(r, "theta")?,
+            adam: read_adam(r)?,
+            cma: read_cma(r)?,
+        }),
+        other => return Err(perr(format!("bad rollback_snapshot marker {other:?}"))),
+    };
+    let metric_errors = match r.tagged("metric_errors")? {
+        "none" => None,
+        rest => {
+            let mut it = rest.split_whitespace();
+            let n_bs: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| perr("bad metric_errors bs count"))?;
+            let n_ps: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| perr("bad metric_errors ps count"))?;
+            let flat: Vec<f64> = it.map(parse_f64).collect::<Result<_, _>>()?;
+            if flat.len() != n_bs + 2 * n_ps {
+                return Err(perr("metric_errors value count mismatch"));
+            }
+            Some(
+                ErrorVector::from_flat(n_bs, n_ps, &flat)
+                    .map_err(|e| perr(format!("invalid metric_errors: {e}")))?,
+            )
+        }
+    };
+    let n_events: usize = r.tagged("events")?.parse().map_err(|_| perr("bad events"))?;
+    let mut recovery_events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let line = r.tagged("event")?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let ev = match toks.as_slice() {
+            ["rollback", epoch, iteration, loss, threshold, new_lr] => RecoveryEvent::Rollback {
+                epoch: epoch.parse().map_err(|_| perr("bad event epoch"))?,
+                iteration: iteration.parse().map_err(|_| perr("bad event iteration"))?,
+                loss: parse_f64(loss)?,
+                threshold: parse_f64(threshold)?,
+                new_lr: parse_f64(new_lr)?,
+            },
+            ["recalibration", epoch, before, after, queries, adopted] => {
+                RecoveryEvent::Recalibration {
+                    epoch: epoch.parse().map_err(|_| perr("bad event epoch"))?,
+                    fidelity_before: parse_f64(before)?,
+                    fidelity_after: parse_f64(after)?,
+                    queries: queries.parse().map_err(|_| perr("bad event queries"))?,
+                    adopted: match *adopted {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(perr("bad event adopted flag")),
+                    },
+                }
+            }
+            _ => return Err(perr(format!("unknown recovery event {line:?}"))),
+        };
+        recovery_events.push(ev);
+    }
+    Ok(RunState {
+        epoch,
+        iteration,
+        coord_offset,
+        rollbacks_used,
+        loss_ema,
+        eval_queries,
+        ledger,
+        recovery,
+        theta,
+        adam,
+        cma,
+        rollback_snapshot,
+        metric_errors,
+        recovery_events,
+    })
+}
+
+fn write_record(out: &mut String, rec: &EpochRecord) {
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "record_epoch {} {:?} {} {:?}",
+        rec.epoch, rec.train_loss, rec.training_queries, rec.elapsed
+    );
+    match &rec.test {
+        None => out.push_str("record_test none\n"),
+        Some(ev) => {
+            let _ = writeln!(
+                out,
+                "record_test {:?} {:?} {}",
+                ev.accuracy, ev.loss, ev.samples
+            );
+        }
+    }
+    write_recovery(out, "record_recovery", &rec.recovery);
+}
+
+fn read_record(r: &mut LineReader<'_>) -> Result<EpochRecord, JournalError> {
+    let line = r.tagged("record_epoch")?;
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let [epoch, train_loss, training_queries, elapsed] = toks.as_slice() else {
+        return Err(perr("bad record_epoch line"));
+    };
+    let test = match r.tagged("record_test")? {
+        "none" => None,
+        rest => {
+            let t: Vec<&str> = rest.split_whitespace().collect();
+            let [accuracy, loss, samples] = t.as_slice() else {
+                return Err(perr("bad record_test line"));
+            };
+            Some(Evaluation {
+                accuracy: parse_f64(accuracy)?,
+                loss: parse_f64(loss)?,
+                samples: samples.parse().map_err(|_| perr("bad test samples"))?,
+            })
+        }
+    };
+    Ok(EpochRecord {
+        epoch: epoch.parse().map_err(|_| perr("bad record epoch"))?,
+        train_loss: parse_f64(train_loss)?,
+        test,
+        training_queries: training_queries
+            .parse()
+            .map_err(|_| perr("bad training_queries"))?,
+        elapsed: parse_f64(elapsed)?,
+        recovery: read_recovery(r, "record_recovery")?,
+    })
+}
+
+fn write_recovery(out: &mut String, tag: &str, s: &RecoveryStats) {
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "{tag} {} {} {} {}",
+        s.retries, s.rejected_probes, s.rollbacks, s.recalibrations
+    );
+}
+
+fn read_recovery(r: &mut LineReader<'_>, tag: &str) -> Result<RecoveryStats, JournalError> {
+    let line = r.tagged(tag)?;
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let [retries, rejected, rollbacks, recalibs] = toks.as_slice() else {
+        return Err(perr(format!("bad {tag} line")));
+    };
+    let p = |v: &str| v.parse::<u64>().map_err(|_| perr(format!("bad {tag} count")));
+    Ok(RecoveryStats {
+        retries: p(retries)?,
+        rejected_probes: p(rejected)?,
+        rollbacks: p(rollbacks)?,
+        recalibrations: p(recalibs)?,
+    })
+}
+
+fn write_rvec(out: &mut String, tag: &str, v: &RVector) {
+    use fmt::Write;
+    let _ = write!(out, "{tag} {}", v.len());
+    for x in v.iter() {
+        let _ = write!(out, " {x:?}");
+    }
+    out.push('\n');
+}
+
+fn read_rvec(r: &mut LineReader<'_>, tag: &str) -> Result<RVector, JournalError> {
+    let line = r.tagged(tag)?;
+    let mut it = line.split_whitespace();
+    let len: usize = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| perr(format!("bad {tag} length")))?;
+    let vals: Vec<f64> = it.map(parse_f64).collect::<Result<_, _>>()?;
+    if vals.len() != len {
+        return Err(perr(format!(
+            "{tag} declares {len} values but carries {}",
+            vals.len()
+        )));
+    }
+    Ok(RVector::from_vec(vals))
+}
+
+fn write_rmat(out: &mut String, tag: &str, m: &RMatrix) {
+    use fmt::Write;
+    let _ = write!(out, "{tag} {} {}", m.rows(), m.cols());
+    for x in m.as_slice() {
+        let _ = write!(out, " {x:?}");
+    }
+    out.push('\n');
+}
+
+fn read_rmat(r: &mut LineReader<'_>, tag: &str) -> Result<RMatrix, JournalError> {
+    let line = r.tagged(tag)?;
+    let mut it = line.split_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| perr(format!("bad {tag} rows")))?;
+    let cols: usize = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| perr(format!("bad {tag} cols")))?;
+    let vals: Vec<f64> = it.map(parse_f64).collect::<Result<_, _>>()?;
+    if vals.len() != rows * cols {
+        return Err(perr(format!("{tag} value count mismatch")));
+    }
+    Ok(RMatrix::from_vec(rows, cols, vals))
+}
+
+fn write_adam(out: &mut String, a: &AdamState) {
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "adam {:?} {:?} {:?} {:?} {}",
+        a.lr, a.beta1, a.beta2, a.eps, a.t
+    );
+    match &a.m {
+        None => out.push_str("adam_m none\n"),
+        Some(v) => write_rvec(out, "adam_m", v),
+    }
+    match &a.v {
+        None => out.push_str("adam_v none\n"),
+        Some(v) => write_rvec(out, "adam_v", v),
+    }
+}
+
+fn read_adam(r: &mut LineReader<'_>) -> Result<AdamState, JournalError> {
+    let line = r.tagged("adam")?;
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let [lr, beta1, beta2, eps, t] = toks.as_slice() else {
+        return Err(perr("bad adam line"));
+    };
+    let m = read_opt_rvec(r, "adam_m")?;
+    let v = read_opt_rvec(r, "adam_v")?;
+    Ok(AdamState {
+        lr: parse_f64(lr)?,
+        beta1: parse_f64(beta1)?,
+        beta2: parse_f64(beta2)?,
+        eps: parse_f64(eps)?,
+        m,
+        v,
+        t: t.parse().map_err(|_| perr("bad adam t"))?,
+    })
+}
+
+fn read_opt_rvec(r: &mut LineReader<'_>, tag: &str) -> Result<Option<RVector>, JournalError> {
+    let line = r.tagged(tag)?;
+    if line == "none" {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let len: usize = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| perr(format!("bad {tag} length")))?;
+    let vals: Vec<f64> = it.map(parse_f64).collect::<Result<_, _>>()?;
+    if vals.len() != len {
+        return Err(perr(format!("{tag} value count mismatch")));
+    }
+    Ok(Some(RVector::from_vec(vals)))
+}
+
+fn write_cma(out: &mut String, cma: Option<&CmaEsState>) {
+    use fmt::Write;
+    let Some(c) = cma else {
+        out.push_str("cma none\n");
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "cma {} {:?} {} {}",
+        c.lambda, c.sigma, c.generation, c.generations_since_eig
+    );
+    write_rvec(out, "cma_mean", &c.mean);
+    write_rmat(out, "cma_cov", &c.cov);
+    write_rvec(out, "cma_pc", &c.pc);
+    write_rvec(out, "cma_ps", &c.ps);
+    write_rmat(out, "cma_eigvec", &c.eig_vectors);
+    write_rvec(out, "cma_eigsqrt", &c.eig_sqrt);
+    match &c.best {
+        None => out.push_str("cma_best none\n"),
+        Some((x, loss)) => {
+            let _ = write!(out, "cma_best {loss:?} {}", x.len());
+            for v in x.iter() {
+                let _ = write!(out, " {v:?}");
+            }
+            out.push('\n');
+        }
+    }
+}
+
+fn read_cma(r: &mut LineReader<'_>) -> Result<Option<CmaEsState>, JournalError> {
+    let line = r.tagged("cma")?;
+    if line == "none" {
+        return Ok(None);
+    }
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let [lambda, sigma, generation, since_eig] = toks.as_slice() else {
+        return Err(perr("bad cma line"));
+    };
+    let mean = read_rvec(r, "cma_mean")?;
+    let cov = read_rmat(r, "cma_cov")?;
+    let pc = read_rvec(r, "cma_pc")?;
+    let ps = read_rvec(r, "cma_ps")?;
+    let eig_vectors = read_rmat(r, "cma_eigvec")?;
+    let eig_sqrt = read_rvec(r, "cma_eigsqrt")?;
+    let best_line = r.tagged("cma_best")?;
+    let best = if best_line == "none" {
+        None
+    } else {
+        let mut it = best_line.split_whitespace();
+        let loss = parse_f64(it.next().ok_or_else(|| perr("bad cma_best"))?)?;
+        let len: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| perr("bad cma_best length"))?;
+        let vals: Vec<f64> = it.map(parse_f64).collect::<Result<_, _>>()?;
+        if vals.len() != len {
+            return Err(perr("cma_best value count mismatch"));
+        }
+        Some((RVector::from_vec(vals), loss))
+    };
+    Ok(Some(CmaEsState {
+        lambda: lambda.parse().map_err(|_| perr("bad cma lambda"))?,
+        mean,
+        sigma: parse_f64(sigma)?,
+        cov,
+        pc,
+        ps,
+        eig_vectors,
+        eig_sqrt,
+        generations_since_eig: since_eig.parse().map_err(|_| perr("bad cma since_eig"))?,
+        generation: generation.parse().map_err(|_| perr("bad cma generation"))?,
+        best,
+    }))
+}
+
+fn parse_f64(s: &str) -> Result<f64, JournalError> {
+    s.parse::<f64>().map_err(|_| perr(format!("bad float {s:?}")))
+}
+
+/// Sequential line reader over one (CRC-verified) payload.
+struct LineReader<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> LineReader<'a> {
+    fn new(payload: &'a str) -> Self {
+        LineReader {
+            lines: payload.lines(),
+        }
+    }
+
+    fn next_line(&mut self, what: &str) -> Result<&'a str, JournalError> {
+        self.lines
+            .next()
+            .ok_or_else(|| perr(format!("unexpected end of payload, expected {what}")))
+    }
+
+    fn expect_line(&mut self, exact: &str) -> Result<(), JournalError> {
+        let line = self.next_line(exact)?;
+        if line != exact {
+            return Err(perr(format!("expected {exact:?}, got {line:?}")));
+        }
+        Ok(())
+    }
+
+    /// Next line, which must start with `tag` followed by a space (or be
+    /// exactly `tag`); returns the rest.
+    fn tagged(&mut self, tag: &str) -> Result<&'a str, JournalError> {
+        let line = self.next_line(tag)?;
+        if let Some(rest) = line.strip_prefix(tag) {
+            if rest.is_empty() {
+                return Ok("");
+            }
+            if let Some(rest) = rest.strip_prefix(' ') {
+                return Ok(rest);
+            }
+        }
+        Err(perr(format!("expected `{tag} …`, got {line:?}")))
+    }
+
+    fn expect_end(&mut self) -> Result<(), JournalError> {
+        match self.lines.next() {
+            None => Ok(()),
+            Some(line) => Err(perr(format!("unexpected trailing payload line {line:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_trace::QueryCategory;
+
+    fn sample_state(epoch: usize) -> RunState {
+        let mut ledger = LedgerCounts::new();
+        ledger.add(QueryCategory::Probe, 120 * epoch as u64);
+        ledger.add(QueryCategory::BatchLoss, 30 * epoch as u64);
+        RunState {
+            epoch,
+            iteration: 6 * epoch,
+            coord_offset: 3,
+            rollbacks_used: 1,
+            loss_ema: Some(0.731_250_001),
+            eval_queries: 40,
+            ledger,
+            recovery: RecoveryStats {
+                retries: 2,
+                rejected_probes: 5,
+                rollbacks: 1,
+                recalibrations: 0,
+            },
+            theta: RVector::from_slice(&[0.25, -1.5, 3.0e-7, std::f64::consts::PI]),
+            adam: AdamState {
+                lr: 0.02,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                m: Some(RVector::from_slice(&[0.1, 0.2, 0.3, 0.4])),
+                v: Some(RVector::from_slice(&[1e-4, 2e-4, 3e-4, 4e-4])),
+                t: 42,
+            },
+            cma: None,
+            rollback_snapshot: None,
+            metric_errors: None,
+            recovery_events: vec![RecoveryEvent::Rollback {
+                epoch: 1,
+                iteration: 3,
+                loss: f64::INFINITY,
+                threshold: 2.5,
+                new_lr: 0.01,
+            }],
+        }
+    }
+
+    fn sample_entry(epoch: usize) -> EpochEntry {
+        EpochEntry {
+            state: sample_state(epoch),
+            record: EpochRecord {
+                epoch,
+                train_loss: 0.5 / epoch as f64,
+                test: epoch.is_multiple_of(2).then_some(Evaluation {
+                    accuracy: 0.75,
+                    loss: 0.61,
+                    samples: 30,
+                }),
+                training_queries: 150 * epoch as u64,
+                elapsed: 1.25,
+                recovery: RecoveryStats::default(),
+            },
+        }
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            method: Method::Lcng {
+                model: crate::ModelChoice::Calibrated,
+            },
+            root_seed: 77,
+            epochs: 5,
+            batch_size: 16,
+            q: 4,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn epoch_seed_is_stable_and_spread() {
+        assert_eq!(epoch_seed(7, 3), epoch_seed(7, 3));
+        assert_ne!(epoch_seed(7, 3), epoch_seed(7, 4));
+        assert_ne!(epoch_seed(7, 3), epoch_seed(8, 3));
+        assert_ne!(epoch_seed(7, 0), epoch_seed(7, 1));
+    }
+
+    #[test]
+    fn entry_payload_roundtrips_bitwise() {
+        for epoch in [1usize, 2] {
+            let entry = sample_entry(epoch);
+            let payload = entry_payload(&entry);
+            let back = parse_entry_payload(&payload).unwrap();
+            assert_eq!(back, entry);
+        }
+    }
+
+    #[test]
+    fn entry_payload_roundtrips_cma_and_snapshot() {
+        let mut entry = sample_entry(1);
+        let es = photon_opt::CmaEs::with_population(&RVector::from_slice(&[1.0, 2.0]), 0.5, 6);
+        entry.state.cma = Some(es.snapshot());
+        entry.state.rollback_snapshot = Some(RollbackSnapshot {
+            theta: RVector::from_slice(&[9.0, 8.0, 7.0, 6.0]),
+            adam: entry.state.adam.clone(),
+            cma: Some(es.snapshot()),
+        });
+        let back = parse_entry_payload(&entry_payload(&entry)).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn journal_roundtrip_and_replay() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_roundtrip");
+        let path = dir.join("run.journal");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        for epoch in 1..=3 {
+            journal.append_epoch(&sample_entry(epoch)).unwrap();
+        }
+        assert_eq!(journal.records(), 4); // header + 3 epochs
+        drop(journal);
+        let replay = RunJournal::replay(&path).unwrap();
+        assert_eq!(replay.header, header());
+        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(replay.entries[2], sample_entry(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_torn");
+        let path = dir.join("run.journal");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_epoch(&sample_entry(1)).unwrap();
+        journal.append_epoch(&sample_entry(2)).unwrap();
+        drop(journal);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        // Simulate a kill mid-append: half a record frame at the tail.
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"record 5000 deadbeef\nepoch-entry\nepoch 3\ntorn...").unwrap();
+        drop(f);
+
+        let replay = RunJournal::replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert!(replay.truncated_bytes > 0);
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len);
+
+        // The log keeps working after recovery.
+        let mut journal = RunJournal::open_append(&path).unwrap();
+        journal.append_epoch(&sample_entry(3)).unwrap();
+        let replay = RunJournal::replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.truncated_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_marks_torn_tail() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_corrupt");
+        let path = dir.join("run.journal");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_epoch(&sample_entry(1)).unwrap();
+        journal.append_epoch(&sample_entry(2)).unwrap();
+        drop(journal);
+        // Flip one byte inside the *last* record's payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let replay = RunJournal::replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 1, "corrupt record must be dropped");
+        assert!(replay.truncated_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_parse_error_not_panic() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_magic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.journal");
+        fs::write(&path, "not a journal\nrecord 1 00000000\nx").unwrap();
+        let err = RunJournal::replay(&path).unwrap_err();
+        assert!(matches!(err, JournalError::Parse { .. }));
+        assert!(err.to_string().contains("magic"));
+        fs::write(&path, "photon-zo-journal v9\n").unwrap();
+        let err = RunJournal::replay(&path).unwrap_err();
+        assert!(err.to_string().contains("unsupported journal version"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_epochs_rejected() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_order");
+        let path = dir.join("run.journal");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_epoch(&sample_entry(2)).unwrap();
+        journal.append_epoch(&sample_entry(1)).unwrap();
+        drop(journal);
+        let err = RunJournal::replay(&path).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

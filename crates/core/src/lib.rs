@@ -35,6 +35,7 @@
 
 mod checkpoint;
 mod experiment;
+mod journal;
 mod loss;
 mod metrics;
 mod report;
@@ -42,6 +43,10 @@ mod stats;
 mod trainer;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use journal::{
+    crc32, epoch_seed, EpochEntry, JournalError, JournalHeader, Replay, RollbackSnapshot,
+    RunJournal, RunState,
+};
 pub use experiment::{build_task, run_method, MethodResult, TaskInstance, TaskKind, TaskSpec};
 pub use loss::{mse_loss_and_grad, softmax, ClassificationHead, CoreError};
 pub use metrics::{
@@ -51,7 +56,8 @@ pub use metrics::{
 };
 pub use report::{downsample, recovery_report, sparkline, trace_summary, CsvWriter, TextTable};
 pub use stats::{mann_whitney_u, normal_sf, MannWhitney, RunSummary};
+pub use photon_exec::WatchdogPolicy;
 pub use trainer::{
-    EpochRecord, Method, ModelChoice, RecoveryEvent, RecoveryPolicy, RecoveryStats, TrainConfig,
-    TrainOutcome, Trainer,
+    AbortReason, DurableOptions, EpochRecord, Method, ModelChoice, RecoveryEvent, RecoveryPolicy,
+    RecoveryStats, RunOutcome, TrainConfig, TrainOutcome, Trainer,
 };

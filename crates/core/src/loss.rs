@@ -42,6 +42,8 @@ pub enum CoreError {
     },
     /// An invalid configuration value.
     InvalidConfig(String),
+    /// A run-journal operation (create / append / replay) failed.
+    Journal(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -55,6 +57,7 @@ impl std::fmt::Display for CoreError {
                 "cannot read {num_classes} classes from {output_dim} output ports"
             ),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Journal(msg) => write!(f, "run journal: {msg}"),
         }
     }
 }

@@ -403,6 +403,27 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                     *peak_worker_share_milli as f64 / 10.0
                 );
             }
+            TraceEvent::JournalFlush {
+                epoch,
+                records,
+                bytes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  journal     epoch {epoch:>3}: record {records} flushed ({bytes} bytes)"
+                );
+            }
+            TraceEvent::Resume {
+                epoch,
+                records_replayed,
+                truncated_bytes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "resume: epoch {epoch} restored from {records_replayed} records \
+                     ({truncated_bytes} torn bytes truncated)"
+                );
+            }
             TraceEvent::RunEnd {
                 training_queries,
                 eval_queries,

@@ -20,13 +20,15 @@
 //! | `BP-calib`   | backprop on the calibrated model |
 //! | `BP-oracle`  | backprop with perfect error information (upper bound) |
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use photon_calib::{calibrate, evaluate_model, CalibrationSettings};
 use photon_data::{Batcher, Dataset};
-use photon_exec::ExecPool;
+use photon_exec::{run_guarded, ExecPool, WatchdogPolicy};
 use photon_linalg::RVector;
 use photon_opt::{
     estimate_gradient_pooled, estimate_gradient_robust_pooled, layered_sigma_segments,
@@ -34,14 +36,24 @@ use photon_opt::{
     BlockNaturalPreconditioner, CmaEs, LcngSettings, MetricSource, Optimizer, Perturbation,
     RobustEval, ZoSettings,
 };
-use photon_photonics::{ideal_model, FabricatedChip, Network, OnnChip};
+use photon_photonics::{ideal_model, CacheStats, ErrorVector, FabricatedChip, Network, OnnChip};
 use photon_trace::{LedgerCounts, QueryCategory, TraceEvent, TraceHandle};
 
+use crate::journal::{
+    epoch_seed, EpochEntry, JournalError, JournalHeader, Replay, RollbackSnapshot, RunJournal,
+    RunState,
+};
 use crate::loss::{ClassificationHead, CoreError};
 use crate::metrics::{
     batch_inputs, chip_batch_loss_pooled, evaluate_chip_pooled, model_batch_loss_and_grad_pooled,
     Evaluation,
 };
+
+impl From<JournalError> for CoreError {
+    fn from(e: JournalError) -> Self {
+        CoreError::Journal(e.to_string())
+    }
+}
 
 /// Which software model supplies curvature / error information.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +129,56 @@ impl Method {
             Method::BpCalibrated => "BP-calib".into(),
             Method::BpOracle => "BP-oracle".into(),
         }
+    }
+
+    /// Stable machine-readable code used by the run journal's header
+    /// record. Inverse of [`Method::decode`].
+    pub fn encode(&self) -> String {
+        match self {
+            Method::ZoGaussian => "zo-i".into(),
+            Method::ZoCoordinate => "zo-co".into(),
+            Method::ZoShaped { model } => format!("zo-s {}", model.label()),
+            Method::ZoLc => "zo-lc".into(),
+            Method::ZoNg { model } => format!("zo-ng {}", model.label()),
+            Method::Lcng { model } => format!("lcng {}", model.label()),
+            Method::Cma { sigma0 } => format!("cma {sigma0:?}"),
+            Method::BpIdeal => "bp-ideal".into(),
+            Method::BpCalibrated => "bp-calib".into(),
+            Method::BpOracle => "bp-oracle".into(),
+        }
+    }
+
+    /// Parses a [`Method::encode`] code. Returns `None` for unknown codes.
+    pub fn decode(code: &str) -> Option<Method> {
+        let mut it = code.split_whitespace();
+        let head = it.next()?;
+        let model = |arg: Option<&str>| -> Option<ModelChoice> {
+            match arg? {
+                "ideal" => Some(ModelChoice::Ideal),
+                "calib" => Some(ModelChoice::Calibrated),
+                "oracle" => Some(ModelChoice::OracleTrue),
+                _ => None,
+            }
+        };
+        let method = match head {
+            "zo-i" => Method::ZoGaussian,
+            "zo-co" => Method::ZoCoordinate,
+            "zo-s" => Method::ZoShaped { model: model(it.next())? },
+            "zo-lc" => Method::ZoLc,
+            "zo-ng" => Method::ZoNg { model: model(it.next())? },
+            "lcng" => Method::Lcng { model: model(it.next())? },
+            "cma" => Method::Cma {
+                sigma0: it.next()?.parse().ok()?,
+            },
+            "bp-ideal" => Method::BpIdeal,
+            "bp-calib" => Method::BpCalibrated,
+            "bp-oracle" => Method::BpOracle,
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(method)
     }
 
     /// Whether stage 2 consumes chip queries for training.
@@ -405,6 +467,131 @@ pub struct TrainOutcome {
     pub recovery_events: Vec<RecoveryEvent>,
 }
 
+/// Configuration of a durable (journaled, resumable) training run.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Where the run journal lives. [`Trainer::train_durable`] creates it
+    /// (truncating any previous file); [`Trainer::resume`] replays it.
+    pub journal_path: PathBuf,
+    /// Root seed. Every per-epoch RNG stream (and the warm start, as
+    /// "epoch 0") is re-derived from it via [`epoch_seed`], which is what
+    /// makes a resumed run bitwise identical to an uninterrupted one.
+    pub root_seed: u64,
+    /// Deadline / retry policy guarding each epoch's chip queries.
+    pub watchdog: WatchdogPolicy,
+}
+
+impl DurableOptions {
+    /// Durable options with the standard watchdog policy.
+    pub fn new(journal_path: impl Into<PathBuf>, root_seed: u64) -> Self {
+        DurableOptions {
+            journal_path: journal_path.into(),
+            root_seed,
+            watchdog: WatchdogPolicy::standard(),
+        }
+    }
+
+    /// Replaces the watchdog policy.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogPolicy) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+}
+
+/// Why a durable run gave up cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Consecutive attempts at one epoch all blew the watchdog deadline
+    /// (e.g. a permanently hung chip link).
+    QueryDeadline {
+        /// The epoch that could not be completed.
+        epoch: usize,
+        /// Timed-out attempts, including the final one.
+        timeouts: u32,
+    },
+}
+
+/// The result of a durable run: either a finished [`TrainOutcome`] or a
+/// clean, resumable abort with the journal flushed through the last
+/// completed epoch.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run finished all epochs.
+    Completed(TrainOutcome),
+    /// The run gave up cleanly before finishing.
+    Aborted {
+        /// Whether [`Trainer::resume`] can pick the run back up. Always
+        /// `true` for watchdog aborts: the journal holds every completed
+        /// epoch.
+        resumable: bool,
+        /// Stage-2 epochs completed (and journaled) before the abort.
+        epochs_completed: usize,
+        /// What went wrong.
+        reason: AbortReason,
+    },
+}
+
+impl RunOutcome {
+    /// The completed outcome, if the run finished.
+    pub fn completed(self) -> Option<TrainOutcome> {
+        match self {
+            RunOutcome::Completed(outcome) => Some(outcome),
+            RunOutcome::Aborted { .. } => None,
+        }
+    }
+
+    /// `true` when the run aborted before finishing.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RunOutcome::Aborted { .. })
+    }
+}
+
+/// Immutable per-run context shared by every stage-2 epoch.
+#[derive(Debug)]
+struct FinetuneCtx {
+    method: Method,
+    zo: ZoSettings,
+    lcng_settings: LcngSettings,
+    rp: RecoveryPolicy,
+    robust_eval: RobustEval,
+    pool: ExecPool,
+    serial: ExecPool,
+    start: Instant,
+}
+
+/// The complete loop-carried state of stage-2 training. The legacy
+/// [`Trainer::finetune`] threads one instance through all epochs; the
+/// durable path rebuilds it from the journaled [`RunState`] at every epoch
+/// boundary, which is what forces each epoch to be a pure function of
+/// `(RunState, epoch seed)` — the property the resume contract rests on.
+#[derive(Debug)]
+struct FinetuneState {
+    metric_model: Option<Network>,
+    /// Error assignment of an adopted auto-recalibration, so a resumed run
+    /// can rebuild the same replacement metric model.
+    metric_errors: Option<ErrorVector>,
+    loss_ema: Option<f64>,
+    snapshot: Option<(RVector, Adam, Option<CmaEs>)>,
+    rollbacks_used: usize,
+    adam: Adam,
+    cma: Option<CmaEs>,
+    preconditioner: Option<BlockNaturalPreconditioner>,
+    sigma_segments: Option<Vec<(usize, photon_linalg::RCholesky)>>,
+    iteration: usize,
+    coord_offset: usize,
+    eval_queries: u64,
+    ledger: LedgerCounts,
+    total_recovery: RecoveryStats,
+    recovery_events: Vec<RecoveryEvent>,
+    /// Chip queries attributed to the run before the current process
+    /// window (0 for a fresh run; the restored ledger total on resume).
+    prior_queries: u64,
+    /// The chip's monotonic query counter at the start of the current
+    /// window, so per-run spend is `prior + (count - at_start)`.
+    queries_at_start: u64,
+}
+
 /// Orchestrates two-stage training of one chip on one task.
 ///
 /// Generic over the chip implementation: a plain [`FabricatedChip`] (the
@@ -507,33 +694,9 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
         theta: &mut RVector,
         rng: &mut R,
     ) -> Result<TrainOutcome, CoreError> {
-        let n = theta.len();
-        // Outer-level parallelism: probes / population members / batch samples
-        // fan out across `pool`; the per-probe batch loss stays serial so each
-        // worker owns exactly one scratch arena (no nested pools). Inside a
-        // probe, `chip_batch_loss_pooled` evaluates the batch in compiled
-        // blocks — one cached-unitary GEMM per block instead of an
-        // interpreted op walk per sample — so every ZO/LCNG/robust probe and
-        // CMA-ES population member amortizes its compile over the batch.
         let trace = &config.trace;
-        let pool = if trace.is_enabled() {
-            // Instrumentation is telemetry-only (relaxed counters on the
-            // side); an instrumented pool schedules and computes exactly
-            // like a plain one.
-            ExecPool::with_threads(config.threads).instrumented()
-        } else {
-            ExecPool::with_threads(config.threads)
-        };
-        let serial = ExecPool::serial();
         let start_queries = self.chip.query_count();
         let cache_start = self.chip.cache_stats();
-        let mut eval_queries: u64 = 0;
-        // Per-category attribution of every chip query this run spends.
-        // Kept even on untraced runs (plain u64 arithmetic) so the final
-        // debug_assert can reconcile the ledger against the chip's own
-        // counter in every test run.
-        let mut ledger = LedgerCounts::new();
-        let start = Instant::now();
         let mut history = Vec::with_capacity(config.epochs);
         trace.emit(|| TraceEvent::RunStart {
             method: method.label(),
@@ -542,17 +705,272 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             probes: config.q as u64,
         });
 
+        let ctx = self.finetune_ctx(method, config, theta.len());
+        let mut st = self.initial_finetune_state(method, config, theta, start_queries)?;
+        let mut batcher = Batcher::new(self.train.len(), config.batch_size);
+        for epoch in 1..=config.epochs {
+            let record = self.run_epoch(epoch, config, &ctx, &mut st, theta, &mut batcher, rng)?;
+            history.push(record);
+        }
+
+        let theta_final = theta.clone();
+        self.finish_run(config, &ctx, st, history, theta_final, start_queries, cache_start)
+    }
+
+    /// Starts a durable (journaled, resumable) run: warm start from the
+    /// root seed's "epoch 0" stream, then stage-2 epochs with the full
+    /// loop-carried state appended to the run journal after every epoch.
+    ///
+    /// The run is a deterministic function of `(method, config,
+    /// opts.root_seed)` at any worker-pool size: killing the process at any
+    /// instant and calling [`Trainer::resume`] yields bitwise-identical
+    /// final parameters, history, and query ledger. Each epoch's chip
+    /// queries run under the watchdog in `opts`; a permanently hung chip
+    /// link degrades to a clean [`RunOutcome::Aborted`] with
+    /// `resumable: true` and the journal flushed through the last
+    /// completed epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Journal`] when the journal cannot be created or
+    /// written; otherwise as [`Trainer::train`].
+    pub fn train_durable(
+        &self,
+        method: Method,
+        config: &TrainConfig,
+        opts: &DurableOptions,
+    ) -> Result<RunOutcome, CoreError> {
+        let mut rng = StdRng::seed_from_u64(epoch_seed(opts.root_seed, 0));
+        let theta = self.warm_start(config, &mut rng);
+        let header = JournalHeader {
+            method,
+            root_seed: opts.root_seed,
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            q: config.q,
+        };
+        let journal = RunJournal::create(&opts.journal_path, &header)?;
+        let state = self.initial_run_state(method, config, &theta);
+        self.durable_loop(method, config, opts, journal, state, Vec::new())
+    }
+
+    /// Resumes a durable run from its journal: replays the log (truncating
+    /// any torn tail), restores the last journaled [`RunState`], re-derives
+    /// the next epoch's RNG stream from the root seed, and continues
+    /// exactly where the run left off.
+    ///
+    /// The method is taken from the journal header. `config` and `opts`
+    /// must match the original run; `root_seed`, `epochs`, `batch_size`
+    /// and `q` are verified against the header.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Journal`] when the file is unreadable or not a
+    /// journal; [`CoreError::InvalidConfig`] when the header contradicts
+    /// the caller's configuration.
+    pub fn resume(
+        &self,
+        config: &TrainConfig,
+        opts: &DurableOptions,
+    ) -> Result<RunOutcome, CoreError> {
+        let Replay {
+            header,
+            entries,
+            truncated_bytes,
+        } = RunJournal::replay(&opts.journal_path)?;
+        if header.root_seed != opts.root_seed {
+            return Err(CoreError::InvalidConfig(format!(
+                "journal root seed {} does not match options root seed {}",
+                header.root_seed, opts.root_seed
+            )));
+        }
+        if header.epochs != config.epochs
+            || header.batch_size != config.batch_size
+            || header.q != config.q
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "journal run shape (epochs {}, batch {}, q {}) does not match \
+                 config (epochs {}, batch {}, q {})",
+                header.epochs,
+                header.batch_size,
+                header.q,
+                config.epochs,
+                config.batch_size,
+                config.q
+            )));
+        }
+        let method = header.method;
+        config.trace.emit(|| TraceEvent::Resume {
+            epoch: entries.last().map_or(0, |e| e.state.epoch) as u64,
+            records_replayed: entries.len() as u64,
+            truncated_bytes,
+        });
+        let history: Vec<EpochRecord> = entries.iter().map(|e| e.record).collect();
+        let state = match entries.into_iter().next_back() {
+            Some(entry) => entry.state,
+            None => {
+                // Killed before the first epoch landed: redo the warm start
+                // from the root seed's "epoch 0" stream.
+                let mut rng = StdRng::seed_from_u64(epoch_seed(opts.root_seed, 0));
+                let theta = self.warm_start(config, &mut rng);
+                self.initial_run_state(method, config, &theta)
+            }
+        };
+        let journal = RunJournal::open_append(&opts.journal_path)?;
+        self.durable_loop(method, config, opts, journal, state, history)
+    }
+
+    /// The durable epoch loop shared by [`Trainer::train_durable`] and
+    /// [`Trainer::resume`]: rebuild the live state from the canonical
+    /// [`RunState`], run one epoch under the watchdog, journal the result.
+    fn durable_loop(
+        &self,
+        method: Method,
+        config: &TrainConfig,
+        opts: &DurableOptions,
+        mut journal: RunJournal,
+        mut state: RunState,
+        mut history: Vec<EpochRecord>,
+    ) -> Result<RunOutcome, CoreError> {
+        let trace = &config.trace;
+        let cache_start = self.chip.cache_stats();
+        trace.emit(|| TraceEvent::RunStart {
+            method: method.label(),
+            epochs: config.epochs as u64,
+            batch_size: config.batch_size as u64,
+            probes: config.q as u64,
+        });
+        let ctx = self.finetune_ctx(method, config, state.theta.len());
+        let backoff = opts.watchdog.backoff();
+        let first_epoch = state.epoch + 1;
+        for epoch in first_epoch..=config.epochs {
+            let mut timeouts: u32 = 0;
+            loop {
+                // Each attempt starts from the canonical journaled state: a
+                // timed-out attempt is discarded wholesale, so partial
+                // (possibly poisoned) progress can never leak into the run.
+                let mut theta = state.theta.clone();
+                let mut st = self.durable_state(method, &state)?;
+                st.queries_at_start = self.chip.query_count();
+                let mut batcher = Batcher::new(self.train.len(), config.batch_size);
+                let mut rng = StdRng::seed_from_u64(epoch_seed(opts.root_seed, epoch));
+                let flag = self.chip.abort_flag();
+                let cancel = flag.clone();
+                let (result, fired) = run_guarded(
+                    opts.watchdog.deadline,
+                    move || cancel.raise(),
+                    || {
+                        self.run_epoch(
+                            epoch,
+                            config,
+                            &ctx,
+                            &mut st,
+                            &mut theta,
+                            &mut batcher,
+                            &mut rng,
+                        )
+                    },
+                );
+                if fired {
+                    // The raised flag unblocked the hung query; lower it so
+                    // the retry (or a later run) measures normally again.
+                    flag.clear();
+                    timeouts += 1;
+                    if timeouts > opts.watchdog.max_timeouts {
+                        trace.flush();
+                        return Ok(RunOutcome::Aborted {
+                            resumable: true,
+                            epochs_completed: state.epoch,
+                            reason: AbortReason::QueryDeadline { epoch, timeouts },
+                        });
+                    }
+                    std::thread::sleep(backoff.delay(timeouts));
+                    continue;
+                }
+                let record = result?;
+                let entry = EpochEntry {
+                    state: run_state_after(epoch, &st, &theta),
+                    record,
+                };
+                let bytes = journal.append_epoch(&entry)?;
+                let records = journal.records();
+                trace.emit(|| TraceEvent::JournalFlush {
+                    epoch: epoch as u64,
+                    records,
+                    bytes,
+                });
+                history.push(entry.record);
+                state = entry.state;
+                break;
+            }
+        }
+
+        let mut st = self.durable_state(method, &state)?;
+        st.queries_at_start = self.chip.query_count();
+        let window_start = st.queries_at_start;
+        let outcome = self.finish_run(
+            config,
+            &ctx,
+            st,
+            history,
+            state.theta.clone(),
+            window_start,
+            cache_start,
+        )?;
+        Ok(RunOutcome::Completed(outcome))
+    }
+
+    /// The immutable per-run context (thread pools, estimator settings).
+    fn finetune_ctx(&self, method: Method, config: &TrainConfig, n: usize) -> FinetuneCtx {
+        // Outer-level parallelism: probes / population members / batch samples
+        // fan out across `pool`; the per-probe batch loss stays serial so each
+        // worker owns exactly one scratch arena (no nested pools). Inside a
+        // probe, `chip_batch_loss_pooled` evaluates the batch in compiled
+        // blocks — one cached-unitary GEMM per block instead of an
+        // interpreted op walk per sample — so every ZO/LCNG/robust probe and
+        // CMA-ES population member amortizes its compile over the batch.
+        let pool = if config.trace.is_enabled() {
+            // Instrumentation is telemetry-only (relaxed counters on the
+            // side); an instrumented pool schedules and computes exactly
+            // like a plain one.
+            ExecPool::with_threads(config.threads).instrumented()
+        } else {
+            ExecPool::with_threads(config.threads)
+        };
         let zo = ZoSettings {
             q: config.q,
             mu: config.mu_override.unwrap_or(1e-3 / (n as f64).sqrt()),
             lambda: 1.0 / n as f64,
         };
-        let lcng_settings = LcngSettings {
+        let rp = config.recovery;
+        FinetuneCtx {
+            method,
             zo,
-            ridge: config.ridge,
-        };
+            lcng_settings: LcngSettings {
+                zo,
+                ridge: config.ridge,
+            },
+            rp,
+            robust_eval: RobustEval {
+                max_retries: rp.max_retries,
+                outlier_zscore: rp.outlier_zscore,
+                rereads: rp.rereads,
+            },
+            pool,
+            serial: ExecPool::serial(),
+            start: Instant::now(),
+        }
+    }
 
-        let mut metric_model = match method {
+    /// The fresh loop-carried state a legacy fine-tune starts from.
+    fn initial_finetune_state(
+        &self,
+        method: Method,
+        config: &TrainConfig,
+        theta: &RVector,
+        queries_at_start: u64,
+    ) -> Result<FinetuneState, CoreError> {
+        let metric_model = match method {
             Method::ZoShaped { model } | Method::ZoNg { model } | Method::Lcng { model } => {
                 Some(self.model_for(model)?)
             }
@@ -561,442 +979,573 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             Method::BpOracle => Some(self.model_for(ModelChoice::OracleTrue)?),
             _ => None,
         };
+        Ok(FinetuneState {
+            metric_model,
+            metric_errors: None,
+            loss_ema: None,
+            snapshot: None,
+            rollbacks_used: 0,
+            adam: Adam::new(config.lr),
+            cma: match method {
+                Method::Cma { sigma0 } => Some(CmaEs::new(theta, sigma0)),
+                _ => None,
+            },
+            preconditioner: None,
+            sigma_segments: None,
+            iteration: 0,
+            coord_offset: 0,
+            eval_queries: 0,
+            ledger: LedgerCounts::new(),
+            total_recovery: RecoveryStats::default(),
+            recovery_events: Vec::new(),
+            prior_queries: 0,
+            queries_at_start,
+        })
+    }
 
-        let rp = config.recovery;
-        let robust_eval = RobustEval {
-            max_retries: rp.max_retries,
-            outlier_zscore: rp.outlier_zscore,
-            rereads: rp.rereads,
-        };
-        let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
-        let mut total_recovery = RecoveryStats::default();
-        // Divergence-guard state: EMA of the base loss, the last good
-        // (θ, optimizer state) snapshot, and the rollback budget.
-        let mut loss_ema: Option<f64> = None;
-        let mut snapshot: Option<(RVector, Adam, Option<CmaEs>)> = None;
-        let mut rollbacks_used: usize = 0;
+    /// The epoch-0 [`RunState`] of a durable run: warm-started parameters,
+    /// fresh optimizer internals, empty ledger.
+    fn initial_run_state(&self, method: Method, config: &TrainConfig, theta: &RVector) -> RunState {
+        RunState {
+            epoch: 0,
+            iteration: 0,
+            coord_offset: 0,
+            rollbacks_used: 0,
+            loss_ema: None,
+            eval_queries: 0,
+            ledger: LedgerCounts::new(),
+            recovery: RecoveryStats::default(),
+            theta: theta.clone(),
+            adam: Adam::new(config.lr).snapshot(),
+            cma: match method {
+                Method::Cma { sigma0 } => Some(CmaEs::new(theta, sigma0).snapshot()),
+                _ => None,
+            },
+            rollback_snapshot: None,
+            metric_errors: None,
+            recovery_events: Vec::new(),
+        }
+    }
 
-        let mut adam = Adam::new(config.lr);
-        let mut batcher = Batcher::new(self.train.len(), config.batch_size);
-        let mut cma: Option<CmaEs> = match method {
-            Method::Cma { sigma0 } => Some(CmaEs::new(theta, sigma0)),
-            _ => None,
-        };
-        let mut preconditioner: Option<BlockNaturalPreconditioner> = None;
-        let mut sigma_segments: Option<Vec<(usize, photon_linalg::RCholesky)>> = None;
-        let mut iteration: usize = 0;
-        let mut coord_offset: usize = 0;
-
-        for epoch in 1..=config.epochs {
-            let mut epoch_loss = 0.0;
-            let mut batches = 0usize;
-            let mut epoch_recovery = RecoveryStats::default();
-            let mut epoch_ledger = LedgerCounts::new();
-            for batch in batcher.epoch(rng) {
-                // One serial control point per optimizer iteration: slow
-                // chip state (e.g. thermal drift on a fault-injecting chip)
-                // advances here and only here, keeping every chip reading
-                // within the iteration a pure function of content.
-                self.chip.advance_to(iteration as u64 + 1);
-
-                let fisher_inputs =
-                    batch_inputs(self.train, &batch[..batch.len().min(config.r_in)]);
-                let refresh = iteration.is_multiple_of(config.t_update.max(1));
-                let chip = self.chip;
-                let data = self.train;
-                let head = self.head;
-                let batch_ref = &batch;
-                let serial_ref = &serial;
-                let chip_loss =
-                    |t: &RVector| chip_batch_loss_pooled(chip, data, batch_ref, &head, t, serial_ref);
-
-                // The base loss doubles as the divergence-guard signal for
-                // every estimator that measures it.
-                let needs_base = matches!(
-                    method,
-                    Method::ZoGaussian
-                        | Method::ZoCoordinate
-                        | Method::ZoShaped { .. }
-                        | Method::ZoNg { .. }
-                        | Method::ZoLc
-                        | Method::Lcng { .. }
-                );
-                // Every chip query below happens at a serial point (the
-                // pooled estimators join before returning), so attributing
-                // spend by diffing the monotonic query counter is exact.
-                let base_q = self.chip.query_count();
-                let mut base = 0.0;
-                if needs_base {
-                    base = chip_loss(theta);
-                    if rp.enabled {
-                        let mut r = 0;
-                        while !base.is_finite() && r < rp.max_retries {
-                            base = chip_loss(theta);
-                            r += 1;
-                        }
-                        epoch_recovery.retries += u64::from(r);
-                        let threshold = loss_ema.map(|e| rp.spike_factor * e.max(1e-12));
-                        let spiking =
-                            !base.is_finite() || threshold.is_some_and(|t| base > t);
-                        if spiking {
-                            let mut rolled_back = false;
-                            if rollbacks_used < rp.max_rollbacks {
-                                if let Some((theta_good, adam_good, cma_good)) = &snapshot {
-                                    theta.copy_from(theta_good);
-                                    adam = adam_good.clone();
-                                    cma = cma_good.clone();
-                                    let new_lr = adam.learning_rate() * rp.lr_backoff;
-                                    adam.set_learning_rate(new_lr);
-                                    preconditioner = None;
-                                    sigma_segments = None;
-                                    rollbacks_used += 1;
-                                    epoch_recovery.rollbacks += 1;
-                                    recovery_events.push(RecoveryEvent::Rollback {
-                                        epoch,
-                                        iteration,
-                                        loss: base,
-                                        threshold: threshold.unwrap_or(f64::INFINITY),
-                                        new_lr,
-                                    });
-                                    trace.emit(|| TraceEvent::Rollback {
-                                        epoch: epoch as u64,
-                                        iteration: iteration as u64,
-                                        loss: base,
-                                        threshold: threshold.unwrap_or(f64::INFINITY),
-                                        new_lr,
-                                    });
-                                    rolled_back = true;
-                                }
-                            }
-                            if rolled_back || !base.is_finite() {
-                                // Rolled back, or no good state to return
-                                // to and no finite base to estimate from:
-                                // drop the batch either way. The wasted
-                                // measurements still ledger as batch loss.
-                                epoch_ledger.add(
-                                    QueryCategory::BatchLoss,
-                                    self.chip.query_count().saturating_sub(base_q),
-                                );
-                                iteration += 1;
-                                continue;
-                            }
-                        }
-                    }
-                    epoch_ledger.add(
-                        QueryCategory::BatchLoss,
-                        self.chip.query_count().saturating_sub(base_q),
-                    );
+    /// Rebuilds the live [`FinetuneState`] from a journaled [`RunState`].
+    /// Derived caches (natural-gradient preconditioner, shaped-probe
+    /// covariances) are deliberately dropped — they are re-assembled from
+    /// the restored state on first use, which keeps every durable epoch a
+    /// pure function of `(RunState, epoch seed)`.
+    fn durable_state(&self, method: Method, state: &RunState) -> Result<FinetuneState, CoreError> {
+        let metric_model = if let Some(errors) = &state.metric_errors {
+            // An adopted auto-recalibration replaced the metric model;
+            // rebuild the same replacement from its journaled errors.
+            Some(
+                self.chip
+                    .architecture()
+                    .build_with_errors(errors)
+                    .map_err(|e| {
+                        CoreError::Journal(format!(
+                            "journaled metric errors do not fit the architecture: {e}"
+                        ))
+                    })?,
+            )
+        } else {
+            match method {
+                Method::ZoShaped { model } | Method::ZoNg { model } | Method::Lcng { model } => {
+                    Some(self.model_for(model)?)
                 }
+                Method::BpCalibrated => Some(self.model_for(ModelChoice::Calibrated)?),
+                Method::BpIdeal => Some(self.model_for(ModelChoice::Ideal)?),
+                Method::BpOracle => Some(self.model_for(ModelChoice::OracleTrue)?),
+                _ => None,
+            }
+        };
+        Ok(FinetuneState {
+            metric_model,
+            metric_errors: state.metric_errors.clone(),
+            loss_ema: state.loss_ema,
+            snapshot: state.rollback_snapshot.as_ref().map(|s| {
+                (
+                    s.theta.clone(),
+                    Adam::from_state(s.adam.clone()),
+                    s.cma.clone().map(CmaEs::from_state),
+                )
+            }),
+            rollbacks_used: state.rollbacks_used,
+            adam: Adam::from_state(state.adam.clone()),
+            cma: state.cma.clone().map(CmaEs::from_state),
+            preconditioner: None,
+            sigma_segments: None,
+            iteration: state.iteration,
+            coord_offset: state.coord_offset,
+            eval_queries: state.eval_queries,
+            ledger: state.ledger,
+            total_recovery: state.recovery,
+            recovery_events: state.recovery_events.clone(),
+            prior_queries: state.ledger.total(),
+            queries_at_start: self.chip.query_count(),
+        })
+    }
 
-                // Queries inside the update step are probes, except the
-                // Fisher-metric refreshes, which are tracked separately:
-                // they are expected to cost zero chip queries (the metric
-                // comes from the calibrated software model — the paper's
-                // central claim), and the ledger makes that measurable.
-                let probe_q = self.chip.query_count();
-                let mut fisher_q: u64 = 0;
-                let loss_val = match method {
-                    Method::ZoGaussian
+    /// Runs one stage-2 epoch: the batch loop, the fidelity monitor, and
+    /// any scheduled evaluation sweep. All loop-carried training state
+    /// lives in `st`, so the legacy path (one state threaded through all
+    /// epochs) and the durable path (state rebuilt from the journaled
+    /// [`RunState`] at every epoch boundary) share one epoch
+    /// implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch<R: Rng + ?Sized>(
+        &self,
+        epoch: usize,
+        config: &TrainConfig,
+        ctx: &FinetuneCtx,
+        st: &mut FinetuneState,
+        theta: &mut RVector,
+        batcher: &mut Batcher,
+        rng: &mut R,
+    ) -> Result<EpochRecord, CoreError> {
+        let n = theta.len();
+        let method = ctx.method;
+        let trace = &config.trace;
+        let pool = &ctx.pool;
+        let serial = &ctx.serial;
+        let zo = ctx.zo;
+        let lcng_settings = ctx.lcng_settings;
+        let rp = ctx.rp;
+        let robust_eval = ctx.robust_eval;
+        let FinetuneState {
+            metric_model,
+            metric_errors,
+            loss_ema,
+            snapshot,
+            rollbacks_used,
+            adam,
+            cma,
+            preconditioner,
+            sigma_segments,
+            iteration,
+            coord_offset,
+            eval_queries,
+            ledger,
+            total_recovery,
+            recovery_events,
+            prior_queries,
+            queries_at_start,
+        } = st;
+
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        let mut epoch_recovery = RecoveryStats::default();
+        let mut epoch_ledger = LedgerCounts::new();
+        for batch in batcher.epoch(rng) {
+            // One serial control point per optimizer iteration: slow
+            // chip state (e.g. thermal drift on a fault-injecting chip)
+            // advances here and only here, keeping every chip reading
+            // within the iteration a pure function of content.
+            self.chip.advance_to(*iteration as u64 + 1);
+
+            let fisher_inputs = batch_inputs(self.train, &batch[..batch.len().min(config.r_in)]);
+            let refresh = iteration.is_multiple_of(config.t_update.max(1));
+            let chip = self.chip;
+            let data = self.train;
+            let head = self.head;
+            let batch_ref = &batch;
+            let serial_ref = &serial;
+            let chip_loss =
+                |t: &RVector| chip_batch_loss_pooled(chip, data, batch_ref, &head, t, serial_ref);
+
+            // The base loss doubles as the divergence-guard signal for
+            // every estimator that measures it.
+            let needs_base = matches!(
+                method,
+                Method::ZoGaussian
                     | Method::ZoCoordinate
                     | Method::ZoShaped { .. }
-                    | Method::ZoNg { .. } => {
-                        let pert_storage;
-                        let pert: Perturbation<'_> = match method {
-                            Method::ZoGaussian | Method::ZoNg { .. } => Perturbation::Gaussian,
-                            Method::ZoCoordinate => {
-                                let p = Perturbation::Coordinate {
-                                    offset: coord_offset,
-                                };
-                                coord_offset = (coord_offset + config.q) % n;
-                                p
+                    | Method::ZoNg { .. }
+                    | Method::ZoLc
+                    | Method::Lcng { .. }
+            );
+            // Every chip query below happens at a serial point (the
+            // pooled estimators join before returning), so attributing
+            // spend by diffing the monotonic query counter is exact.
+            let base_q = self.chip.query_count();
+            let mut base = 0.0;
+            if needs_base {
+                base = chip_loss(theta);
+                if rp.enabled {
+                    let mut r = 0;
+                    while !base.is_finite() && r < rp.max_retries {
+                        base = chip_loss(theta);
+                        r += 1;
+                    }
+                    epoch_recovery.retries += u64::from(r);
+                    let threshold = loss_ema.map(|e| rp.spike_factor * e.max(1e-12));
+                    let spiking = !base.is_finite() || threshold.is_some_and(|t| base > t);
+                    if spiking {
+                        let mut rolled_back = false;
+                        if *rollbacks_used < rp.max_rollbacks {
+                            if let Some((theta_good, adam_good, cma_good)) = snapshot.as_ref() {
+                                theta.copy_from(theta_good);
+                                *adam = adam_good.clone();
+                                *cma = cma_good.clone();
+                                let new_lr = adam.learning_rate() * rp.lr_backoff;
+                                adam.set_learning_rate(new_lr);
+                                *preconditioner = None;
+                                *sigma_segments = None;
+                                *rollbacks_used += 1;
+                                epoch_recovery.rollbacks += 1;
+                                recovery_events.push(RecoveryEvent::Rollback {
+                                    epoch,
+                                    iteration: *iteration,
+                                    loss: base,
+                                    threshold: threshold.unwrap_or(f64::INFINITY),
+                                    new_lr,
+                                });
+                                trace.emit(|| TraceEvent::Rollback {
+                                    epoch: epoch as u64,
+                                    iteration: *iteration as u64,
+                                    loss: base,
+                                    threshold: threshold.unwrap_or(f64::INFINITY),
+                                    new_lr,
+                                });
+                                rolled_back = true;
                             }
-                            Method::ZoShaped { .. } => {
-                                if refresh || sigma_segments.is_none() {
-                                    let fq = self.chip.query_count();
-                                    let model =
-                                        metric_model.as_ref().expect("model resolved above");
-                                    sigma_segments = Some(
-                                        layered_sigma_segments(
-                                            model,
-                                            theta,
-                                            &fisher_inputs,
-                                            config.rho,
-                                        )
+                        }
+                        if rolled_back || !base.is_finite() {
+                            // Rolled back, or no good state to return
+                            // to and no finite base to estimate from:
+                            // drop the batch either way. The wasted
+                            // measurements still ledger as batch loss.
+                            epoch_ledger.add(
+                                QueryCategory::BatchLoss,
+                                self.chip.query_count().saturating_sub(base_q),
+                            );
+                            *iteration += 1;
+                            continue;
+                        }
+                    }
+                }
+                epoch_ledger.add(
+                    QueryCategory::BatchLoss,
+                    self.chip.query_count().saturating_sub(base_q),
+                );
+            }
+
+            // Queries inside the update step are probes, except the
+            // Fisher-metric refreshes, which are tracked separately:
+            // they are expected to cost zero chip queries (the metric
+            // comes from the calibrated software model — the paper's
+            // central claim), and the ledger makes that measurable.
+            let probe_q = self.chip.query_count();
+            let mut fisher_q: u64 = 0;
+            let loss_val = match method {
+                Method::ZoGaussian
+                | Method::ZoCoordinate
+                | Method::ZoShaped { .. }
+                | Method::ZoNg { .. } => {
+                    let pert_storage;
+                    let pert: Perturbation<'_> = match method {
+                        Method::ZoGaussian | Method::ZoNg { .. } => Perturbation::Gaussian,
+                        Method::ZoCoordinate => {
+                            let p = Perturbation::Coordinate {
+                                offset: *coord_offset,
+                            };
+                            *coord_offset = (*coord_offset + config.q) % n;
+                            p
+                        }
+                        Method::ZoShaped { .. } => {
+                            if refresh || sigma_segments.is_none() {
+                                let fq = self.chip.query_count();
+                                let model = metric_model.as_ref().expect("model resolved above");
+                                *sigma_segments = Some(
+                                    layered_sigma_segments(model, theta, &fisher_inputs, config.rho)
                                         .map_err(|e| {
                                             CoreError::InvalidConfig(format!(
                                                 "sigma refresh failed: {e}"
                                             ))
                                         })?,
-                                    );
-                                    fisher_q += self.chip.query_count().saturating_sub(fq);
-                                }
-                                pert_storage = sigma_segments.as_ref().unwrap();
-                                Perturbation::Shaped {
-                                    segments: pert_storage,
-                                }
-                            }
-                            _ => unreachable!(),
-                        };
-                        let est = if rp.enabled {
-                            let (est, stats) = estimate_gradient_robust_pooled(
-                                &chip_loss,
-                                theta,
-                                base,
-                                &zo,
-                                &pert,
-                                &robust_eval,
-                                &pool,
-                                rng,
-                            );
-                            epoch_recovery.retries += stats.retries;
-                            epoch_recovery.rejected_probes += stats.rejected + stats.unrecovered;
-                            est
-                        } else {
-                            estimate_gradient_pooled(&chip_loss, theta, base, &zo, &pert, &pool, rng)
-                        };
-                        let grad = if let Method::ZoNg { .. } = method {
-                            if refresh || preconditioner.is_none() {
-                                let fq = self.chip.query_count();
-                                let model = metric_model.as_ref().expect("model resolved above");
-                                preconditioner = Some(
-                                    BlockNaturalPreconditioner::assemble(
-                                        model,
-                                        theta,
-                                        &fisher_inputs,
-                                        config.rho,
-                                        true,
-                                    )
-                                    .map_err(|e| {
-                                        CoreError::InvalidConfig(format!(
-                                            "preconditioner refresh failed: {e}"
-                                        ))
-                                    })?,
                                 );
                                 fisher_q += self.chip.query_count().saturating_sub(fq);
                             }
-                            preconditioner.as_ref().unwrap().apply(&est.gradient)
-                        } else {
-                            est.gradient
-                        };
-                        adam.step(theta, &grad);
-                        base
-                    }
-                    Method::ZoLc | Method::Lcng { .. } => {
-                        let metric = match (&method, metric_model.as_ref()) {
-                            (Method::ZoLc, _) => MetricSource::Identity,
-                            (Method::Lcng { .. }, Some(model)) => MetricSource::Model {
-                                model,
-                                inputs: &fisher_inputs,
-                            },
-                            _ => unreachable!(),
-                        };
-                        let step = if rp.enabled {
-                            let (step, stats) = lcng_direction_robust_pooled(
-                                &chip_loss,
-                                theta,
-                                base,
-                                &lcng_settings,
-                                &Perturbation::Gaussian,
-                                &metric,
-                                &robust_eval,
-                                &pool,
-                                rng,
-                            )
-                            .map_err(|e| {
-                                CoreError::InvalidConfig(format!("LCNG solve failed: {e}"))
-                            })?;
-                            epoch_recovery.retries += stats.retries;
-                            epoch_recovery.rejected_probes += stats.rejected + stats.unrecovered;
-                            step
-                        } else {
-                            lcng_direction_pooled(
-                                &chip_loss,
-                                theta,
-                                base,
-                                &lcng_settings,
-                                &Perturbation::Gaussian,
-                                &metric,
-                                &pool,
-                                rng,
-                            )
-                            .map_err(|e| {
-                                CoreError::InvalidConfig(format!("LCNG solve failed: {e}"))
-                            })?
-                        };
-                        // Feed the negative direction to Adam as a surrogate
-                        // gradient (the protocol the research line uses).
-                        let surrogate = step.direction.scale(-1.0);
-                        adam.step(theta, &surrogate);
-                        base
-                    }
-                    Method::Cma { .. } => {
-                        let es = cma.as_mut().expect("initialized above");
-                        let xs = es.ask(rng);
-                        let mut losses: Vec<f64> = pool.map(&xs, |_, x| chip_loss(x));
-                        if rp.enabled {
-                            epoch_recovery.rejected_probes += penalize_non_finite(&mut losses);
+                            pert_storage = sigma_segments.as_ref().unwrap();
+                            Perturbation::Shaped {
+                                segments: pert_storage,
+                            }
                         }
-                        es.tell(&xs, &losses).map_err(|e| {
-                            CoreError::InvalidConfig(format!("CMA-ES update failed: {e}"))
-                        })?;
-                        *theta = es.mean().clone();
-                        losses.iter().copied().fold(f64::INFINITY, f64::min)
-                    }
-                    Method::BpIdeal | Method::BpCalibrated | Method::BpOracle => {
-                        let model = metric_model.as_ref().expect("model resolved above");
-                        let (loss, grad) = model_batch_loss_and_grad_pooled(
-                            model, self.train, &batch, &self.head, theta, &pool,
-                        );
-                        adam.step(theta, &grad);
-                        loss
-                    }
-                };
-                let step_spent = self.chip.query_count().saturating_sub(probe_q);
-                debug_assert!(fisher_q <= step_spent);
-                epoch_ledger.add(QueryCategory::Fisher, fisher_q);
-                epoch_ledger.add(QueryCategory::Probe, step_spent.saturating_sub(fisher_q));
-                epoch_loss += loss_val;
-                batches += 1;
-                if rp.enabled && needs_base && base.is_finite() {
-                    loss_ema = Some(match loss_ema {
-                        None => base,
-                        Some(e) => rp.ema_alpha * base + (1.0 - rp.ema_alpha) * e,
-                    });
-                    // This iteration measured sanely: its post-update state
-                    // becomes the rollback target.
-                    snapshot = Some((theta.clone(), adam.clone(), cma.clone()));
-                }
-                iteration += 1;
-            }
-
-            // Fidelity monitor: measure how faithfully the metric model
-            // still reproduces the (possibly drifting) chip, and
-            // recalibrate in place when it has degraded past the floor.
-            if rp.enabled
-                && method.queries_chip()
-                && rp.fidelity_every > 0
-                && epoch % rp.fidelity_every == 0
-                && metric_model.is_some()
-            {
-                let before_q = self.chip.query_count();
-                let report = evaluate_model(
-                    self.chip,
-                    metric_model.as_ref().expect("checked above"),
-                    rp.fidelity_probes.max(1),
-                    1,
-                    rng,
-                );
-                epoch_ledger.add(
-                    QueryCategory::RecoveryMonitor,
-                    self.chip.query_count().saturating_sub(before_q),
-                );
-                if report.power < rp.fidelity_threshold && rp.recalib_budget > 0 {
-                    let k = self.chip.input_dim();
-                    let calib_settings =
-                        CalibrationSettings::with_query_budget(k, rp.recalib_budget.max(2 * k));
-                    // A failed recalibration solve is non-fatal: training
-                    // continues on the old model — but its measurement
-                    // sweep spent real queries either way, so ledger the
-                    // spend before inspecting the result.
-                    let calib_q = self.chip.query_count();
-                    let calib_result = calibrate(self.chip, &calib_settings, rng);
-                    epoch_ledger.add(
-                        QueryCategory::Calibration,
-                        self.chip.query_count().saturating_sub(calib_q),
-                    );
-                    if let Ok(outcome) = calib_result {
-                        let monitor_q = self.chip.query_count();
-                        let after = evaluate_model(
-                            self.chip,
-                            &outcome.model,
-                            rp.fidelity_probes.max(1),
-                            1,
+                        _ => unreachable!(),
+                    };
+                    let est = if rp.enabled {
+                        let (est, stats) = estimate_gradient_robust_pooled(
+                            &chip_loss,
+                            theta,
+                            base,
+                            &zo,
+                            &pert,
+                            &robust_eval,
+                            pool,
                             rng,
                         );
-                        epoch_ledger.add(
-                            QueryCategory::RecoveryMonitor,
-                            self.chip.query_count().saturating_sub(monitor_q),
-                        );
-                        // Guarded swap: a recalibration fitted to
-                        // fault-corrupted measurements can be worse than the
-                        // incumbent model — adopt only on measured
-                        // non-regression.
-                        let adopted = after.power >= report.power;
-                        if adopted {
-                            metric_model = Some(outcome.model);
-                            preconditioner = None;
-                            sigma_segments = None;
+                        epoch_recovery.retries += stats.retries;
+                        epoch_recovery.rejected_probes += stats.rejected + stats.unrecovered;
+                        est
+                    } else {
+                        estimate_gradient_pooled(&chip_loss, theta, base, &zo, &pert, pool, rng)
+                    };
+                    let grad = if let Method::ZoNg { .. } = method {
+                        if refresh || preconditioner.is_none() {
+                            let fq = self.chip.query_count();
+                            let model = metric_model.as_ref().expect("model resolved above");
+                            *preconditioner = Some(
+                                BlockNaturalPreconditioner::assemble(
+                                    model,
+                                    theta,
+                                    &fisher_inputs,
+                                    config.rho,
+                                    true,
+                                )
+                                .map_err(|e| {
+                                    CoreError::InvalidConfig(format!(
+                                        "preconditioner refresh failed: {e}"
+                                    ))
+                                })?,
+                            );
+                            fisher_q += self.chip.query_count().saturating_sub(fq);
                         }
-                        epoch_recovery.recalibrations += 1;
-                        recovery_events.push(RecoveryEvent::Recalibration {
-                            epoch,
-                            fidelity_before: report.power,
-                            fidelity_after: after.power,
-                            queries: self.chip.query_count().saturating_sub(before_q),
-                            adopted,
-                        });
-                        trace.emit(|| TraceEvent::Recalibration {
-                            epoch: epoch as u64,
-                            fidelity_before: report.power,
-                            fidelity_after: after.power,
-                            queries: self.chip.query_count().saturating_sub(before_q),
-                            adopted,
-                        });
-                    }
+                        preconditioner.as_ref().unwrap().apply(&est.gradient)
+                    } else {
+                        est.gradient
+                    };
+                    adam.step(theta, &grad);
+                    base
                 }
-                // Monitor + recalibration queries are bookkept alongside
-                // evaluation sweeps, not training queries.
-                eval_queries += self.chip.query_count().saturating_sub(before_q);
-            }
-
-            let test = if config.eval_every > 0 && epoch % config.eval_every == 0 {
-                let before = self.chip.query_count();
-                let ev = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, &pool);
-                let spent = self.chip.query_count().saturating_sub(before);
-                eval_queries += spent;
-                epoch_ledger.add(QueryCategory::Eval, spent);
-                Some(ev)
-            } else {
-                None
+                Method::ZoLc | Method::Lcng { .. } => {
+                    let metric = match (&method, metric_model.as_ref()) {
+                        (Method::ZoLc, _) => MetricSource::Identity,
+                        (Method::Lcng { .. }, Some(model)) => MetricSource::Model {
+                            model,
+                            inputs: &fisher_inputs,
+                        },
+                        _ => unreachable!(),
+                    };
+                    let step = if rp.enabled {
+                        let (step, stats) = lcng_direction_robust_pooled(
+                            &chip_loss,
+                            theta,
+                            base,
+                            &lcng_settings,
+                            &Perturbation::Gaussian,
+                            &metric,
+                            &robust_eval,
+                            pool,
+                            rng,
+                        )
+                        .map_err(|e| {
+                            CoreError::InvalidConfig(format!("LCNG solve failed: {e}"))
+                        })?;
+                        epoch_recovery.retries += stats.retries;
+                        epoch_recovery.rejected_probes += stats.rejected + stats.unrecovered;
+                        step
+                    } else {
+                        lcng_direction_pooled(
+                            &chip_loss,
+                            theta,
+                            base,
+                            &lcng_settings,
+                            &Perturbation::Gaussian,
+                            &metric,
+                            pool,
+                            rng,
+                        )
+                        .map_err(|e| CoreError::InvalidConfig(format!("LCNG solve failed: {e}")))?
+                    };
+                    // Feed the negative direction to Adam as a surrogate
+                    // gradient (the protocol the research line uses).
+                    let surrogate = step.direction.scale(-1.0);
+                    adam.step(theta, &surrogate);
+                    base
+                }
+                Method::Cma { .. } => {
+                    let es = cma.as_mut().expect("initialized above");
+                    let xs = es.ask(rng);
+                    let mut losses: Vec<f64> = pool.map(&xs, |_, x| chip_loss(x));
+                    if rp.enabled {
+                        epoch_recovery.rejected_probes += penalize_non_finite(&mut losses);
+                    }
+                    es.tell(&xs, &losses).map_err(|e| {
+                        CoreError::InvalidConfig(format!("CMA-ES update failed: {e}"))
+                    })?;
+                    *theta = es.mean().clone();
+                    losses.iter().copied().fold(f64::INFINITY, f64::min)
+                }
+                Method::BpIdeal | Method::BpCalibrated | Method::BpOracle => {
+                    let model = metric_model.as_ref().expect("model resolved above");
+                    let (loss, grad) = model_batch_loss_and_grad_pooled(
+                        model, self.train, &batch, &self.head, theta, pool,
+                    );
+                    adam.step(theta, &grad);
+                    loss
+                }
             };
-            total_recovery.absorb(epoch_recovery);
-            ledger.absorb(&epoch_ledger);
-            let train_loss = epoch_loss / batches.max(1) as f64;
-            let training_queries =
-                training_query_total(self.chip.query_count(), start_queries, eval_queries);
-            for (category, queries) in epoch_ledger.iter() {
-                if queries > 0 {
-                    trace.emit(|| TraceEvent::QueryLedger {
+            let step_spent = self.chip.query_count().saturating_sub(probe_q);
+            debug_assert!(fisher_q <= step_spent);
+            epoch_ledger.add(QueryCategory::Fisher, fisher_q);
+            epoch_ledger.add(QueryCategory::Probe, step_spent.saturating_sub(fisher_q));
+            epoch_loss += loss_val;
+            batches += 1;
+            if rp.enabled && needs_base && base.is_finite() {
+                *loss_ema = Some(match *loss_ema {
+                    None => base,
+                    Some(e) => rp.ema_alpha * base + (1.0 - rp.ema_alpha) * e,
+                });
+                // This iteration measured sanely: its post-update state
+                // becomes the rollback target.
+                *snapshot = Some((theta.clone(), adam.clone(), cma.clone()));
+            }
+            *iteration += 1;
+        }
+
+        // Fidelity monitor: measure how faithfully the metric model
+        // still reproduces the (possibly drifting) chip, and
+        // recalibrate in place when it has degraded past the floor.
+        if rp.enabled
+            && method.queries_chip()
+            && rp.fidelity_every > 0
+            && epoch.is_multiple_of(rp.fidelity_every)
+            && metric_model.is_some()
+        {
+            let before_q = self.chip.query_count();
+            let report = evaluate_model(
+                self.chip,
+                metric_model.as_ref().expect("checked above"),
+                rp.fidelity_probes.max(1),
+                1,
+                rng,
+            );
+            epoch_ledger.add(
+                QueryCategory::RecoveryMonitor,
+                self.chip.query_count().saturating_sub(before_q),
+            );
+            if report.power < rp.fidelity_threshold && rp.recalib_budget > 0 {
+                let k = self.chip.input_dim();
+                let calib_settings =
+                    CalibrationSettings::with_query_budget(k, rp.recalib_budget.max(2 * k));
+                // A failed recalibration solve is non-fatal: training
+                // continues on the old model — but its measurement
+                // sweep spent real queries either way, so ledger the
+                // spend before inspecting the result.
+                let calib_q = self.chip.query_count();
+                let calib_result = calibrate(self.chip, &calib_settings, rng);
+                epoch_ledger.add(
+                    QueryCategory::Calibration,
+                    self.chip.query_count().saturating_sub(calib_q),
+                );
+                if let Ok(outcome) = calib_result {
+                    let monitor_q = self.chip.query_count();
+                    let after =
+                        evaluate_model(self.chip, &outcome.model, rp.fidelity_probes.max(1), 1, rng);
+                    epoch_ledger.add(
+                        QueryCategory::RecoveryMonitor,
+                        self.chip.query_count().saturating_sub(monitor_q),
+                    );
+                    // Guarded swap: a recalibration fitted to
+                    // fault-corrupted measurements can be worse than the
+                    // incumbent model — adopt only on measured
+                    // non-regression.
+                    let adopted = after.power >= report.power;
+                    if adopted {
+                        // Keep the adopted error assignment so a resumed
+                        // durable run rebuilds the same replacement model.
+                        *metric_errors = Some(outcome.errors.clone());
+                        *metric_model = Some(outcome.model);
+                        *preconditioner = None;
+                        *sigma_segments = None;
+                    }
+                    epoch_recovery.recalibrations += 1;
+                    recovery_events.push(RecoveryEvent::Recalibration {
+                        epoch,
+                        fidelity_before: report.power,
+                        fidelity_after: after.power,
+                        queries: self.chip.query_count().saturating_sub(before_q),
+                        adopted,
+                    });
+                    trace.emit(|| TraceEvent::Recalibration {
                         epoch: epoch as u64,
-                        category,
-                        queries,
+                        fidelity_before: report.power,
+                        fidelity_after: after.power,
+                        queries: self.chip.query_count().saturating_sub(before_q),
+                        adopted,
                     });
                 }
             }
-            trace.emit(|| TraceEvent::EpochSpan {
-                epoch: epoch as u64,
-                train_loss,
-                test_accuracy: test.as_ref().map(|t| t.accuracy),
-                test_loss: test.as_ref().map(|t| t.loss),
-                learning_rate: adam.learning_rate(),
-                wall_secs: start.elapsed().as_secs_f64(),
-                training_queries,
-            });
-            history.push(EpochRecord {
-                epoch,
-                train_loss,
-                test,
-                training_queries,
-                elapsed: start.elapsed().as_secs_f64(),
-                recovery: epoch_recovery,
-            });
+            // Monitor + recalibration queries are bookkept alongside
+            // evaluation sweeps, not training queries.
+            *eval_queries += self.chip.query_count().saturating_sub(before_q);
         }
 
+        let test = if config.eval_every > 0 && epoch.is_multiple_of(config.eval_every) {
+            let before = self.chip.query_count();
+            let ev = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, pool);
+            let spent = self.chip.query_count().saturating_sub(before);
+            *eval_queries += spent;
+            epoch_ledger.add(QueryCategory::Eval, spent);
+            Some(ev)
+        } else {
+            None
+        };
+        total_recovery.absorb(epoch_recovery);
+        ledger.absorb(&epoch_ledger);
+        let train_loss = epoch_loss / batches.max(1) as f64;
+        let chip_queries = self.chip.query_count();
+        debug_assert!(
+            chip_queries >= *queries_at_start,
+            "chip query counter moved backwards"
+        );
+        let run_total = *prior_queries + chip_queries.saturating_sub(*queries_at_start);
+        let training_queries = training_query_total(run_total, *eval_queries);
+        for (category, queries) in epoch_ledger.iter() {
+            if queries > 0 {
+                trace.emit(|| TraceEvent::QueryLedger {
+                    epoch: epoch as u64,
+                    category,
+                    queries,
+                });
+            }
+        }
+        trace.emit(|| TraceEvent::EpochSpan {
+            epoch: epoch as u64,
+            train_loss,
+            test_accuracy: test.as_ref().map(|t| t.accuracy),
+            test_loss: test.as_ref().map(|t| t.loss),
+            learning_rate: adam.learning_rate(),
+            wall_secs: ctx.start.elapsed().as_secs_f64(),
+            training_queries,
+        });
+        Ok(EpochRecord {
+            epoch,
+            train_loss,
+            test,
+            training_queries,
+            elapsed: ctx.start.elapsed().as_secs_f64(),
+            recovery: epoch_recovery,
+        })
+    }
+
+    /// Final evaluation, ledger reconciliation, and run-end telemetry
+    /// shared by the legacy and durable paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_run(
+        &self,
+        config: &TrainConfig,
+        ctx: &FinetuneCtx,
+        mut st: FinetuneState,
+        history: Vec<EpochRecord>,
+        theta: RVector,
+        window_start: u64,
+        cache_start: CacheStats,
+    ) -> Result<TrainOutcome, CoreError> {
+        let trace = &config.trace;
         let before = self.chip.query_count();
-        let final_eval = evaluate_chip_pooled(self.chip, self.test, &self.head, theta, &pool);
+        let final_eval = evaluate_chip_pooled(self.chip, self.test, &self.head, &theta, &ctx.pool);
         let final_eval_spent = self.chip.query_count().saturating_sub(before);
-        eval_queries += final_eval_spent;
-        ledger.add(QueryCategory::Eval, final_eval_spent);
+        st.eval_queries += final_eval_spent;
+        st.ledger.add(QueryCategory::Eval, final_eval_spent);
         if final_eval_spent > 0 {
             trace.emit(|| TraceEvent::QueryLedger {
                 epoch: config.epochs as u64,
@@ -1005,17 +1554,17 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             });
         }
 
-        let run_queries = self.chip.query_count().saturating_sub(start_queries);
+        let window_queries = self.chip.query_count().saturating_sub(window_start);
         // Reconciliation: every chip query this run spent must be attributed
         // to exactly one ledger category. A mismatch means an unledgered
         // measurement path crept in.
         debug_assert_eq!(
-            ledger.total(),
-            run_queries,
+            st.ledger.total(),
+            st.prior_queries + window_queries,
             "query ledger does not reconcile with the chip's query counter"
         );
-        let training_queries =
-            training_query_total(self.chip.query_count(), start_queries, eval_queries);
+        let run_queries = st.ledger.total();
+        let training_queries = training_query_total(run_queries, st.eval_queries);
         if trace.is_enabled() {
             let cache = self.chip.cache_stats().since(cache_start);
             trace.emit(|| TraceEvent::CacheStats {
@@ -1023,47 +1572,66 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                 misses: cache.misses,
                 invalidations: cache.invalidations,
             });
-            if let Some(metrics) = pool.metrics() {
+            if let Some(metrics) = ctx.pool.metrics() {
                 let snap = metrics.snapshot();
                 trace.emit(|| TraceEvent::PoolStats {
-                    threads: pool.threads() as u64,
+                    threads: ctx.pool.threads() as u64,
                     map_calls: snap.map_calls,
                     items: snap.items,
                     peak_worker_share_milli: snap.peak_worker_share_milli,
                 });
             }
             trace.emit(|| TraceEvent::RunEnd {
-                method: method.label(),
+                method: ctx.method.label(),
                 training_queries,
-                eval_queries,
+                eval_queries: st.eval_queries,
                 run_queries,
                 chip_query_count: self.chip.query_count(),
-                wall_secs: start.elapsed().as_secs_f64(),
+                wall_secs: ctx.start.elapsed().as_secs_f64(),
             });
             trace.flush();
         }
 
         Ok(TrainOutcome {
-            method: method.label(),
+            method: ctx.method.label(),
             history,
             final_eval,
-            theta: theta.clone(),
+            theta,
             training_queries,
-            recovery: total_recovery,
-            recovery_events,
+            recovery: st.total_recovery,
+            recovery_events: st.recovery_events,
         })
     }
 }
 
+/// Packs the live state after `epoch` into the journaled [`RunState`].
+fn run_state_after(epoch: usize, st: &FinetuneState, theta: &RVector) -> RunState {
+    RunState {
+        epoch,
+        iteration: st.iteration,
+        coord_offset: st.coord_offset,
+        rollbacks_used: st.rollbacks_used,
+        loss_ema: st.loss_ema,
+        eval_queries: st.eval_queries,
+        ledger: st.ledger,
+        recovery: st.total_recovery,
+        theta: theta.clone(),
+        adam: st.adam.snapshot(),
+        cma: st.cma.as_ref().map(CmaEs::snapshot),
+        rollback_snapshot: st.snapshot.as_ref().map(|(t, a, c)| RollbackSnapshot {
+            theta: t.clone(),
+            adam: a.snapshot(),
+            cma: c.as_ref().map(CmaEs::snapshot),
+        }),
+        metric_errors: st.metric_errors.clone(),
+        recovery_events: st.recovery_events.clone(),
+    }
+}
+
 /// Training queries = total run spend minus evaluation-side spend, with the
-/// subtractions saturating so a bookkeeping slip degrades to a clamped count
+/// subtraction saturating so a bookkeeping slip degrades to a clamped count
 /// instead of a wrapped-around garbage value (debug builds assert instead).
-fn training_query_total(query_count: u64, start_queries: u64, eval_queries: u64) -> u64 {
-    debug_assert!(
-        query_count >= start_queries,
-        "chip query counter moved backwards"
-    );
-    let run_total = query_count.saturating_sub(start_queries);
+fn training_query_total(run_total: u64, eval_queries: u64) -> u64 {
     debug_assert!(
         eval_queries <= run_total,
         "eval query bookkeeping exceeds the run's total chip queries"

@@ -23,6 +23,10 @@
 
 #![warn(missing_docs)]
 
+mod guard;
+
+pub use guard::{run_guarded, BackoffSchedule, WatchdogPolicy};
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 

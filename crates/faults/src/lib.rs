@@ -12,7 +12,10 @@
 //!   returns NaN), outlier spikes (one detector port multiplied by a large
 //!   factor) and shot-noise bursts ([`TransientConfig`]);
 //! - **hard** — stuck/dead phase shifters that ignore their drive and hold a
-//!   fixed phase ([`StuckShifter`]).
+//!   fixed phase ([`StuckShifter`]);
+//! - **hang** — a read blocks as if the lab link stalled, until the chip's
+//!   [`AbortFlag`] is raised (by a watchdog) or a safety valve expires, then
+//!   comes back poisoned ([`HangConfig`]).
 //!
 //! Everything is reproducible from the single seed in [`FaultPlan`] and —
 //! crucially — **bitwise stable across `photon-exec` pool sizes**. Slow
@@ -55,6 +58,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -63,7 +67,7 @@ use rand::{Rng, SeedableRng};
 use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector};
 use photon_photonics::{
-    Architecture, BatchScratch, CacheStats, ChipScratch, ErrorVector, Network, OnnChip,
+    AbortFlag, Architecture, BatchScratch, CacheStats, ChipScratch, ErrorVector, Network, OnnChip,
 };
 use photon_trace::{TraceEvent, TraceHandle};
 
@@ -129,6 +133,34 @@ impl Default for TransientConfig {
     }
 }
 
+/// Hung-readout faults: a read blocks as if the lab link stalled.
+///
+/// A hung read busy-waits (sleeping) until either the chip's [`AbortFlag`]
+/// is raised — the cooperative-cancellation path a deadline watchdog uses —
+/// or `max_block` expires as a safety valve. Either way the reading comes
+/// back poisoned (all-NaN), mirroring what an aborted lab query yields. The
+/// *decision* to hang is a pure content hash like every transient fault, so
+/// hang schedules replay deterministically; only the blocking time is
+/// wall-clock-dependent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HangConfig {
+    /// Probability a read hangs.
+    pub prob: f64,
+    /// Safety valve: a hung read unblocks on its own after this long even
+    /// if nothing raises the abort flag (keeps unguarded tests finite).
+    pub max_block: Duration,
+}
+
+impl Default for HangConfig {
+    /// Disabled by default, with a 30 s safety valve.
+    fn default() -> Self {
+        HangConfig {
+            prob: 0.0,
+            max_block: Duration::from_secs(30),
+        }
+    }
+}
+
 /// A hard fault: phase shifter `index` ignores its drive and holds `value`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StuckShifter {
@@ -149,6 +181,8 @@ pub struct FaultPlan {
     pub transient: Option<TransientConfig>,
     /// Hard stuck-shifter faults.
     pub stuck: Vec<StuckShifter>,
+    /// Hung-readout faults, if enabled.
+    pub hang: Option<HangConfig>,
 }
 
 impl FaultPlan {
@@ -159,6 +193,7 @@ impl FaultPlan {
             drift: None,
             transient: None,
             stuck: Vec::new(),
+            hang: None,
         }
     }
 
@@ -179,6 +214,12 @@ impl FaultPlan {
         self.stuck.push(stuck);
         self
     }
+
+    /// Enables hung-readout faults.
+    pub fn with_hangs(mut self, hang: HangConfig) -> Self {
+        self.hang = Some(hang);
+        self
+    }
 }
 
 /// Running totals of injected faults, for observability in tests and
@@ -191,6 +232,8 @@ pub struct FaultCounts {
     pub spiked: u64,
     /// Reads hit by a shot-noise burst.
     pub bursts: u64,
+    /// Reads that hung until cancelled (or the safety valve expired).
+    pub hung: u64,
 }
 
 #[derive(Debug)]
@@ -223,6 +266,8 @@ pub struct FaultyChip<C: OnnChip> {
     dropped: AtomicU64,
     spiked: AtomicU64,
     bursts: AtomicU64,
+    hung: AtomicU64,
+    abort: AbortFlag,
     trace: TraceHandle,
 }
 
@@ -233,6 +278,7 @@ const SALT_SPIKE: u64 = 0xbf58_476d_1ce4_e5b9;
 const SALT_PORT: u64 = 0x94d0_49bb_1331_11eb;
 const SALT_BURST: u64 = 0xd6e8_feb8_6659_fd93;
 const SALT_NOISE: u64 = 0xa076_1d64_78bd_642f;
+const SALT_HANG: u64 = 0xe703_7ed1_a0b4_28db;
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
 fn splitmix64(mut x: u64) -> u64 {
@@ -272,6 +318,8 @@ impl<C: OnnChip> FaultyChip<C> {
             dropped: AtomicU64::new(0),
             spiked: AtomicU64::new(0),
             bursts: AtomicU64::new(0),
+            hung: AtomicU64::new(0),
+            abort: AbortFlag::new(),
             trace: TraceHandle::null(),
         }
     }
@@ -303,6 +351,7 @@ impl<C: OnnChip> FaultyChip<C> {
             dropped: self.dropped.load(Ordering::Relaxed),
             spiked: self.spiked.load(Ordering::Relaxed),
             bursts: self.bursts.load(Ordering::Relaxed),
+            hung: self.hung.load(Ordering::Relaxed),
         }
     }
 
@@ -380,8 +429,33 @@ impl<C: OnnChip> FaultyChip<C> {
         (eff, salts)
     }
 
+    /// Whether this read's content hash schedules a hang. Pure in `salted`.
+    fn hang_for(&self, salted: u64) -> Option<HangConfig> {
+        let h = self.plan.hang?;
+        (unit(splitmix64(salted ^ SALT_HANG)) < h.prob).then_some(h)
+    }
+
+    /// Simulates the stalled lab link: blocks until the abort flag is
+    /// raised or the safety valve expires. Runs on whatever worker thread
+    /// issued the read — exactly like a real hung I/O call would.
+    fn block_until_cancelled(&self, max_block: Duration) {
+        let t0 = Instant::now();
+        while !self.abort.is_raised() && t0.elapsed() < max_block {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.hung.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Applies this read's transient fault (if any) to a field readout.
     fn corrupt_field(&self, out: &mut CVector, salted: u64) {
+        if let Some(h) = self.hang_for(salted) {
+            self.block_until_cancelled(h.max_block);
+            for z in out.iter_mut() {
+                z.re = f64::NAN;
+                z.im = f64::NAN;
+            }
+            return;
+        }
         match self.transient_for(salted) {
             Some(Transient::Drop) => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -408,6 +482,11 @@ impl<C: OnnChip> FaultyChip<C> {
 
     /// Applies this read's transient fault (if any) to a power readout.
     fn corrupt_powers(&self, powers: &mut RVector, salted: u64) {
+        if let Some(h) = self.hang_for(salted) {
+            self.block_until_cancelled(h.max_block);
+            powers.fill(f64::NAN);
+            return;
+        }
         match self.transient_for(salted) {
             Some(Transient::Drop) => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -552,6 +631,13 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
 
     fn cache_stats(&self) -> CacheStats {
         self.inner.cache_stats()
+    }
+
+    /// The real cancellation flag hung reads poll. A watchdog that raises
+    /// it unblocks every in-flight hung read promptly (the readings come
+    /// back poisoned); clear it before retrying.
+    fn abort_flag(&self) -> AbortFlag {
+        self.abort.clone()
     }
 
     /// Advances the OU drift by `step − current` increments and resets the
@@ -813,6 +899,57 @@ mod tests {
         assert!(y.iter().all(|z| z.re.is_nan() && z.im.is_nan()));
         assert_eq!(faulty.query_count(), 2);
         assert_eq!(faulty.fault_counts().dropped, 2);
+    }
+
+    #[test]
+    fn hung_read_unblocks_on_abort_and_poisons() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let faulty = FaultyChip::new(
+            chip,
+            FaultPlan::new(55).with_hangs(HangConfig {
+                prob: 1.0,
+                max_block: Duration::from_secs(30), // "permanently" hung
+            }),
+        );
+        let theta = faulty.init_params(&mut rng);
+        let x = CVector::basis(4, 0);
+        let flag = faulty.abort_flag();
+        let t0 = Instant::now();
+        let (p, fired) = photon_exec::run_guarded(
+            Duration::from_millis(30),
+            || flag.raise(),
+            || faulty.forward_powers(&x, &theta),
+        );
+        assert!(fired, "the deadline must trip on a hung read");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "abort must beat the safety valve"
+        );
+        assert!(p.iter().all(|v| v.is_nan()), "cancelled read is poisoned");
+        assert_eq!(faulty.fault_counts().hung, 1);
+        // The query still hit the inner chip: the lab charged for it.
+        assert_eq!(faulty.query_count(), 1);
+        flag.clear();
+    }
+
+    #[test]
+    fn hang_safety_valve_expires_without_watchdog() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        let faulty = FaultyChip::new(
+            chip,
+            FaultPlan::new(59).with_hangs(HangConfig {
+                prob: 1.0,
+                max_block: Duration::from_millis(20),
+            }),
+        );
+        let theta = faulty.init_params(&mut rng);
+        let p = faulty.forward_powers(&CVector::basis(4, 1), &theta);
+        assert!(p.iter().all(|v| v.is_nan()));
+        assert_eq!(faulty.fault_counts().hung, 1);
     }
 
     #[test]

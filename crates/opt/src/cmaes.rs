@@ -277,6 +277,58 @@ impl CmaEs {
         Ok(())
     }
 
+    /// Captures the complete evolving state for serialization.
+    ///
+    /// Derived constants (recombination weights, cumulation rates, damping,
+    /// `χ_N`, eigen-refresh cadence) are *not* captured: they are pure
+    /// functions of `(dim, λ)` and are recomputed by [`CmaEs::from_state`],
+    /// so the snapshot stays compact and cannot drift out of sync.
+    pub fn snapshot(&self) -> CmaEsState {
+        CmaEsState {
+            lambda: self.lambda,
+            mean: self.mean.clone(),
+            sigma: self.sigma,
+            cov: self.cov.clone(),
+            pc: self.pc.clone(),
+            ps: self.ps.clone(),
+            eig_vectors: self.eig_vectors.clone(),
+            eig_sqrt: self.eig_sqrt.clone(),
+            generations_since_eig: self.generations_since_eig,
+            generation: self.generation,
+            best: self.best.clone(),
+        }
+    }
+
+    /// Reconstructs an optimizer from a snapshot; the result continues the
+    /// original trajectory bitwise-identically (given the same RNG stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's dimensions are inconsistent (e.g. `cov`
+    /// not square of the mean's dimension) or `lambda < 2`.
+    pub fn from_state(state: CmaEsState) -> Self {
+        let n = state.mean.len();
+        assert_eq!(state.cov.rows(), n, "covariance rows must match dim");
+        assert_eq!(state.cov.cols(), n, "covariance cols must match dim");
+        assert_eq!(state.pc.len(), n, "pc length must match dim");
+        assert_eq!(state.ps.len(), n, "ps length must match dim");
+        assert_eq!(state.eig_sqrt.len(), n, "eig_sqrt length must match dim");
+        // Rebuild every derived constant from (dim, λ), then overwrite the
+        // evolving fields with the captured values.
+        let mut es = CmaEs::with_population(&state.mean, 1.0, state.lambda);
+        es.mean = state.mean;
+        es.sigma = state.sigma;
+        es.cov = state.cov;
+        es.pc = state.pc;
+        es.ps = state.ps;
+        es.eig_vectors = state.eig_vectors;
+        es.eig_sqrt = state.eig_sqrt;
+        es.generations_since_eig = state.generations_since_eig;
+        es.generation = state.generation;
+        es.best = state.best;
+        es
+    }
+
     fn refresh_eigensystem(&mut self) -> Result<(), LinalgError> {
         let eig = symmetric_eig(&self.cov)?;
         self.eig_vectors = eig.vectors;
@@ -303,6 +355,37 @@ impl CmaEs {
         }
         Ok(self.best.clone().expect("at least one generation ran"))
     }
+}
+
+/// A serializable snapshot of a [`CmaEs`] optimizer's evolving state.
+///
+/// Produced by [`CmaEs::snapshot`] and consumed by [`CmaEs::from_state`].
+/// Only evolving quantities are stored; constants derived from `(dim, λ)`
+/// are recomputed on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmaEsState {
+    /// Population size λ.
+    pub lambda: usize,
+    /// Distribution mean.
+    pub mean: RVector,
+    /// Global step size σ.
+    pub sigma: f64,
+    /// Covariance matrix `C`.
+    pub cov: RMatrix,
+    /// Covariance evolution path `p_c`.
+    pub pc: RVector,
+    /// Step-size evolution path `p_σ`.
+    pub ps: RVector,
+    /// Eigenvector basis `B` of the lazily-refreshed eigensystem.
+    pub eig_vectors: RMatrix,
+    /// Square roots of the eigenvalues (diagonal `D`).
+    pub eig_sqrt: RVector,
+    /// Generations since the last eigensystem refresh.
+    pub generations_since_eig: usize,
+    /// Generations completed.
+    pub generation: u64,
+    /// Best `(candidate, loss)` seen so far.
+    pub best: Option<(RVector, f64)>,
 }
 
 /// Replaces non-finite member losses with a penalty strictly worse than the
@@ -411,6 +494,44 @@ mod tests {
         );
         assert_eq!(es.dim(), 10);
         assert_eq!(es.generation(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_bitwise() {
+        let mut es = CmaEs::with_population(&RVector::from_slice(&[2.0, -1.0, 0.5]), 0.7, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..7 {
+            let xs = es.ask(&mut rng);
+            let losses: Vec<f64> = xs.iter().map(|x| x.norm_sqr()).collect();
+            es.tell(&xs, &losses).unwrap();
+        }
+        let mut restored = CmaEs::from_state(es.snapshot());
+        // Two parallel RNG streams seeded identically: both copies must walk
+        // the exact same trajectory from here on.
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let xs_a = es.ask(&mut rng_a);
+            let xs_b = restored.ask(&mut rng_b);
+            let losses_a: Vec<f64> = xs_a.iter().map(|x| x.norm_sqr()).collect();
+            let losses_b: Vec<f64> = xs_b.iter().map(|x| x.norm_sqr()).collect();
+            es.tell(&xs_a, &losses_a).unwrap();
+            restored.tell(&xs_b, &losses_b).unwrap();
+        }
+        let bits = |v: &RVector| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(es.mean()), bits(restored.mean()));
+        assert_eq!(es.sigma().to_bits(), restored.sigma().to_bits());
+        assert_eq!(es.generation(), restored.generation());
+        assert_eq!(es.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "covariance rows must match dim")]
+    fn from_state_rejects_inconsistent_dims() {
+        let es = CmaEs::with_population(&RVector::zeros(3), 1.0, 6);
+        let mut state = es.snapshot();
+        state.cov = RMatrix::identity(2);
+        let _ = CmaEs::from_state(state);
     }
 
     #[test]

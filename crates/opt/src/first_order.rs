@@ -170,6 +170,59 @@ impl Adam {
     }
 }
 
+/// A serializable snapshot of an [`Adam`] optimizer's full state.
+///
+/// Captures both the hyperparameters and the moment estimates so a training
+/// run can be checkpointed and resumed bitwise-identically. Produced by
+/// [`Adam::snapshot`] and consumed by [`Adam::from_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay coefficient.
+    pub beta1: f64,
+    /// Second-moment decay coefficient.
+    pub beta2: f64,
+    /// Denominator stabilizer.
+    pub eps: f64,
+    /// First-moment estimate (`None` before the first step).
+    pub m: Option<RVector>,
+    /// Second-moment estimate (`None` before the first step).
+    pub v: Option<RVector>,
+    /// Number of steps taken (drives bias correction).
+    pub t: u64,
+}
+
+impl Adam {
+    /// Captures the optimizer's complete state for serialization.
+    pub fn snapshot(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+        }
+    }
+
+    /// Reconstructs an optimizer from a snapshot; the result continues the
+    /// original trajectory bitwise-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range hyperparameters (same domain as
+    /// [`Adam::with_betas`]).
+    pub fn from_state(state: AdamState) -> Self {
+        let mut opt = Adam::with_betas(state.lr, state.beta1, state.beta2, state.eps);
+        opt.m = state.m;
+        opt.v = state.v;
+        opt.t = state.t;
+        opt
+    }
+}
+
 impl Optimizer for Adam {
     fn step(&mut self, theta: &mut RVector, grad: &RVector) {
         assert_eq!(theta.len(), grad.len(), "gradient length mismatch");
@@ -269,6 +322,35 @@ mod tests {
         assert_eq!(s.learning_rate(), 0.7);
         assert_eq!(s.name(), "sgd");
         assert_eq!(Adam::new(1.0).name(), "adam");
+    }
+
+    #[test]
+    fn adam_snapshot_roundtrip_continues_bitwise() {
+        let mut opt = Adam::new(0.05);
+        let mut theta = RVector::from_slice(&[0.3, -0.7, 1.1]);
+        let grad = RVector::from_slice(&[0.4, 0.1, -0.9]);
+        for _ in 0..5 {
+            opt.step(&mut theta, &grad);
+        }
+        let mut restored = Adam::from_state(opt.snapshot());
+        let mut theta_r = theta.clone();
+        for _ in 0..5 {
+            opt.step(&mut theta, &grad);
+            restored.step(&mut theta_r, &grad);
+        }
+        let bits = |v: &RVector| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&theta), bits(&theta_r));
+        assert_eq!(opt.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn adam_snapshot_before_first_step_is_fresh() {
+        let opt = Adam::new(0.01);
+        let state = opt.snapshot();
+        assert_eq!(state.t, 0);
+        assert!(state.m.is_none() && state.v.is_none());
+        let restored = Adam::from_state(state);
+        assert_eq!(restored.snapshot(), opt.snapshot());
     }
 
     #[test]

@@ -48,8 +48,8 @@ mod robust;
 mod tuning;
 mod zo;
 
-pub use cmaes::{penalize_non_finite, CmaEs};
-pub use first_order::{Adam, Optimizer, Sgd};
+pub use cmaes::{penalize_non_finite, CmaEs, CmaEsState};
+pub use first_order::{Adam, AdamState, Optimizer, Sgd};
 pub use lcng::{lcng_direction, lcng_direction_pooled, LcngSettings, LcngStep, MetricSource};
 pub use robust::{
     estimate_gradient_robust_pooled, lcng_direction_robust_pooled, retry_non_finite, RobustEval,

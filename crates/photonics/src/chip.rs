@@ -103,6 +103,37 @@ impl BatchScratch {
     }
 }
 
+/// A shared cooperative-cancellation flag for in-flight chip queries.
+///
+/// A watchdog raises the flag from another thread when a query blows its
+/// deadline; a chip whose measurement path can block (e.g. a fault injector
+/// simulating a hung readout) polls it and bails out with a poisoned
+/// reading instead of blocking forever. Cloning shares the underlying flag.
+#[derive(Debug, Clone, Default)]
+pub struct AbortFlag(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl AbortFlag {
+    /// A fresh, lowered flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag: pending blockable queries should give up promptly.
+    pub fn raise(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Lowers the flag (e.g. before retrying after a timeout).
+    pub fn clear(&self) {
+        self.0.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the flag is currently raised.
+    pub fn is_raised(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
 /// The black-box chip interface all training, calibration and fault-layer
 /// code is written against.
 ///
@@ -227,6 +258,15 @@ pub trait OnnChip: Sync {
     /// it.
     fn advance_to(&self, step: u64) {
         let _ = step;
+    }
+
+    /// The chip's cooperative-cancellation flag, shared with watchdogs.
+    ///
+    /// Chips whose measurement path can block override this to hand out
+    /// their real flag; the default returns a fresh disconnected flag, so
+    /// raising it is a harmless no-op on chips that never block.
+    fn abort_flag(&self) -> AbortFlag {
+        AbortFlag::new()
     }
 
     /// Aggregate compiled-plan cache counters across every batched

@@ -57,8 +57,8 @@ mod network;
 mod ops;
 
 pub use chip::{
-    calibrated_model, ideal_model, BatchScratch, ChipScratch, FabricatedChip, MeasurementNoise,
-    ModelKind, OnnChip,
+    calibrated_model, ideal_model, AbortFlag, BatchScratch, ChipScratch, FabricatedChip,
+    MeasurementNoise, ModelKind, OnnChip,
 };
 pub use compiled::{CacheStats, CompiledNetwork};
 pub use electrooptic::ElectroOptic;

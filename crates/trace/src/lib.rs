@@ -247,6 +247,24 @@ pub enum TraceEvent {
         /// Burst windows entered so far.
         bursts: u64,
     },
+    /// One durable-run journal record hit the disk (fsynced).
+    JournalFlush {
+        /// Stage-2 epoch the record covers.
+        epoch: u64,
+        /// Records appended to the journal so far (header included).
+        records: u64,
+        /// Bytes of this framed record.
+        bytes: u64,
+    },
+    /// A durable run resumed from its journal.
+    Resume {
+        /// Last completed epoch found in the journal.
+        epoch: u64,
+        /// Intact epoch records replayed.
+        records_replayed: u64,
+        /// Bytes of torn tail truncated during replay (0 for a clean log).
+        truncated_bytes: u64,
+    },
     /// End of a stage-2 fine-tune run, with reconciliation totals.
     RunEnd {
         /// Method label.
@@ -316,6 +334,8 @@ impl TraceEvent {
             TraceEvent::Rollback { .. } => "rollback",
             TraceEvent::Recalibration { .. } => "recalibration",
             TraceEvent::FaultStats { .. } => "fault_stats",
+            TraceEvent::JournalFlush { .. } => "journal_flush",
+            TraceEvent::Resume { .. } => "resume",
             TraceEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -412,6 +432,20 @@ impl TraceEvent {
                 bursts,
             } => format!(
                 "{{\"type\":{kind},\"step\":{step},\"dropped\":{dropped},\"spiked\":{spiked},\"bursts\":{bursts}}}"
+            ),
+            TraceEvent::JournalFlush {
+                epoch,
+                records,
+                bytes,
+            } => format!(
+                "{{\"type\":{kind},\"epoch\":{epoch},\"records\":{records},\"bytes\":{bytes}}}"
+            ),
+            TraceEvent::Resume {
+                epoch,
+                records_replayed,
+                truncated_bytes,
+            } => format!(
+                "{{\"type\":{kind},\"epoch\":{epoch},\"records_replayed\":{records_replayed},\"truncated_bytes\":{truncated_bytes}}}"
             ),
             TraceEvent::RunEnd {
                 method,
@@ -764,6 +798,30 @@ mod tests {
         assert!(s.contains("\"loss\":null"));
         assert!(s.contains("\"threshold\":null"));
         assert!(s.contains("\"new_lr\":0.5"));
+    }
+
+    #[test]
+    fn durable_run_events_serialize() {
+        let e = TraceEvent::JournalFlush {
+            epoch: 3,
+            records: 4,
+            bytes: 512,
+        };
+        assert_eq!(e.kind(), "journal_flush");
+        let s = e.to_json();
+        assert!(s.contains("\"type\":\"journal_flush\""));
+        assert!(s.contains("\"epoch\":3"));
+        assert!(s.contains("\"bytes\":512"));
+        let e = TraceEvent::Resume {
+            epoch: 3,
+            records_replayed: 3,
+            truncated_bytes: 0,
+        };
+        assert_eq!(e.kind(), "resume");
+        let s = e.to_json();
+        assert!(s.contains("\"type\":\"resume\""));
+        assert!(s.contains("\"records_replayed\":3"));
+        assert!(s.contains("\"truncated_bytes\":0"));
     }
 
     #[test]

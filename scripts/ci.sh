@@ -36,6 +36,12 @@ assert "calibration" in categories and "probe" in categories, f"missing categori
 print(f"ci: telemetry ledger reconciles ({ledgered} queries across {sorted(categories)})")
 EOF
 
+# Durability gate: SIGKILL a journaled run at a seeded-pseudo-random
+# instant, resume from the (possibly torn) journal, and require the final
+# checkpoint to be byte-identical to an uninterrupted control — at worker
+# pools 1 and 3.
+scripts/chaos_resume.sh
+
 # Perf gate: quick run of the compiled-vs-interpreted forward bench. This
 # regenerates BENCH_gemm.json at the workspace root and fails loudly if the
 # compiled path stops beating the interpreted one (guards against silent

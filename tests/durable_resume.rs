@@ -1,0 +1,322 @@
+//! Durable-runtime acceptance tests: a run killed at an arbitrary byte of
+//! its journal and resumed on a freshly fabricated identical chip must be
+//! bitwise identical — final parameters, per-epoch history, query ledger —
+//! to the uninterrupted run, at serial and pooled worker counts; a torn
+//! journal tail is truncated rather than fatal; and a permanently hung
+//! chip link degrades to a clean, resumable abort instead of a hang.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use photon_zo::core::{
+    build_task, AbortReason, DurableOptions, JournalHeader, Method, ModelChoice, RunJournal,
+    RunOutcome, TaskSpec, TrainConfig, TrainOutcome, Trainer, WatchdogPolicy,
+};
+use photon_zo::faults::{FaultPlan, FaultyChip, HangConfig};
+use photon_zo::linalg::RVector;
+use photon_zo::core::Evaluation;
+
+const TASK_SEED: u64 = 11;
+const ROOT_SEED: u64 = 77;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "photon-durable-{}-{name}",
+        std::process::id()
+    ));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn quick_config(threads: usize) -> TrainConfig {
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 4;
+    config.eval_every = 2;
+    config.threads = Some(threads);
+    config
+}
+
+fn bits(v: &RVector) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn eval_bits(e: &Evaluation) -> (u64, u64, usize) {
+    (e.accuracy.to_bits(), e.loss.to_bits(), e.samples)
+}
+
+/// Bitwise equality of two outcomes, excluding wall-clock (`elapsed`),
+/// which is explicitly outside the determinism contract.
+fn assert_same_outcome(control: &TrainOutcome, resumed: &TrainOutcome) {
+    assert_eq!(control.method, resumed.method);
+    assert_eq!(
+        bits(&control.theta),
+        bits(&resumed.theta),
+        "final theta diverged"
+    );
+    assert_eq!(
+        control.training_queries, resumed.training_queries,
+        "training-query total diverged"
+    );
+    assert_eq!(
+        eval_bits(&control.final_eval),
+        eval_bits(&resumed.final_eval),
+        "final evaluation diverged"
+    );
+    assert_eq!(control.recovery, resumed.recovery);
+    assert_eq!(control.recovery_events, resumed.recovery_events);
+    assert_eq!(control.history.len(), resumed.history.len());
+    for (a, b) in control.history.iter().zip(&resumed.history) {
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "train loss diverged at epoch {}",
+            a.epoch
+        );
+        assert_eq!(
+            a.test.as_ref().map(eval_bits),
+            b.test.as_ref().map(eval_bits),
+            "test eval diverged at epoch {}",
+            a.epoch
+        );
+        assert_eq!(
+            a.training_queries, b.training_queries,
+            "ledger diverged at epoch {}",
+            a.epoch
+        );
+        assert_eq!(a.recovery, b.recovery);
+    }
+}
+
+/// Byte length of a header-only journal with the control run's identity,
+/// so the simulated kill never cuts into the header itself (that would be
+/// a corrupt file, not a torn tail — covered by the checkpoint proptests).
+fn header_len(dir: &Path, method: Method, config: &TrainConfig) -> u64 {
+    let header = JournalHeader {
+        method,
+        root_seed: ROOT_SEED,
+        epochs: config.epochs,
+        batch_size: config.batch_size,
+        q: config.q,
+    };
+    let probe = dir.join("header-probe.journal");
+    RunJournal::create(&probe, &header).expect("probe journal");
+    fs::metadata(&probe).expect("probe metadata").len()
+}
+
+/// The decisive test: run durably to completion (control), then simulate a
+/// kill by truncating a copy of the journal at a seeded-random byte, and
+/// resume on a freshly fabricated identical chip. Control and resumed run
+/// must agree bit for bit.
+fn kill_and_resume(threads: usize, method: Method, kill_seed: u64, name: &str) {
+    let dir = tmp_dir(name);
+    let config = quick_config(threads);
+
+    let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let control_path = dir.join("control.journal");
+    let opts = DurableOptions::new(&control_path, ROOT_SEED);
+    let control = trainer
+        .train_durable(method, &config, &opts)
+        .unwrap()
+        .completed()
+        .expect("control run completes");
+
+    // Kill simulation: the process could have died at ANY byte boundary of
+    // the journal — mid-frame, between frames, or before the first record.
+    let floor = header_len(&dir, method, &config);
+    let full = fs::metadata(&control_path).unwrap().len();
+    let mut rng = StdRng::seed_from_u64(kill_seed);
+    let cut = rng.gen_range(floor..full);
+    let killed_path = dir.join("killed.journal");
+    fs::copy(&control_path, &killed_path).unwrap();
+    let file = fs::OpenOptions::new()
+        .write(true)
+        .open(&killed_path)
+        .unwrap();
+    file.set_len(cut).unwrap();
+    drop(file);
+
+    // Resume on a fresh, identically fabricated chip: readings are pure in
+    // content + drift iteration, so a new chip (query counter back at zero)
+    // reproduces the original's physics; `prior_queries` bridges the ledger.
+    let task2 = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer2 = Trainer::new(&task2.chip, &task2.train, &task2.test, task2.head);
+    let resumed = trainer2
+        .resume(&config, &DurableOptions::new(&killed_path, ROOT_SEED))
+        .unwrap()
+        .completed()
+        .expect("resumed run completes");
+
+    assert_same_outcome(&control, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_resume_is_bitwise_identical_serial() {
+    kill_and_resume(1, Method::ZoGaussian, 101, "serial-zo");
+}
+
+#[test]
+fn kill_and_resume_is_bitwise_identical_pooled() {
+    kill_and_resume(
+        3,
+        Method::Lcng {
+            model: ModelChoice::OracleTrue,
+        },
+        202,
+        "pooled-lcng",
+    );
+}
+
+#[test]
+fn kill_and_resume_restores_cma_state() {
+    kill_and_resume(1, Method::Cma { sigma0: 0.05 }, 303, "serial-cma");
+}
+
+#[test]
+fn resume_rejects_mismatched_run_identity() {
+    let dir = tmp_dir("identity");
+    let config = quick_config(1);
+    let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let path = dir.join("run.journal");
+    trainer
+        .train_durable(Method::ZoGaussian, &config, &DurableOptions::new(&path, ROOT_SEED))
+        .unwrap();
+
+    // Wrong root seed: the per-epoch RNG streams would diverge silently.
+    let err = trainer
+        .resume(&config, &DurableOptions::new(&path, ROOT_SEED + 1))
+        .unwrap_err();
+    assert!(err.to_string().contains("root seed"), "got: {err}");
+
+    // Wrong run shape: the shuffle / probe streams would diverge silently.
+    let mut other = config.clone();
+    other.batch_size += 1;
+    let err = trainer
+        .resume(&other, &DurableOptions::new(&path, ROOT_SEED))
+        .unwrap_err();
+    assert!(err.to_string().contains("does not match"), "got: {err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_tail_is_truncated_and_run_resumes() {
+    let dir = tmp_dir("torn-tail");
+    let config = quick_config(1);
+    let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let path = dir.join("run.journal");
+    let opts = DurableOptions::new(&path, ROOT_SEED);
+    let control = trainer
+        .train_durable(Method::ZoGaussian, &config, &opts)
+        .unwrap()
+        .completed()
+        .unwrap();
+
+    // A crash mid-append leaves a partial frame: a frame line whose payload
+    // never made it to disk, plus raw garbage.
+    let torn = dir.join("torn.journal");
+    fs::copy(&path, &torn).unwrap();
+    let mut bytes = fs::read(&torn).unwrap();
+    bytes.extend_from_slice(b"record 9999 deadbeef\npartial payload that was cut");
+    fs::write(&torn, &bytes).unwrap();
+
+    let replay = RunJournal::replay(&torn).unwrap();
+    assert_eq!(replay.entries.len(), config.epochs, "intact records survive");
+    assert!(replay.truncated_bytes > 0, "torn tail must be reported");
+    // Replay truncates the file back to its last intact record.
+    let replay2 = RunJournal::replay(&torn).unwrap();
+    assert_eq!(replay2.truncated_bytes, 0);
+
+    // Resume of the (fully complete) torn journal re-runs only the final
+    // evaluation — on a fresh identical chip it reproduces the control.
+    let task2 = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer2 = Trainer::new(&task2.chip, &task2.train, &task2.test, task2.head);
+    let resumed = trainer2
+        .resume(&config, &DurableOptions::new(&torn, ROOT_SEED))
+        .unwrap()
+        .completed()
+        .unwrap();
+    assert_same_outcome(&control, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watchdog_converts_hung_chip_into_resumable_abort() {
+    let dir = tmp_dir("watchdog");
+    let mut config = quick_config(1);
+    config.epochs = 2;
+
+    let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    // Every read hangs, far beyond the deadline: without the watchdog the
+    // run would stall for max_block per read; with it, each attempt is cut
+    // off at the deadline and the run aborts cleanly after the retry
+    // budget.
+    let plan = FaultPlan::new(5).with_hangs(HangConfig {
+        prob: 1.0,
+        max_block: Duration::from_secs(30),
+    });
+    let faulty = FaultyChip::new(task.chip, plan);
+    let trainer = Trainer::new(&faulty, &task.train, &task.test, task.head);
+    let path = dir.join("hung.journal");
+    let watchdog = WatchdogPolicy {
+        deadline: Duration::from_millis(50),
+        max_timeouts: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(4),
+        jitter_seed: 9,
+    };
+    let opts = DurableOptions::new(&path, ROOT_SEED).with_watchdog(watchdog);
+
+    let t0 = Instant::now();
+    let outcome = trainer
+        .train_durable(Method::ZoGaussian, &config, &opts)
+        .unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "watchdog must not wait out the hang's safety valve"
+    );
+    match outcome {
+        RunOutcome::Aborted {
+            resumable,
+            epochs_completed,
+            reason: AbortReason::QueryDeadline { epoch, timeouts },
+        } => {
+            assert!(resumable, "watchdog aborts are always resumable");
+            assert_eq!(epochs_completed, 0);
+            assert_eq!(epoch, 1);
+            assert_eq!(timeouts, 2, "max_timeouts + 1 attempts before abort");
+        }
+        RunOutcome::Completed(_) => panic!("a permanently hung chip cannot complete"),
+    }
+
+    // The abort left a valid journal: resuming on a healthy chip finishes
+    // the run, identically to one that never saw the fault.
+    let task2 = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer2 = Trainer::new(&task2.chip, &task2.train, &task2.test, task2.head);
+    let resumed = trainer2
+        .resume(&config, &DurableOptions::new(&path, ROOT_SEED))
+        .unwrap()
+        .completed()
+        .expect("resume on a healthy chip completes");
+
+    let task3 = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer3 = Trainer::new(&task3.chip, &task3.train, &task3.test, task3.head);
+    let control = trainer3
+        .train_durable(
+            Method::ZoGaussian,
+            &config,
+            &DurableOptions::new(dir.join("control.journal"), ROOT_SEED),
+        )
+        .unwrap()
+        .completed()
+        .unwrap();
+    assert_same_outcome(&control, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}

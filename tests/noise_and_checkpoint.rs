@@ -125,3 +125,271 @@ fn checkpoint_roundtrip_resumes_training_identically() {
         );
     }
 }
+
+/// Fuzz-ish robustness properties of the persistence formats: random
+/// checkpoints round-trip exactly (including non-finite parameter values),
+/// and any corruption — truncation, flipped bytes, unknown versions,
+/// duplicated sections, torn journal tails — is rejected or repaired, never
+/// a panic.
+mod persistence_properties {
+    use std::sync::OnceLock;
+
+    use proptest::prelude::*;
+
+    use photon_zo::core::{
+        build_task, crc32, Checkpoint, DurableOptions, Method, RunJournal, TaskSpec, TrainConfig,
+        Trainer,
+    };
+    use photon_zo::linalg::RVector;
+    use photon_zo::photonics::{Architecture, ErrorVector};
+
+    fn arb_architecture() -> impl Strategy<Value = Architecture> {
+        (2usize..6, 1usize..3, 0usize..3, 0.01..0.95f64, 0.5..4.0f64).prop_map(
+            |(dim, layers, shape, alpha, gain)| match shape {
+                0 => Architecture::single_mesh(dim, layers).unwrap(),
+                1 => Architecture::two_mesh_classifier(dim, layers).unwrap(),
+                _ => Architecture::two_mesh_eo_classifier(dim, layers, alpha, gain).unwrap(),
+            },
+        )
+    }
+
+    /// Parameter values including the ones plain-text formats get wrong:
+    /// NaN, infinities, signed zero, subnormal-scale magnitudes.
+    fn arb_value() -> impl Strategy<Value = f64> {
+        (0u32..13, -10.0..10.0f64).prop_map(|(kind, finite)| match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            4 => 1.0e-308,
+            _ => finite,
+        })
+    }
+
+    fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+        (arb_architecture(), any::<bool>()).prop_flat_map(|(arch, with_errors)| {
+            let n_theta = arch.param_count();
+            let (n_bs, n_ps) = arch.error_slots();
+            let n_flat = if with_errors { n_bs + 2 * n_ps } else { 0 };
+            (
+                Just(arch),
+                proptest::collection::vec(arb_value(), n_theta),
+                proptest::collection::vec(-0.5..0.5f64, n_flat),
+            )
+        })
+        .prop_map(|(arch, theta, flat)| {
+            let (n_bs, n_ps) = arch.error_slots();
+            let errors = (!flat.is_empty())
+                .then(|| ErrorVector::from_flat(n_bs, n_ps, &flat).unwrap());
+            Checkpoint::new(arch, RVector::from_vec(theta), errors)
+        })
+    }
+
+    fn theta_bits(c: &Checkpoint) -> Vec<u64> {
+        c.theta.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Byte length of the checksummed body (everything before the trailing
+    /// `checksum` line): a flip anywhere in it must trip the CRC.
+    fn body_len(text: &str) -> usize {
+        text.rfind("checksum ").expect("v2 text has a checksum line")
+    }
+
+    /// Re-seals a tampered body under a *valid* checksum, so the test
+    /// exercises the structural parser, not just the CRC gate.
+    fn reseal(body: &str) -> String {
+        format!("{body}checksum {:08x}", crc32(body.as_bytes()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Save → load is exact for any architecture and any theta,
+        /// including NaN / ±inf / -0.0 entries (compared as bit patterns:
+        /// NaN breaks `PartialEq`, not the format).
+        #[test]
+        fn checkpoint_roundtrips_random_arch_and_theta(ckpt in arb_checkpoint()) {
+            let text = ckpt.to_string();
+            let back: Checkpoint = text.parse().expect("own output must parse");
+            prop_assert_eq!(theta_bits(&back), theta_bits(&ckpt));
+            prop_assert_eq!(back.architecture.specs(), ckpt.architecture.specs());
+            prop_assert_eq!(back.errors.is_some(), ckpt.errors.is_some());
+            // The re-serialization is byte-identical, so equality holds at
+            // the representation level even where float semantics cannot.
+            prop_assert_eq!(back.to_string(), text);
+        }
+
+        /// A file truncated at ANY byte is rejected with a parse error.
+        #[test]
+        fn truncated_checkpoint_is_rejected(
+            ckpt in arb_checkpoint(),
+            cut_frac in 0.0..1.0f64,
+        ) {
+            let text = ckpt.to_string();
+            let cut = ((text.len() as f64) * cut_frac) as usize;
+            prop_assume!(cut < text.len());
+            prop_assert!(text[..cut].parse::<Checkpoint>().is_err());
+        }
+
+        /// Any single-byte corruption of the checksummed body is caught.
+        #[test]
+        fn flipped_body_byte_is_rejected(
+            ckpt in arb_checkpoint(),
+            idx_frac in 0.0..1.0f64,
+            mask in 1u32..0x60,
+        ) {
+            let text = ckpt.to_string();
+            let limit = body_len(&text);
+            let idx = ((limit as f64) * idx_frac) as usize;
+            prop_assume!(idx < limit);
+            let mut bytes = text.into_bytes();
+            bytes[idx] ^= mask as u8;
+            prop_assume!(bytes[idx].is_ascii());
+            let corrupted = String::from_utf8(bytes).unwrap();
+            prop_assert!(corrupted.parse::<Checkpoint>().is_err());
+        }
+
+        /// A file claiming a future format version is rejected up front,
+        /// even when its checksum is internally consistent.
+        #[test]
+        fn unknown_version_is_rejected(ckpt in arb_checkpoint()) {
+            let text = ckpt.to_string();
+            let body = text[..body_len(&text)]
+                .replacen("photon-zo-checkpoint v2", "photon-zo-checkpoint v9", 1);
+            let err = reseal(&body).parse::<Checkpoint>().unwrap_err();
+            prop_assert!(err.to_string().contains("unsupported"), "got: {err}");
+        }
+
+        /// Duplicated sections are structural corruption: rejected even
+        /// under a recomputed (valid) checksum.
+        #[test]
+        fn duplicated_section_is_rejected(ckpt in arb_checkpoint()) {
+            let text = ckpt.to_string();
+            let body = &text[..body_len(&text)];
+            let doubled = format!("{body}errors none\n");
+            prop_assert!(reseal(&doubled).parse::<Checkpoint>().is_err());
+        }
+    }
+
+    #[test]
+    fn flipped_checksum_digit_is_rejected() {
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let theta = RVector::zeros(arch.param_count());
+        let ckpt = Checkpoint::new(arch, theta, None);
+        let text = ckpt.to_string();
+        let tail = text.len() - 2; // last hex digit of the checksum line
+        let mut bytes = text.clone().into_bytes();
+        bytes[tail] = if bytes[tail] == b'0' { b'1' } else { b'0' };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        assert_ne!(corrupted, text);
+        let err = corrupted.parse::<Checkpoint>().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_checkpoint_file_is_rejected_via_load() {
+        let dir = std::env::temp_dir().join(format!(
+            "photon-ckpt-truncated-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let theta = RVector::zeros(arch.param_count());
+        let ckpt = Checkpoint::new(arch, theta, None);
+        let path = dir.join("ckpt.txt");
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Bytes of a real two-epoch durable-run journal, produced once and
+    /// shared by the torn-tail properties below.
+    fn journal_fixture() -> &'static [u8] {
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        BYTES.get_or_init(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "photon-journal-fixture-{}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let task = build_task(&TaskSpec::quick(4), 11).unwrap();
+            let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+            let mut config = TrainConfig::quick(4);
+            config.epochs = 2;
+            config.threads = Some(1);
+            let path = dir.join("fixture.journal");
+            trainer
+                .train_durable(Method::ZoGaussian, &config, &DurableOptions::new(&path, 3))
+                .unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            bytes
+        })
+    }
+
+    fn replay_mutated(bytes: &[u8], tag: &str) -> Result<usize, String> {
+        let path = std::env::temp_dir().join(format!(
+            "photon-journal-mutated-{}-{tag}.journal",
+            std::process::id()
+        ));
+        std::fs::write(&path, bytes).unwrap();
+        let result = RunJournal::replay(&path)
+            .map(|replay| {
+                // Intact records must be an in-order epoch prefix, and the
+                // repair must converge: a second replay sees a clean file.
+                let epochs: Vec<usize> = replay.entries.iter().map(|e| e.state.epoch).collect();
+                assert_eq!(epochs, (1..=epochs.len()).collect::<Vec<_>>());
+                let again = RunJournal::replay(&path).unwrap();
+                assert_eq!(again.truncated_bytes, 0);
+                assert_eq!(again.entries.len(), replay.entries.len());
+                replay.entries.len()
+            })
+            .map_err(|e| e.to_string());
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// A journal killed at ANY byte replays to an in-order prefix of
+        /// intact records (or a clean parse error inside the header) and is
+        /// repaired idempotently — never a panic.
+        #[test]
+        fn journal_replay_survives_any_truncation(cut_frac in 0.0..1.0f64) {
+            let bytes = journal_fixture();
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            prop_assume!(cut < bytes.len());
+            let _ = replay_mutated(&bytes[..cut], &format!("cut{cut}"));
+        }
+
+        /// A flipped byte anywhere in the journal never panics replay: the
+        /// damage is either truncated away (torn tail) or rejected.
+        #[test]
+        fn journal_replay_survives_any_flipped_byte(
+            idx_frac in 0.0..1.0f64,
+            mask in 1u32..256,
+        ) {
+            let bytes = journal_fixture();
+            let idx = ((bytes.len() as f64) * idx_frac) as usize;
+            prop_assume!(idx < bytes.len());
+            let mut mutated = bytes.to_vec();
+            mutated[idx] ^= mask as u8;
+            let _ = replay_mutated(&mutated, &format!("flip{idx}-{mask}"));
+        }
+    }
+
+    #[test]
+    fn journal_with_bad_magic_is_rejected() {
+        let path = std::env::temp_dir().join(format!(
+            "photon-journal-bad-magic-{}.journal",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"not a journal at all\n").unwrap();
+        assert!(RunJournal::replay(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -8,7 +8,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use photon_zo::calib::{calibrate_traced, CalibrationSettings};
-use photon_zo::core::{build_task, Method, ModelChoice, TaskSpec, TrainConfig, Trainer};
+use photon_zo::core::{
+    build_task, DurableOptions, Method, ModelChoice, RunJournal, TaskSpec, TrainConfig, Trainer,
+};
 use photon_zo::faults::{FaultPlan, FaultyChip, TransientConfig};
 use photon_zo::linalg::RVector;
 use photon_zo::photonics::OnnChip;
@@ -241,4 +243,114 @@ fn jsonl_artifact_is_parseable_line_json() {
         );
     }
     let _ = std::fs::remove_file(&jsonl_path);
+}
+
+#[test]
+fn durable_run_flushes_journal_and_resumed_ledger_reconciles() {
+    let dir = std::env::temp_dir().join(format!(
+        "photon-telemetry-durable-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut config = TrainConfig::quick(4);
+    config.epochs = 3;
+    config.eval_every = 2;
+    config.threads = Some(1);
+
+    // Control: an uninterrupted durable run. Every epoch must land on disk
+    // before the run moves on, and say so via a journal_flush event.
+    let (trace_a, sink_a) = TraceHandle::memory(0);
+    let mut config_a = config.clone();
+    config_a.trace = trace_a;
+    let task = build_task(&TaskSpec::quick(4), 11).unwrap();
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let path = dir.join("run.journal");
+    let control = trainer
+        .train_durable(
+            Method::ZoGaussian,
+            &config_a,
+            &DurableOptions::new(&path, 5),
+        )
+        .unwrap()
+        .completed()
+        .unwrap();
+
+    let flushes: Vec<(u64, u64)> = sink_a
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::JournalFlush { epoch, records, .. } => Some((*epoch, *records)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(flushes.len(), config.epochs, "one flush per epoch");
+    for (i, (epoch, records)) in flushes.iter().enumerate() {
+        assert_eq!(*epoch, (i + 1) as u64);
+        // Per-handle record count includes the header frame.
+        assert_eq!(*records, (i + 2) as u64);
+    }
+
+    // Kill simulation at an exact frame boundary: rewrite the journal with
+    // the last epoch record dropped, so the pre-kill ledger total is known.
+    let replay = RunJournal::replay(&path).unwrap();
+    let killed_path = dir.join("killed.journal");
+    let mut killed = RunJournal::create(&killed_path, &replay.header).unwrap();
+    let kept = &replay.entries[..replay.entries.len() - 1];
+    for entry in kept {
+        killed.append_epoch(entry).unwrap();
+    }
+    drop(killed);
+    let pre_kill_total = kept.last().unwrap().state.ledger.total();
+    assert!(pre_kill_total > 0, "journaled ledger must carry real spend");
+
+    // Resume on a freshly fabricated identical chip whose query counter is
+    // back at zero: the restored ledger bridges the two process windows.
+    let (trace_b, sink_b) = TraceHandle::memory(0);
+    let mut config_b = config.clone();
+    config_b.trace = trace_b;
+    let task2 = build_task(&TaskSpec::quick(4), 11).unwrap();
+    let trainer2 = Trainer::new(&task2.chip, &task2.train, &task2.test, task2.head);
+    let resumed = trainer2
+        .resume(&config_b, &DurableOptions::new(&killed_path, 5))
+        .unwrap()
+        .completed()
+        .unwrap();
+    assert_eq!(resumed.training_queries, control.training_queries);
+
+    let events = sink_b.events();
+    let resume_event = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Resume {
+                epoch,
+                records_replayed,
+                truncated_bytes,
+            } => Some((*epoch, *records_replayed, *truncated_bytes)),
+            _ => None,
+        })
+        .expect("resumed run must emit a resume event");
+    assert_eq!(resume_event.0, kept.len() as u64);
+    assert_eq!(resume_event.1, kept.len() as u64);
+    assert_eq!(resume_event.2, 0);
+
+    // This window's ledger entries cover exactly the fresh chip's spend...
+    let window_delta: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::QueryLedger { queries, .. } => Some(*queries),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(window_delta, task2.chip.query_count());
+
+    // ...and the run total telescopes: pre-kill spend + post-resume delta.
+    let run_queries = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::RunEnd { run_queries, .. } => Some(*run_queries),
+            _ => None,
+        })
+        .expect("resumed run must emit run_end");
+    assert_eq!(run_queries, pre_kill_total + window_delta);
+    let _ = std::fs::remove_dir_all(&dir);
 }
