@@ -1,0 +1,160 @@
+//! Fast-forward-path tiers vs. the plain compiled f64 baseline — the
+//! NNUE-style serving stack measured on the workload it exists for: sparse
+//! coordinate-probe sweeps.
+//!
+//! Every arm evaluates the same `Q = 32` coordinate-perturbed parameter
+//! settings on the same `B = 16` sample batch of a 16×16 Clements chip,
+//! single-threaded:
+//!
+//! - `f64-full`: the baseline compiled path — one full probed-walk compile
+//!   per probe theta, f64 GEMM (what the repo shipped before this tier
+//!   stack).
+//! - `f32-simd`: full compile per probe, but panels evaluated on the f32
+//!   structure-of-arrays SIMD kernels.
+//! - `incremental-f64`: a compile base pinned at the center theta; each
+//!   one-phase probe is served by an exact `O(N²)` rank-1 update instead of
+//!   a full mesh recompile, f64 GEMM.
+//! - `incremental-f32`: rank-1 serving plus the f32 SIMD GEMM — the full
+//!   fast path.
+//!
+//! A custom `main` writes the raw numbers plus per-tier speedups and the
+//! dispatched kernel tier to `BENCH_simd.json` at the workspace root.
+
+use std::io::Write as _;
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use photon_core::ClassificationHead;
+use photon_data::{Dataset, GaussianClusters};
+use photon_linalg::{CVector, RVector};
+use photon_photonics::{Architecture, BatchScratch, ErrorModel, FabricatedChip};
+
+const DIM: usize = 16;
+const Q: usize = 32;
+const BATCH: usize = 16;
+const ARMS: [&str; 4] = ["f64-full", "f32-simd", "incremental-f64", "incremental-f32"];
+
+fn fabricate() -> FabricatedChip {
+    let mut rng = StdRng::seed_from_u64(11);
+    let arch = Architecture::single_mesh(DIM, DIM).unwrap();
+    FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng)
+}
+
+fn setup() -> (Dataset, ClassificationHead, RVector) {
+    let mut rng = StdRng::seed_from_u64(11);
+    // Burn the fabrication draws so theta matches the chips built by
+    // `fabricate()` from the same seed.
+    let chip = fabricate();
+    let data = GaussianClusters::new(DIM, DIM, 0.1)
+        .generate(BATCH, &mut rng)
+        .unwrap();
+    let head = ClassificationHead::new(DIM, DIM, 10.0).unwrap();
+    let theta = chip.init_params(&mut rng);
+    (data, head, theta)
+}
+
+/// The ZO coordinate sweep's probe settings: `theta` with a single phase
+/// nudged by `mu`, cycling through the coordinates — exactly the sparse
+/// diffs the pinned compile base serves incrementally.
+fn probe_thetas(theta: &RVector) -> Vec<RVector> {
+    let mu = 1e-3 / (theta.len() as f64).sqrt();
+    (0..Q)
+        .map(|k| {
+            let mut t = theta.clone();
+            let i = k % t.len();
+            t[i] += mu;
+            t
+        })
+        .collect()
+}
+
+fn bench_simd_forward(c: &mut Criterion) {
+    let (data, head, theta) = setup();
+    let thetas = probe_thetas(&theta);
+    let xs: Vec<&CVector> = (0..BATCH).map(|i| data.sample(i).0).collect();
+
+    let mut group = c.benchmark_group("simd_forward");
+    group.sample_size(15);
+
+    for arm in ARMS {
+        let chip = if arm.ends_with("f32") || arm == "f32-simd" {
+            fabricate().with_f32_fast_path()
+        } else {
+            fabricate()
+        };
+        if arm.starts_with("incremental") {
+            chip.pin_compile_base(&theta);
+        }
+        group.bench_function(arm, |b| {
+            let mut scratch = BatchScratch::new();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for t in &thetas {
+                    let ys = chip.forward_batch_into(&xs, t, &mut scratch);
+                    for (i, y) in ys.iter().enumerate() {
+                        acc += head.loss(y, data.sample(i).1);
+                    }
+                }
+                acc
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn write_report(c: &Criterion) -> std::io::Result<()> {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let kernel = photon_linalg::kernel_tier().name();
+    let find = |arm: &str| {
+        let id = format!("simd_forward/{arm}");
+        c.measurements().iter().find(move |m| m.id == id)
+    };
+    let baseline = find("f64-full");
+    let mut entries = String::new();
+    for arm in ARMS {
+        if let Some(m) = find(arm) {
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            let speedup = match baseline {
+                Some(base) if m.mean.as_nanos() > 0 => format!(
+                    "{:.3}",
+                    base.mean.as_nanos() as f64 / m.mean.as_nanos() as f64
+                ),
+                _ => "null".to_string(),
+            };
+            entries.push_str(&format!(
+                "    {{\"tier\": \"{arm}\", \"mean_ns\": {}, \"min_ns\": {}, \
+                 \"speedup_vs_f64_full\": {speedup}}}",
+                m.mean.as_nanos(),
+                m.min.as_nanos()
+            ));
+        }
+    }
+    // Hand-rolled JSON: the workspace deliberately has no serde dependency.
+    let json = format!(
+        "{{\n  \"bench\": \"simd_forward\",\n  \"mesh\": \"{DIM}x{DIM} Clements\",\n  \
+         \"q\": {Q},\n  \"batch\": {BATCH},\n  \"probe_kind\": \"coordinate\",\n  \
+         \"kernel\": \"{kernel}\",\n  \"host_available_parallelism\": {host_threads},\n  \
+         \"note\": \"single-thread coordinate-probe sweep; speedups are vs the plain \
+         compiled f64 path (one full compile per probe); see DESIGN.md fast-path tiers\",\n  \
+         \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    // benches run with CWD = crate root (crates/bench); write to workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simd.json");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_simd_forward(&mut c);
+    if let Err(e) = write_report(&c) {
+        eprintln!("simd_forward: failed to write BENCH_simd.json: {e}");
+    }
+}

@@ -299,10 +299,12 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                 epochs,
                 batch_size,
                 probes,
+                kernel,
             } => {
                 let _ = writeln!(
                     out,
-                    "run [{method}]: {epochs} epochs, batch {batch_size}, Q={probes}"
+                    "run [{method}]: {epochs} epochs, batch {batch_size}, Q={probes}, \
+                     kernel {kernel}"
                 );
             }
             TraceEvent::EpochSpan {
@@ -384,10 +386,13 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                 hits,
                 misses,
                 invalidations,
+                incremental,
+                forced_recompiles,
             } => {
                 let _ = writeln!(
                     out,
-                    "cache: {hits} hits, {misses} misses, {invalidations} invalidations"
+                    "cache: {hits} hits, {misses} full compiles, {incremental} incremental, \
+                     {forced_recompiles} forced, {invalidations} invalidations"
                 );
             }
             TraceEvent::PoolStats {
@@ -466,6 +471,7 @@ mod tests {
                 epochs: 1,
                 batch_size: 8,
                 probes: 20,
+                kernel: "scalar".to_string(),
             },
             TraceEvent::QueryLedger {
                 epoch: 1,
@@ -497,6 +503,7 @@ mod tests {
         ];
         let s = trace_summary(&events);
         assert!(s.contains("run [ZO-LCNG(calib)]"));
+        assert!(s.contains("kernel scalar"));
         assert!(s.contains("query ledger (50 total)"));
         assert!(s.contains("probe"));
         assert!(s.contains("90.00%"));

@@ -703,6 +703,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             epochs: config.epochs as u64,
             batch_size: config.batch_size as u64,
             probes: config.q as u64,
+            kernel: photon_linalg::kernel_tier().name().to_string(),
         });
 
         let ctx = self.finetune_ctx(method, config, theta.len());
@@ -839,6 +840,7 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             epochs: config.epochs as u64,
             batch_size: config.batch_size as u64,
             probes: config.q as u64,
+            kernel: photon_linalg::kernel_tier().name().to_string(),
         });
         let ctx = self.finetune_ctx(method, config, state.theta.len());
         let backoff = opts.watchdog.backoff();
@@ -1140,6 +1142,10 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
             // advances here and only here, keeping every chip reading
             // within the iteration a pure function of content.
             self.chip.advance_to(*iteration as u64 + 1);
+            // Pin the compiled base at the iteration's center theta (after
+            // the step above, so fault-effective phases match): sparse ZO
+            // probes below are then served by rank-1 incremental updates.
+            self.chip.pin_compile_base(theta);
 
             let fisher_inputs = batch_inputs(self.train, &batch[..batch.len().min(config.r_in)]);
             let refresh = iteration.is_multiple_of(config.t_update.max(1));
@@ -1571,6 +1577,8 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
                 hits: cache.hits,
                 misses: cache.misses,
                 invalidations: cache.invalidations,
+                incremental: cache.incremental,
+                forced_recompiles: cache.forced_recompiles,
             });
             if let Some(metrics) = ctx.pool.metrics() {
                 let snap = metrics.snapshot();

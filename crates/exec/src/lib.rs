@@ -107,7 +107,13 @@ impl Default for ExecPool {
 
 impl ExecPool {
     /// Pool with exactly `threads` workers (clamped to at least 1).
+    ///
+    /// Pool construction also forces the process-wide SIMD kernel-tier
+    /// detection (see [`photon_linalg::kernel_tier`]), so the dispatch
+    /// decision is made once at pool startup rather than inside a hot loop,
+    /// and [`ExecPool::kernel_tier`] is ready for trace reporting.
     pub fn new(threads: usize) -> Self {
+        let _ = photon_linalg::kernel_tier();
         ExecPool {
             threads: threads.max(1),
             metrics: None,
@@ -116,10 +122,7 @@ impl ExecPool {
 
     /// Single-threaded pool: every call runs inline on the caller's thread.
     pub fn serial() -> Self {
-        ExecPool {
-            threads: 1,
-            metrics: None,
-        }
+        ExecPool::new(1)
     }
 
     /// Attaches fresh [`PoolMetrics`] counters to this pool. Metrics are
@@ -163,6 +166,13 @@ impl ExecPool {
     /// Number of worker threads this pool uses.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Stable name of the SIMD kernel tier the f32 fast path dispatches to
+    /// in this process (`"scalar"`, `"avx2-fma"`, or `"neon"`). Recorded in
+    /// `TraceEvent::RunStart` so every run log states which kernel served it.
+    pub fn kernel_tier(&self) -> &'static str {
+        photon_linalg::kernel_tier().name()
     }
 
     /// `true` when the pool runs everything inline on the caller's thread.

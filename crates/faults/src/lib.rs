@@ -633,6 +633,26 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
         self.inner.cache_stats()
     }
 
+    /// Pins the inner chip's compile base at the *fault-effective* phases:
+    /// drift and stuck offsets are resolved at the current step exactly as
+    /// [`FaultyChip::prepare_batch`] would, so the pin matches the theta
+    /// the inner chip actually sees for batched reads issued at this step.
+    /// Serial control point, like [`OnnChip::advance_to`].
+    fn pin_compile_base(&self, theta: &RVector) {
+        let eff = {
+            let st = self.state.lock();
+            let mut eff = theta.clone();
+            if self.plan.drift.is_some() {
+                eff.axpy(1.0, &st.drift);
+            }
+            for s in &self.plan.stuck {
+                eff.as_mut_slice()[s.index] = s.value;
+            }
+            eff
+        };
+        self.inner.pin_compile_base(&eff);
+    }
+
     /// The real cancellation flag hung reads poll. A watchdog that raises
     /// it unblocks every in-flight hung read promptly (the readings come
     /// back poisoned); clear it before retrying.

@@ -121,20 +121,22 @@ impl CPanel {
 /// split (evens into `acc0`, odds into `acc1`, combined once at the end) is
 /// a fixed summation order, so the result is deterministic and independent
 /// of any outer blocking.
+/// The equal-length precondition is validated by the `gemm_into` shape
+/// assert; per-element access is expressed through `chunks_exact`, whose
+/// length guarantee lets the compiler elide bounds checks in the hot loop
+/// (debug builds still verify the slice shapes below).
 #[inline]
 fn dot_unrolled(a: &[C64], x: &[C64]) -> C64 {
     debug_assert_eq!(a.len(), x.len());
     let n = a.len();
     let mut acc0 = C64::ZERO;
     let mut acc1 = C64::ZERO;
-    let mut k = 0;
-    while k + 2 <= n {
-        acc0 += a[k] * x[k];
-        acc1 += a[k + 1] * x[k + 1];
-        k += 2;
+    for (pa, px) in a.chunks_exact(2).zip(x.chunks_exact(2)) {
+        acc0 += pa[0] * px[0];
+        acc1 += pa[1] * px[1];
     }
-    if k < n {
-        acc0 += a[k] * x[k];
+    if n % 2 == 1 {
+        acc0 += a[n - 1] * x[n - 1];
     }
     acc0 + acc1
 }

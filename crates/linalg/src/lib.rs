@@ -17,6 +17,9 @@
 //! - [`CPanel`] / [`gemm_into`] / [`mzi_rotate`]: packed `N×B` multi-RHS
 //!   panels and the blocked complex GEMM / fused-rotation kernels behind
 //!   the compiled batched forward paths;
+//! - [`Matrix32`] / [`Panel32`] / [`gemm32_into`] / [`kernel_tier`]: the
+//!   opt-in single-precision structure-of-arrays fast path with runtime
+//!   SIMD dispatch (AVX2+FMA / NEON / scalar reference);
 //! - [`random`]: seeded Gaussian vectors, Ginibre matrices and Haar-random
 //!   unitaries.
 //!
@@ -51,6 +54,7 @@ mod cvector;
 mod eig;
 mod error;
 mod gemm;
+mod gemm32;
 mod lu;
 mod qr;
 mod rmatrix;
@@ -65,6 +69,7 @@ pub use cvector::CVector;
 pub use eig::{hermitian_eig, symmetric_eig, HermitianEig, SymmetricEig};
 pub use error::{LinalgError, Result};
 pub use gemm::{gemm_into, mzi_rotate, scale_slice, CPanel};
+pub use gemm32::{gemm32_into, kernel_tier, KernelTier, Matrix32, Panel32};
 pub use lu::{CLu, RLu};
 pub use qr::CQr;
 pub use rmatrix::RMatrix;

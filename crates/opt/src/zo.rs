@@ -76,6 +76,25 @@ pub enum Perturbation<'a> {
     },
 }
 
+impl Perturbation<'_> {
+    /// When probe `index` of an `n`-dimensional draw is a one-hot basis
+    /// vector, the coordinate it perturbs; `None` for dense families.
+    ///
+    /// Dense probe construction (`probe = θ + μ·δ`) touches every
+    /// coordinate with a `+ μ·0.0`, which both wastes `O(N)` flops per
+    /// probe and perturbs the bit pattern of negative-zero phases. Routing
+    /// one-hot probes through this index instead writes the single
+    /// perturbed coordinate and leaves the rest bitwise equal to `θ` — the
+    /// sparse-diff shape the chip's pinned compile base serves with an
+    /// `O(N²)` rank-1 update instead of a full mesh recompile.
+    pub fn one_hot_index(&self, n: usize, index: usize) -> Option<usize> {
+        match self {
+            Perturbation::Coordinate { offset } => Some((offset + index) % n),
+            _ => None,
+        }
+    }
+}
+
 /// Draws one probe direction of dimension `n`.
 pub fn draw_perturbation<R: Rng + ?Sized>(
     pert: &Perturbation<'_>,
@@ -146,17 +165,22 @@ pub fn estimate_gradient<R: Rng + ?Sized>(
 ) -> ZoEstimate {
     // All probe directions are drawn up front: the RNG stream is consumed
     // identically to the pooled variant, so both paths probe the same points.
-    let directions = draw_perturbations(pert, theta.len(), settings.q, rng);
+    let n = theta.len();
+    let directions = draw_perturbations(pert, n, settings.q, rng);
     let mut probe = theta.clone();
     let quotients: Vec<f64> = directions
         .iter()
-        .map(|delta| {
+        .enumerate()
+        .map(|(k, delta)| {
             probe.copy_from(theta);
-            probe.axpy(settings.mu, delta);
+            match pert.one_hot_index(n, k) {
+                Some(i) => probe.as_mut_slice()[i] = theta[i] + settings.mu,
+                None => probe.axpy(settings.mu, delta),
+            }
             (loss(&probe) - base_loss) / settings.mu
         })
         .collect();
-    assemble_estimate(theta.len(), settings, directions, quotients)
+    assemble_estimate(n, settings, directions, quotients)
 }
 
 /// Pool-parallel variant of [`estimate_gradient`]: the `Q` probe losses are
@@ -175,17 +199,21 @@ pub fn estimate_gradient_pooled<R: Rng + ?Sized>(
     pool: &ExecPool,
     rng: &mut R,
 ) -> ZoEstimate {
-    let directions = draw_perturbations(pert, theta.len(), settings.q, rng);
+    let n = theta.len();
+    let directions = draw_perturbations(pert, n, settings.q, rng);
     let quotients = pool.map_with(
         &directions,
         || theta.clone(),
-        |probe, _, delta| {
+        |probe, k, delta| {
             probe.copy_from(theta);
-            probe.axpy(settings.mu, delta);
+            match pert.one_hot_index(n, k) {
+                Some(i) => probe.as_mut_slice()[i] = theta[i] + settings.mu,
+                None => probe.axpy(settings.mu, delta),
+            }
             (loss(probe) - base_loss) / settings.mu
         },
     );
-    assemble_estimate(theta.len(), settings, directions, quotients)
+    assemble_estimate(n, settings, directions, quotients)
 }
 
 /// Draws the `q` probe directions of one estimate in index order.

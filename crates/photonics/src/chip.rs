@@ -9,6 +9,7 @@
 //! surface.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -17,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use photon_linalg::random::standard_normal;
 use photon_linalg::{CVector, RVector, C64};
 
-use crate::compiled::{CacheStats, CompiledNetwork};
+use crate::compiled::{CacheStats, CompiledNetwork, PinnedBase};
 use crate::error::{ErrorModel, ErrorVector};
 use crate::network::{Architecture, Network, NetworkError, NetworkScratch};
 
@@ -276,6 +277,20 @@ pub trait OnnChip: Sync {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// Compiles and installs a shared pinned base at `theta`, so that
+    /// subsequent batched evaluations whose theta differs from `theta` in
+    /// only a few phases (ZO coordinate probes) are served by `O(N²)`
+    /// incremental rank-1 updates instead of full mesh recompiles.
+    ///
+    /// Like [`OnnChip::advance_to`], call this only from a *serial* control
+    /// point (the trainer does, once per iteration): the pin is shared by
+    /// every worker, and every serve is a pure function of the pin and the
+    /// request theta, which preserves pool-size determinism. Chips without
+    /// a compiled path ignore it.
+    fn pin_compile_base(&self, theta: &RVector) {
+        let _ = theta;
+    }
 }
 
 /// Optional measurement-noise model of the chip's readout chain.
@@ -312,6 +327,8 @@ struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    incremental: AtomicU64,
+    forced_recompiles: AtomicU64,
 }
 
 impl CacheCounters {
@@ -325,6 +342,13 @@ impl CacheCounters {
         if d.invalidations > 0 {
             self.invalidations.fetch_add(d.invalidations, Ordering::Relaxed);
         }
+        if d.incremental > 0 {
+            self.incremental.fetch_add(d.incremental, Ordering::Relaxed);
+        }
+        if d.forced_recompiles > 0 {
+            self.forced_recompiles
+                .fetch_add(d.forced_recompiles, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> CacheStats {
@@ -332,6 +356,8 @@ impl CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            incremental: self.incremental.load(Ordering::Relaxed),
+            forced_recompiles: self.forced_recompiles.load(Ordering::Relaxed),
         }
     }
 }
@@ -363,6 +389,8 @@ pub struct FabricatedChip {
     noise: Option<MeasurementNoise>,
     noise_rng: Mutex<StdRng>,
     crosstalk: f64,
+    pinned: Mutex<Option<Arc<PinnedBase>>>,
+    fast32: bool,
 }
 
 impl FabricatedChip {
@@ -390,6 +418,8 @@ impl FabricatedChip {
             noise: None,
             noise_rng: Mutex::new(StdRng::seed_from_u64(rng.gen())),
             crosstalk: 0.0,
+            pinned: Mutex::new(None),
+            fast32: false,
         }
     }
 
@@ -408,7 +438,26 @@ impl FabricatedChip {
             noise: None,
             noise_rng: Mutex::new(StdRng::seed_from_u64(0)),
             crosstalk: 0.0,
+            pinned: Mutex::new(None),
+            fast32: false,
         })
+    }
+
+    /// Switches the batched measurement paths onto the opt-in f32
+    /// structure-of-arrays GEMM kernels (AVX2/NEON dispatched — see
+    /// `photon_linalg::kernel_tier`). Off by default: the f64 path stays
+    /// the oracle, and training-grade equivalence (≤1e-12 vs the
+    /// interpreted walk) only holds with this disabled. Enable for serving
+    /// and evaluation traffic where ≤1e-5 relative loss error is
+    /// acceptable.
+    pub fn with_f32_fast_path(mut self) -> Self {
+        self.fast32 = true;
+        self
+    }
+
+    /// `true` when the f32 fast path is enabled for batched measurements.
+    pub fn f32_fast_path(&self) -> bool {
+        self.fast32
     }
 
     /// Enables nearest-neighbour thermal heater crosstalk: every
@@ -601,6 +650,8 @@ impl FabricatedChip {
             ..
         } = scratch;
         let th = self.effective_theta(theta, theta_eff);
+        plan.set_pinned(self.pinned.lock().clone());
+        plan.set_fast32(self.fast32);
         let cache_before = plan.cache_stats();
         let panel = plan.forward_batch(&self.network, th, xs);
         if fields.len() < xs.len() {
@@ -648,6 +699,8 @@ impl FabricatedChip {
             ..
         } = scratch;
         let th = self.effective_theta(theta, theta_eff);
+        plan.set_pinned(self.pinned.lock().clone());
+        plan.set_fast32(self.fast32);
         let cache_before = plan.cache_stats();
         let panel = plan.forward_batch(&self.network, th, xs);
         if powers.len() < xs.len() {
@@ -673,6 +726,32 @@ impl FabricatedChip {
             }
         }
         &scratch.powers[..xs.len()]
+    }
+
+    /// Probe-compiles the fused linear stages at `theta` (after thermal
+    /// crosstalk, so the base matches what a batched measurement at the
+    /// same request phases would compile) and pins the result. Subsequent
+    /// batched measurements whose phases differ from the pin in at most
+    /// [`MAX_INCREMENTAL_PHASES`](crate::MAX_INCREMENTAL_PHASES) phase
+    /// shifters are served by rank-1 updates of the pinned matrices
+    /// instead of a full mesh recompile.
+    ///
+    /// Call from a serial control point (e.g. once per training
+    /// iteration, before the probe fan-out): the pin is shared read-only
+    /// by every worker's transient plan, so serving stays a pure function
+    /// of `(pin, request theta)` and results are independent of pool
+    /// size. Compiling costs one full probed walk — the payoff is the
+    /// probe loop that follows.
+    pub fn pin_compile_base(&self, theta: &RVector) {
+        let mut eff = RVector::zeros(0);
+        let th = self.effective_theta(theta, &mut eff);
+        *self.pinned.lock() = PinnedBase::compile(&self.network, th);
+    }
+
+    /// Drops the pinned compile base, if any: batched measurements fall
+    /// back to plain per-theta compiles.
+    pub fn unpin_compile_base(&self) {
+        *self.pinned.lock() = None;
     }
 
     /// Resolves thermal crosstalk once per measurement: returns `theta`
@@ -792,6 +871,10 @@ impl OnnChip for FabricatedChip {
 
     fn cache_stats(&self) -> CacheStats {
         FabricatedChip::cache_stats(self)
+    }
+
+    fn pin_compile_base(&self, theta: &RVector) {
+        FabricatedChip::pin_compile_base(self, theta)
     }
 
     fn oracle_errors(&self) -> ErrorVector {

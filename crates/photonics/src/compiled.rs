@@ -18,9 +18,35 @@
 //! is bitwise-independent of the batch partition, which preserves
 //! worker-pool determinism.
 
-use photon_linalg::{gemm_into, CMatrix, CPanel, CVector, RVector};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
+use photon_linalg::{
+    gemm32_into, gemm_into, CMatrix, CPanel, CVector, Matrix32, Panel32, RVector, C64,
+};
+
+use crate::module::PsSnapshot;
 use crate::network::Network;
+
+/// Maximum number of changed phases an incremental serve will absorb; any
+/// wider theta-diff falls back to a full recompile.
+pub const MAX_INCREMENTAL_PHASES: usize = 4;
+
+/// Multi-phase incremental serves additionally require every `|Δθ|` below
+/// this bound: the per-phase rank-1 updates are applied against the shared
+/// pinned base, so cross-terms of order `O(Δ²)` are dropped. A
+/// single-phase serve is mathematically exact and is accepted at any `Δ`.
+pub const MULTI_PHASE_DELTA_LIMIT: f64 = 1e-4;
+
+/// Incremental serves a plan performs between forced full f64 recompiles.
+///
+/// Every incremental serve is computed from the pristine pinned base, so no
+/// error accumulates serve-over-serve; this cadence is defense-in-depth for
+/// long-lived serving plans whose pin is never refreshed. Per-call training
+/// plans serve far fewer thetas than this between full compiles, so the
+/// counter never trips there and pool-size determinism is preserved.
+pub const FORCED_RECOMPILE_PERIOD: u64 = 256;
 
 /// One execution stage of a compiled plan.
 #[derive(Debug, Clone)]
@@ -43,6 +69,149 @@ enum Stage {
     },
 }
 
+/// One stage of a [`PinnedBase`]: the compiled matrix of a fused linear run
+/// plus the per-phase-shifter snapshots that make rank-1 incremental
+/// updates possible, or a marker for a nonlinear stage (which reads live
+/// theta at evaluation time and needs no compiled state).
+#[derive(Debug)]
+enum BaseStage {
+    Linear {
+        /// Fused transfer matrix at the pinned theta.
+        matrix: CMatrix,
+        /// Global theta indices covered by this stage's modules.
+        params: Range<usize>,
+        /// Global theta index → entry in `snaps`. Phases driven by more
+        /// than one shifter (never produced by this crate's meshes) are
+        /// excluded, downgrading changes to them to a full recompile.
+        lookup: HashMap<usize, usize>,
+        /// Prefix/suffix snapshots recorded at compile time, in op order.
+        snaps: Vec<PsSnapshot>,
+    },
+    Pointwise,
+}
+
+/// An immutable, fully compiled forward plan pinned at one exact `theta`,
+/// shared (via `Arc`) by every transient per-worker [`CompiledNetwork`] of
+/// a chip.
+///
+/// A pinned plan lets a worker serve a request as a *pure function* of
+/// `(base, request theta)`: an exact theta match copies the base matrices,
+/// a sparse diff (≤[`MAX_INCREMENTAL_PHASES`] phases) applies per-phase
+/// rank-1 corrections in `O(N²)` per stage instead of an `O(ops·N)` mesh
+/// recompile, and anything wider falls back to a full compile. Because the
+/// base is never mutated, results are independent of serve order and
+/// worker count — the property the pool-size determinism suite pins down.
+///
+/// Compile one at a serial control point (the trainer does this once per
+/// iteration, next to `OnnChip::advance_to`) and install it with
+/// [`CompiledNetwork::set_pinned`].
+#[derive(Debug)]
+pub struct PinnedBase {
+    stages: Vec<BaseStage>,
+    theta: RVector,
+}
+
+impl PinnedBase {
+    /// Compiles a pinned base for `net` at `theta`, returning `None` when
+    /// the network has a module that cannot be compiled (the caller then
+    /// simply serves without a pin — today's behavior).
+    ///
+    /// The forward walk is arithmetic-for-arithmetic identical to the plain
+    /// stage compile, so an exact-match serve from the base is bitwise
+    /// equal to a fresh full compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `theta.len() != net.param_count()`.
+    pub fn compile(net: &Network, theta: &RVector) -> Option<Arc<PinnedBase>> {
+        assert_eq!(theta.len(), net.param_count(), "parameter count mismatch");
+        let modules = net.modules();
+        let mut stages = Vec::new();
+        let mut run_start = None;
+        for (i, m) in modules.iter().enumerate() {
+            if m.is_compilable() {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+            } else {
+                if let Some(start) = run_start.take() {
+                    stages.push(Self::compile_linear(net, theta, start..i)?);
+                }
+                stages.push(BaseStage::Pointwise);
+            }
+        }
+        if let Some(start) = run_start {
+            stages.push(Self::compile_linear(net, theta, start..modules.len())?);
+        }
+        Some(Arc::new(PinnedBase {
+            stages,
+            theta: theta.clone(),
+        }))
+    }
+
+    /// The exact theta this base was compiled at.
+    #[must_use]
+    pub fn theta(&self) -> &RVector {
+        &self.theta
+    }
+
+    fn compile_linear(net: &Network, theta: &RVector, range: Range<usize>) -> Option<BaseStage> {
+        let modules = net.modules();
+        let dim = modules[range.start].input_dim();
+        let mut matrix = CMatrix::identity(dim);
+        let mut snaps: Vec<PsSnapshot> = Vec::new();
+        // (module index, snapshot span) per module, for the reverse walk.
+        let mut spans = Vec::new();
+        for i in range.clone() {
+            let pr = net.module_param_range(i);
+            let before = snaps.len();
+            if !modules[i].compile_apply_probed(&theta.as_slice()[pr.clone()], &mut matrix, &mut snaps)
+            {
+                return None;
+            }
+            for s in &mut snaps[before..] {
+                s.param += pr.start;
+            }
+            spans.push((i, before, snaps.len()));
+        }
+        // Reverse walk fills the suffix columns. A module that does not
+        // support the walk breaks the suffix products of everything before
+        // it, so probing is abandoned for the whole stage (the stage still
+        // serves exact-theta matches from its matrix).
+        let mut acc = CMatrix::identity(dim);
+        let mut probed = true;
+        for &(i, s0, s1) in spans.iter().rev() {
+            let pr = net.module_param_range(i);
+            if !modules[i].compile_suffix_probed(&theta.as_slice()[pr], &mut acc, &mut snaps[s0..s1])
+            {
+                probed = false;
+                break;
+            }
+        }
+        if !probed {
+            snaps.clear();
+        }
+        let params =
+            net.module_param_range(range.start).start..net.module_param_range(range.end - 1).end;
+        let mut lookup = HashMap::new();
+        let mut dup = Vec::new();
+        for (k, s) in snaps.iter().enumerate() {
+            if lookup.insert(s.param, k).is_some() {
+                dup.push(s.param);
+            }
+        }
+        for p in dup {
+            lookup.remove(&p);
+        }
+        Some(BaseStage::Linear {
+            matrix,
+            params,
+            lookup,
+            snaps,
+        })
+    }
+}
+
 /// A cached compiled execution plan for one [`Network`].
 ///
 /// The stage *structure* (which modules fuse into which linear runs) is
@@ -63,6 +232,17 @@ pub struct CompiledNetwork {
     generation: u64,
     hits: u64,
     invalidations: u64,
+    full_compiles: u64,
+    incremental: u64,
+    forced_recompiles: u64,
+    serves_since_full: u64,
+    pinned: Option<Arc<PinnedBase>>,
+    diff_idx: Vec<usize>,
+    fast32: bool,
+    m32: Vec<Matrix32>,
+    m32_generation: u64,
+    ping32: Panel32,
+    pong32: Panel32,
     ping: CPanel,
     pong: CPanel,
     col_in: CVector,
@@ -75,11 +255,18 @@ pub struct CompiledNetwork {
 pub struct CacheStats {
     /// `ensure` calls served by the cached matrices (theta unchanged).
     pub hits: u64,
-    /// Compilations — every `ensure` that rebuilt the stage matrices.
+    /// Full f64 compilations — every `ensure` that rebuilt the stage
+    /// matrices by walking the op lists.
     pub misses: u64,
-    /// The subset of misses that evicted a previously valid plan (i.e.
-    /// theta moved); `misses - invalidations` are cold compiles.
+    /// Rebuilds that evicted a previously valid plan (i.e. theta moved);
+    /// the remainder are cold compiles.
     pub invalidations: u64,
+    /// Rebuilds served incrementally from a pinned base (exact-match copy
+    /// or sparse rank-1 update) instead of a full op-walk compile.
+    pub incremental: u64,
+    /// Full recompiles forced by the [`FORCED_RECOMPILE_PERIOD`] cadence
+    /// while a pinned base was installed.
+    pub forced_recompiles: u64,
 }
 
 impl CacheStats {
@@ -88,6 +275,8 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.invalidations += other.invalidations;
+        self.incremental += other.incremental;
+        self.forced_recompiles += other.forced_recompiles;
     }
 
     /// Counterwise difference against an earlier snapshot of the same
@@ -98,6 +287,8 @@ impl CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            incremental: self.incremental.saturating_sub(earlier.incremental),
+            forced_recompiles: self.forced_recompiles.saturating_sub(earlier.forced_recompiles),
         }
     }
 }
@@ -117,17 +308,46 @@ impl CompiledNetwork {
         self.generation
     }
 
-    /// Cache counters for this plan. `misses` equals
-    /// [`CompiledNetwork::generation`]; `hits` counts `ensure` calls that
-    /// reused the cached matrices; `invalidations` counts recompiles that
-    /// replaced a previously valid plan.
+    /// Cache counters for this plan. `hits` counts `ensure` calls that
+    /// reused the cached matrices; `misses` counts full op-walk compiles;
+    /// `incremental` counts rebuilds served from the pinned base;
+    /// `invalidations` counts rebuilds (of either kind) that replaced a
+    /// previously valid plan. Without a pin, `misses` equals
+    /// [`CompiledNetwork::generation`].
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
-            misses: self.generation,
+            misses: self.full_compiles,
             invalidations: self.invalidations,
+            incremental: self.incremental,
+            forced_recompiles: self.forced_recompiles,
         }
+    }
+
+    /// Installs (or clears) the shared pinned base this plan may serve
+    /// incremental rebuilds from. Plans without a pin behave exactly as
+    /// before pinning existed. Installing a different pin resets the
+    /// forced-recompile cadence, since the base itself is fresh.
+    pub fn set_pinned(&mut self, pin: Option<Arc<PinnedBase>>) {
+        let changed = match (&self.pinned, &pin) {
+            (Some(a), Some(b)) => !Arc::ptr_eq(a, b),
+            (None, None) => false,
+            _ => true,
+        };
+        if changed {
+            self.serves_since_full = 0;
+        }
+        self.pinned = pin;
+    }
+
+    /// Switches the batched evaluation between the f64 oracle kernels and
+    /// the opt-in f32 structure-of-arrays fast path. The compiled f64 stage
+    /// matrices stay authoritative either way; `fast32` only changes the
+    /// GEMM precision at evaluation time, bounded at ≤1e-5 relative loss
+    /// error by the equivalence suite.
+    pub fn set_fast32(&mut self, fast32: bool) {
+        self.fast32 = fast32;
     }
 
     fn build_structure(&mut self, net: &Network) {
@@ -162,9 +382,14 @@ impl CompiledNetwork {
         self.structured = true;
     }
 
-    /// Makes the plan valid for `net` at `theta`, recompiling the linear
+    /// Makes the plan valid for `net` at `theta`, rebuilding the linear
     /// stage matrices only when `theta` differs from the cached value.
-    /// Returns `true` when a recompile happened.
+    /// Returns `true` when a rebuild happened.
+    ///
+    /// With a pinned base installed (see [`CompiledNetwork::set_pinned`]),
+    /// a rebuild whose theta-diff against the pin is sparse is served as a
+    /// base copy plus rank-1 corrections; everything else is a full op-walk
+    /// compile, exactly as before pinning existed.
     ///
     /// # Panics
     ///
@@ -181,25 +406,112 @@ impl CompiledNetwork {
         if self.valid {
             self.invalidations += 1;
         }
-        for stage in &mut self.stages {
-            if let Stage::Linear {
-                matrix,
-                modules,
-                dim,
-            } = stage
-            {
-                matrix.reset_identity(*dim);
-                for i in modules.clone() {
-                    let range = net.module_param_range(i);
-                    let applied =
-                        net.modules()[i].compile_apply(&theta.as_slice()[range], matrix);
-                    debug_assert!(applied, "linear stage contains a non-compilable module");
+        if self.try_pinned_serve(theta) {
+            self.incremental += 1;
+            self.serves_since_full += 1;
+        } else {
+            for stage in &mut self.stages {
+                if let Stage::Linear {
+                    matrix,
+                    modules,
+                    dim,
+                } = stage
+                {
+                    matrix.reset_identity(*dim);
+                    for i in modules.clone() {
+                        let range = net.module_param_range(i);
+                        let applied =
+                            net.modules()[i].compile_apply(&theta.as_slice()[range], matrix);
+                        debug_assert!(applied, "linear stage contains a non-compilable module");
+                    }
                 }
             }
+            self.full_compiles += 1;
+            self.serves_since_full = 0;
         }
         self.cached_theta.copy_from(theta);
         self.valid = true;
         self.generation += 1;
+        true
+    }
+
+    /// Attempts to rebuild the stage matrices from the pinned base. On
+    /// success the matrices hold `base + Σ δ·b·cᵀ` over the changed phases
+    /// and `true` is returned; on any gate failure the matrices are left
+    /// untouched and the caller performs a full compile.
+    fn try_pinned_serve(&mut self, theta: &RVector) -> bool {
+        let Some(pin) = self.pinned.as_ref() else {
+            return false;
+        };
+        if pin.theta.len() != theta.len() || pin.stages.len() != self.stages.len() {
+            return false;
+        }
+        if self.serves_since_full >= FORCED_RECOMPILE_PERIOD {
+            self.forced_recompiles += 1;
+            return false;
+        }
+        let base = pin.theta.as_slice();
+        let req = theta.as_slice();
+        self.diff_idx.clear();
+        let mut max_delta = 0.0f64;
+        for (k, (&a, &b)) in base.iter().zip(req).enumerate() {
+            if a != b {
+                if self.diff_idx.len() == MAX_INCREMENTAL_PHASES {
+                    return false;
+                }
+                self.diff_idx.push(k);
+                max_delta = max_delta.max((b - a).abs());
+            }
+        }
+        if self.diff_idx.len() > 1 && max_delta > MULTI_PHASE_DELTA_LIMIT {
+            return false;
+        }
+        // Feasibility pass: every changed phase inside a linear stage must
+        // have a usable snapshot (changes to pointwise-module parameters
+        // need no matrix work — those stages read live theta at eval time).
+        for (stage, bstage) in self.stages.iter().zip(&pin.stages) {
+            match (stage, bstage) {
+                (Stage::Linear { .. }, BaseStage::Linear { params, lookup, .. }) => {
+                    for &k in &self.diff_idx {
+                        if params.contains(&k) && !lookup.contains_key(&k) {
+                            return false;
+                        }
+                    }
+                }
+                (Stage::Pointwise { .. }, BaseStage::Pointwise) => {}
+                _ => return false,
+            }
+        }
+        // Commit: copy the base matrices and apply one rank-1 correction
+        // per changed phase, in ascending phase order (a fixed order, so
+        // the result is a pure function of the pin and the request theta).
+        for (stage, bstage) in self.stages.iter_mut().zip(&pin.stages) {
+            if let (
+                Stage::Linear { matrix, dim, .. },
+                BaseStage::Linear {
+                    matrix: base_matrix,
+                    params,
+                    lookup,
+                    snaps,
+                },
+            ) = (stage, bstage)
+            {
+                matrix.clone_from(base_matrix);
+                for &k in &self.diff_idx {
+                    if !params.contains(&k) {
+                        continue;
+                    }
+                    let snap = &snaps[lookup[&k]];
+                    let delta = snap.zeta * (C64::cis(req[k]) - C64::cis(base[k]));
+                    for r in 0..*dim {
+                        let coef = delta * snap.suffix[r];
+                        for (m, &p) in matrix.row_mut(r).iter_mut().zip(&snap.prefix) {
+                            *m += coef * p;
+                        }
+                    }
+                }
+            }
+        }
         true
     }
 
@@ -217,6 +529,9 @@ impl CompiledNetwork {
     /// differs from `net.input_dim()`.
     pub fn forward_batch(&mut self, net: &Network, theta: &RVector, xs: &[&CVector]) -> &CPanel {
         self.ensure(net, theta);
+        if self.fast32 {
+            return self.forward_batch_f32(net, theta, xs);
+        }
         let n = net.input_dim();
         let b = xs.len();
         self.ping.resize(n, b);
@@ -260,6 +575,66 @@ impl CompiledNetwork {
         } else {
             &self.pong
         }
+    }
+
+    /// The f32 twin of the evaluation loop: linear stages run through the
+    /// SIMD-dispatched split-plane GEMM, pointwise stages promote each
+    /// column to f64, apply the module, and demote back. The final panel is
+    /// promoted to f64 so callers see the same [`CPanel`] type either way.
+    fn forward_batch_f32(&mut self, net: &Network, theta: &RVector, xs: &[&CVector]) -> &CPanel {
+        if self.m32_generation != self.generation || self.m32.len() != self.stages.len() {
+            self.m32.resize_with(self.stages.len(), Matrix32::new);
+            for (si, stage) in self.stages.iter().enumerate() {
+                if let Stage::Linear { matrix, .. } = stage {
+                    self.m32[si].copy_from_cmatrix(matrix);
+                }
+            }
+            self.m32_generation = self.generation;
+        }
+        let n = net.input_dim();
+        let b = xs.len();
+        self.ping32.resize(n, b);
+        for (j, x) in xs.iter().enumerate() {
+            // The single validated boundary check for the batched path.
+            assert_eq!(x.len(), n, "input dimension mismatch");
+            self.ping32.set_col_c64(j, x.as_slice());
+        }
+        let CompiledNetwork {
+            stages,
+            m32,
+            ping32,
+            pong32,
+            col_in,
+            col_out,
+            ping,
+            ..
+        } = self;
+        let mut cur_is_ping = true;
+        for (si, stage) in stages.iter().enumerate() {
+            let (src, dst) = if cur_is_ping {
+                (&*ping32, &mut *pong32)
+            } else {
+                (&*pong32, &mut *ping32)
+            };
+            match stage {
+                Stage::Linear { .. } => gemm32_into(&m32[si], src, dst),
+                Stage::Pointwise { module } => {
+                    let m = &net.modules()[*module];
+                    let th = &theta.as_slice()[net.module_param_range(*module)];
+                    dst.resize(m.output_dim(), b);
+                    col_in.resize_zeroed(src.dim());
+                    for j in 0..b {
+                        src.col_to_c64(j, col_in.as_mut_slice());
+                        m.forward_into(col_in, th, col_out);
+                        dst.set_col_c64(j, col_out.as_slice());
+                    }
+                }
+            }
+            cur_is_ping = !cur_is_ping;
+        }
+        let winner = if cur_is_ping { &*ping32 } else { &*pong32 };
+        winner.copy_to_cpanel(ping);
+        &*ping
     }
 }
 
@@ -309,6 +684,118 @@ mod tests {
         plan.ensure(&net, &theta);
         assert_eq!(plan.stages.len(), 1);
         assert!(matches!(plan.stages[0], Stage::Linear { .. }));
+    }
+
+    #[test]
+    fn pinned_exact_match_serve_is_bitwise_equal_to_full_compile() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Architecture::two_mesh_classifier(5, 5).unwrap().build_ideal();
+        let theta = net.init_params(&mut rng);
+        let xs = batch(5, 4, &mut rng);
+        let refs: Vec<&CVector> = xs.iter().collect();
+
+        let mut plain = CompiledNetwork::new();
+        let want = plain.forward_batch(&net, &theta, &refs).clone();
+
+        let pin = PinnedBase::compile(&net, &theta).expect("meshes are compilable");
+        let mut pinned = CompiledNetwork::new();
+        pinned.set_pinned(Some(pin));
+        let got = pinned.forward_batch(&net, &theta, &refs);
+        assert_eq!(got.as_slice(), want.as_slice(), "exact match must be bitwise");
+        assert_eq!(pinned.cache_stats().incremental, 1);
+        assert_eq!(pinned.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn pinned_single_phase_serve_matches_full_compile() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = Architecture::single_mesh(6, 6).unwrap().build_ideal();
+        let theta = net.init_params(&mut rng);
+        let xs = batch(6, 3, &mut rng);
+        let refs: Vec<&CVector> = xs.iter().collect();
+        let pin = PinnedBase::compile(&net, &theta).unwrap();
+
+        for k in [0usize, 7, net.param_count() - 1] {
+            let mut theta2 = theta.clone();
+            theta2[k] += 0.37; // single-phase updates are exact at any Δ
+            let mut plain = CompiledNetwork::new();
+            let want = plain.forward_batch(&net, &theta2, &refs).clone();
+            let mut pinned = CompiledNetwork::new();
+            pinned.set_pinned(Some(pin.clone()));
+            let got = pinned.forward_batch(&net, &theta2, &refs).clone();
+            assert_eq!(pinned.cache_stats().incremental, 1, "phase {k} not incremental");
+            for j in 0..3 {
+                for p in 0..6 {
+                    assert!(
+                        (got.col(j)[p] - want.col(j)[p]).abs() < 1e-12,
+                        "phase {k} sample {j} port {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_diffs_fall_back_to_full_compile() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = Architecture::single_mesh(4, 4).unwrap().build_ideal();
+        let theta = net.init_params(&mut rng);
+        let xs = batch(4, 2, &mut rng);
+        let refs: Vec<&CVector> = xs.iter().collect();
+        let pin = PinnedBase::compile(&net, &theta).unwrap();
+        let mut plan = CompiledNetwork::new();
+        plan.set_pinned(Some(pin));
+        let mut theta2 = theta.clone();
+        for k in 0..=MAX_INCREMENTAL_PHASES {
+            theta2[k] += 1e-5;
+        }
+        plan.forward_batch(&net, &theta2, &refs);
+        let stats = plan.cache_stats();
+        assert_eq!(stats.incremental, 0, "diff wider than K must not be incremental");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn forced_recompile_cadence_is_observable() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let net = Architecture::single_mesh(3, 3).unwrap().build_ideal();
+        let theta = net.init_params(&mut rng);
+        let xs = batch(3, 1, &mut rng);
+        let refs: Vec<&CVector> = xs.iter().collect();
+        let pin = PinnedBase::compile(&net, &theta).unwrap();
+        let mut plan = CompiledNetwork::new();
+        plan.set_pinned(Some(pin));
+        let mut theta2 = theta.clone();
+        for i in 0..=FORCED_RECOMPILE_PERIOD {
+            theta2[0] = theta[0] + 1e-6 * (i + 1) as f64;
+            plan.forward_batch(&net, &theta2, &refs);
+        }
+        let stats = plan.cache_stats();
+        assert_eq!(stats.forced_recompiles, 1, "cadence must force one full recompile");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.incremental, FORCED_RECOMPILE_PERIOD);
+    }
+
+    #[test]
+    fn fast32_evaluation_tracks_f64_oracle() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let net = Architecture::two_mesh_classifier(6, 6).unwrap().build_ideal();
+        let theta = net.init_params(&mut rng);
+        let xs = batch(6, 5, &mut rng);
+        let refs: Vec<&CVector> = xs.iter().collect();
+        let mut plain = CompiledNetwork::new();
+        let want = plain.forward_batch(&net, &theta, &refs).clone();
+        let mut fast = CompiledNetwork::new();
+        fast.set_fast32(true);
+        let got = fast.forward_batch(&net, &theta, &refs);
+        for j in 0..5 {
+            for p in 0..6 {
+                assert!(
+                    (got.col(j)[p] - want.col(j)[p]).abs() < 1e-4,
+                    "sample {j} port {p}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! - compiled forward plans ([`CompiledNetwork`], [`BatchScratch`]): cached
 //!   dense unitaries applied batch-wide as multi-RHS GEMMs through
 //!   [`OnnChip::forward_batch_into`] / [`OnnChip::forward_powers_batch_into`];
+//! - an NNUE-style fast serving path: pinned compile bases served by exact
+//!   rank-1 incremental updates ([`PinnedBase`]), an opt-in f32 SIMD
+//!   evaluation tier, and `i16` fixed-point deployment artifacts
+//!   ([`QuantizedNetwork`]);
 //! - Fisher-information machinery ([`fisher_vector_product`],
 //!   [`module_fisher_block`], [`output_covariance`]) used by the linear
 //!   combination natural gradient optimizer.
@@ -55,12 +59,16 @@ mod modrelu;
 mod module;
 mod network;
 mod ops;
+mod quantized;
 
 pub use chip::{
     calibrated_model, ideal_model, AbortFlag, BatchScratch, ChipScratch, FabricatedChip,
     MeasurementNoise, ModelKind, OnnChip,
 };
-pub use compiled::{CacheStats, CompiledNetwork};
+pub use compiled::{
+    CacheStats, CompiledNetwork, PinnedBase, FORCED_RECOMPILE_PERIOD, MAX_INCREMENTAL_PHASES,
+    MULTI_PHASE_DELTA_LIMIT,
+};
 pub use electrooptic::ElectroOptic;
 pub use error::{
     zeta_from_parts, ErrorCursor, ErrorModel, ErrorRmse, ErrorVector, ErrorVectorError,
@@ -72,6 +80,7 @@ pub use fisher::{
 };
 pub use mesh::{MeshKind, MeshModule};
 pub use modrelu::ModRelu;
-pub use module::{ModuleTape, OnnModule};
+pub use module::{ModuleTape, OnnModule, PsSnapshot};
 pub use network::{Architecture, ModuleSpec, Network, NetworkError, NetworkScratch, NetworkTape};
 pub use ops::Op;
+pub use quantized::{QMatrix, QuantizedNetwork};

@@ -5,7 +5,7 @@
 use photon_linalg::{CMatrix, CVector, C64};
 
 use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
-use crate::module::{ModuleTape, OnnModule};
+use crate::module::{ModuleTape, OnnModule, PsSnapshot};
 use crate::ops::Op;
 
 /// The topology family of a [`MeshModule`], kept for naming and reporting.
@@ -260,6 +260,51 @@ impl OnnModule for MeshModule {
         for op in &self.ops {
             op.apply_to_rows(acc, theta);
         }
+        true
+    }
+
+    fn compile_apply_probed(
+        &self,
+        theta: &[f64],
+        acc: &mut CMatrix,
+        snaps: &mut Vec<PsSnapshot>,
+    ) -> bool {
+        debug_assert_eq!(theta.len(), self.param_count, "parameter count mismatch");
+        debug_assert_eq!(acc.rows(), self.dim, "accumulator row mismatch");
+        for op in &self.ops {
+            if let Op::Ps { port, param, zeta } = *op {
+                snaps.push(PsSnapshot {
+                    param,
+                    port,
+                    zeta,
+                    prefix: acc.row(port).to_vec(),
+                    suffix: Vec::new(),
+                });
+            }
+            op.apply_to_rows(acc, theta);
+        }
+        true
+    }
+
+    fn compile_suffix_probed(
+        &self,
+        theta: &[f64],
+        acc: &mut CMatrix,
+        snaps: &mut [PsSnapshot],
+    ) -> bool {
+        debug_assert_eq!(acc.cols(), self.dim, "suffix accumulator column mismatch");
+        let mut k = snaps.len();
+        for op in self.ops.iter().rev() {
+            if let Op::Ps { port, .. } = *op {
+                debug_assert!(k > 0, "snapshot/op walk out of sync");
+                k -= 1;
+                let snap = &mut snaps[k];
+                debug_assert_eq!(snap.port, port, "snapshot/op walk out of sync");
+                snap.suffix = acc.col(port).as_slice().to_vec();
+            }
+            op.apply_to_cols(acc, theta);
+        }
+        debug_assert_eq!(k, 0, "snapshot/op walk out of sync");
         true
     }
 

@@ -2,9 +2,41 @@
 
 use std::fmt;
 
-use photon_linalg::{CMatrix, CVector};
+use photon_linalg::{CMatrix, CVector, C64};
 
 use crate::error::{ErrorCursor, ErrorVector, ErrorVectorError};
+
+/// Compile-time snapshot of one phase shifter inside a fused linear stage,
+/// recorded by [`OnnModule::compile_apply_probed`] and completed by
+/// [`OnnModule::compile_suffix_probed`].
+///
+/// With the stage product written `M = U_n···U_1` and shifter `i` sitting on
+/// port `p`, a change of its phase from `θ` to `θ'` moves the stage matrix by
+/// the exact rank-1 update
+///
+/// ```text
+/// M' = M + ζ·(e^{jθ'} − e^{jθ}) · b · cᵀ,
+///   b = (U_n···U_{i+1})·e_p   (the suffix column),
+///   c = e_pᵀ·(U_{i−1}···U_1)  (the prefix row),
+/// ```
+///
+/// so a snapshot holding `b` and `c` lets the compiled-plan cache absorb a
+/// sparse phase perturbation in `O(N²)` instead of a full mesh recompile.
+#[derive(Debug, Clone)]
+pub struct PsSnapshot {
+    /// Parameter index driving the shifter. Module-local as recorded; the
+    /// stage compiler rebases it to the network's global theta indexing.
+    pub param: usize,
+    /// Waveguide index the shifter sits on.
+    pub port: usize,
+    /// Fabrication error factor `ζ` baked into the shifter.
+    pub zeta: C64,
+    /// Prefix row `e_pᵀ·(U_{i−1}···U_1)` at the compile point.
+    pub prefix: Vec<C64>,
+    /// Suffix column `(U_n···U_{i+1})·e_p` at the compile point. Empty until
+    /// the reverse walk fills it.
+    pub suffix: Vec<C64>,
+}
 
 /// Saved forward-pass state needed by [`OnnModule::jvp`] and
 /// [`OnnModule::vjp`].
@@ -185,6 +217,46 @@ pub trait OnnModule: fmt::Debug + Send + Sync {
     /// the module dimension.
     fn compile_apply(&self, theta: &[f64], acc: &mut CMatrix) -> bool {
         let _ = (theta, acc);
+        false
+    }
+
+    /// Like [`OnnModule::compile_apply`], but additionally records one
+    /// [`PsSnapshot`] per phase shifter (prefix rows filled, suffix columns
+    /// left empty for [`OnnModule::compile_suffix_probed`]), appended to
+    /// `snaps` in op order. Must premultiply exactly the same arithmetic as
+    /// `compile_apply`, so a probed compile is bitwise identical to a plain
+    /// one.
+    ///
+    /// The default performs a plain compile and records nothing, which
+    /// downgrades parameter changes inside this module to a full recompile —
+    /// correct, just not incremental.
+    fn compile_apply_probed(
+        &self,
+        theta: &[f64],
+        acc: &mut CMatrix,
+        snaps: &mut Vec<PsSnapshot>,
+    ) -> bool {
+        let _ = snaps;
+        self.compile_apply(theta, acc)
+    }
+
+    /// Completes the suffix columns of this module's snapshots by walking
+    /// the op list in reverse while postmultiplying onto `acc`.
+    ///
+    /// On entry `acc` must hold the product of every op applied *after* this
+    /// module in the fused stage (identity for the last module); on exit it
+    /// has absorbed this module too, ready for the preceding module. `snaps`
+    /// is exactly the slice this module appended in
+    /// [`OnnModule::compile_apply_probed`], still in op order. Returns
+    /// `false` (leaving `acc` untouched) when the module records no
+    /// snapshots.
+    fn compile_suffix_probed(
+        &self,
+        theta: &[f64],
+        acc: &mut CMatrix,
+        snaps: &mut [PsSnapshot],
+    ) -> bool {
+        let _ = (theta, acc, snaps);
         false
     }
 

@@ -79,6 +79,42 @@ impl Op {
         }
     }
 
+    /// Applies the op from the *right*, postmultiplying the op's block onto
+    /// `acc`: `acc ← acc · U_op`.
+    ///
+    /// This is the column-side dual of [`Op::apply_to_rows`], used by the
+    /// incremental-update compiler to build suffix products `U_n···U_{i+1}`
+    /// by walking the op list in reverse. A phase shifter scales column
+    /// `port`; a beam splitter mixes columns `port` and `port + 1` (its 2×2
+    /// block is symmetric, so the column coefficients equal the row ones).
+    #[inline]
+    pub fn apply_to_cols(&self, acc: &mut CMatrix, theta: &[f64]) {
+        let n_rows = acc.rows();
+        let n_cols = acc.cols();
+        match *self {
+            Op::Ps { port, param, zeta } => {
+                let f = zeta * C64::cis(theta[param]);
+                let data = acc.as_mut_slice();
+                for r in 0..n_rows {
+                    let v = &mut data[r * n_cols + port];
+                    *v = f * *v;
+                }
+            }
+            Op::Bs { port, gamma } => {
+                let phi = (FRAC_PI_2 + gamma) / 2.0;
+                let c = phi.cos();
+                let s = phi.sin();
+                let data = acc.as_mut_slice();
+                for r in 0..n_rows {
+                    let a = data[r * n_cols + port];
+                    let b = data[r * n_cols + port + 1];
+                    data[r * n_cols + port] = a.scale(c) + C64::new(-s * b.im, s * b.re);
+                    data[r * n_cols + port + 1] = C64::new(-s * a.im, s * a.re) + b.scale(c);
+                }
+            }
+        }
+    }
+
     /// Forward-mode derivative: updates the tangent `dstate` in place.
     ///
     /// `pre` must be the state *before* this op was applied (from the
@@ -327,6 +363,40 @@ mod tests {
             let col = acc.col(basis);
             assert!((&x - &col).max_abs() < 1e-14, "basis column {basis}");
         }
+    }
+
+    /// Postmultiplying identity by the op list in *reverse* order builds the
+    /// same product `U_n···U_1` as premultiplying in forward order, which is
+    /// exactly the contract the suffix reverse walk relies on.
+    #[test]
+    fn apply_to_cols_reverse_walk_matches_row_walk() {
+        let ops = [
+            Op::Ps {
+                port: 1,
+                param: 0,
+                zeta: C64::from_polar(0.97, 0.1),
+            },
+            Op::Bs { port: 0, gamma: 0.2 },
+            Op::Bs {
+                port: 1,
+                gamma: -0.1,
+            },
+            Op::Ps {
+                port: 2,
+                param: 1,
+                zeta: C64::ONE,
+            },
+        ];
+        let theta = [0.3, -1.1];
+        let mut rows_acc = CMatrix::identity(3);
+        for op in &ops {
+            op.apply_to_rows(&mut rows_acc, &theta);
+        }
+        let mut cols_acc = CMatrix::identity(3);
+        for op in ops.iter().rev() {
+            op.apply_to_cols(&mut cols_acc, &theta);
+        }
+        assert!((&rows_acc - &cols_acc).max_abs() < 1e-14);
     }
 
     #[test]

@@ -147,6 +147,10 @@ pub enum TraceEvent {
         batch_size: u64,
         /// ZO probe count `Q`.
         probes: u64,
+        /// GEMM kernel tier selected at pool startup (`scalar`,
+        /// `avx2-fma`, `neon`), so archived runs record which arithmetic
+        /// path produced them.
+        kernel: String,
     },
     /// Per-epoch training summary.
     EpochSpan {
@@ -180,10 +184,15 @@ pub enum TraceEvent {
     CacheStats {
         /// Forward-batch calls served by the cached compiled plan.
         hits: u64,
-        /// Plan compilations (cache misses).
+        /// Full plan compilations (cache misses).
         misses: u64,
         /// Recompilations that evicted a previously valid plan.
         invalidations: u64,
+        /// Compiles served incrementally from a pinned base (rank-1
+        /// updates instead of a full mesh recompile).
+        incremental: u64,
+        /// Full recompiles forced by the incremental drift-bound cadence.
+        forced_recompiles: u64,
     },
     /// Worker-pool counters (run-level).
     PoolStats {
@@ -349,9 +358,11 @@ impl TraceEvent {
                 epochs,
                 batch_size,
                 probes,
+                kernel,
             } => format!(
-                "{{\"type\":{kind},\"method\":{},\"epochs\":{epochs},\"batch_size\":{batch_size},\"probes\":{probes}}}",
-                json_str(method)
+                "{{\"type\":{kind},\"method\":{},\"epochs\":{epochs},\"batch_size\":{batch_size},\"probes\":{probes},\"kernel\":{}}}",
+                json_str(method),
+                json_str(kernel)
             ),
             TraceEvent::EpochSpan {
                 epoch,
@@ -381,8 +392,10 @@ impl TraceEvent {
                 hits,
                 misses,
                 invalidations,
+                incremental,
+                forced_recompiles,
             } => format!(
-                "{{\"type\":{kind},\"hits\":{hits},\"misses\":{misses},\"invalidations\":{invalidations}}}"
+                "{{\"type\":{kind},\"hits\":{hits},\"misses\":{misses},\"invalidations\":{invalidations},\"incremental\":{incremental},\"forced_recompiles\":{forced_recompiles}}}"
             ),
             TraceEvent::PoolStats {
                 threads,
@@ -719,6 +732,8 @@ mod tests {
                 hits: 0,
                 misses: 0,
                 invalidations: 0,
+                incremental: 0,
+                forced_recompiles: 0,
             }
         });
         assert!(!ran, "null handle must not construct events");
@@ -784,9 +799,11 @@ mod tests {
             epochs: 1,
             batch_size: 2,
             probes: 3,
+            kernel: "avx2-fma".into(),
         };
         let s = e.to_json();
         assert!(s.contains("a\\\"b\\\\c\\n"));
+        assert!(s.contains("\"kernel\":\"avx2-fma\""));
         let e = TraceEvent::Rollback {
             epoch: 1,
             iteration: 2,
@@ -833,6 +850,8 @@ mod tests {
             hits: 5,
             misses: 1,
             invalidations: 0,
+            incremental: 3,
+            forced_recompiles: 0,
         });
         sink.record(&TraceEvent::QueryLedger {
             epoch: 1,

@@ -56,4 +56,29 @@ assert speedup == speedup and speedup > 1.0, f"compiled path slower than interpr
 print(f"ci: gemm_forward speedup {speedup:.2f}x")
 EOF
 
+# Fast-path gate: the equivalence property suites must hold on BOTH kernel
+# tiers — the portable scalar reference (PHOTON_KERNEL=scalar) and whatever
+# SIMD tier the host dispatches natively (AVX2-FMA / NEON / scalar). This is
+# what makes the vector kernels trustworthy: same tests, both arithmetics.
+PHOTON_KERNEL=scalar cargo test -q --offline --test fast_path --test compiled_equivalence
+cargo test -q --offline --test fast_path --test compiled_equivalence
+
+# Fast-path perf gate: smoke-run the tier-stack bench. Regenerates
+# BENCH_simd.json and fails if no fast tier clears 2x over the plain
+# compiled f64 baseline (the incremental rank-1 tier is kernel-independent,
+# so this holds even on scalar-only hosts).
+cargo bench -q --offline -p photon-bench --bench simd_forward >/dev/null
+python3 - <<'EOF'
+import json
+with open("BENCH_simd.json") as f:
+    report = json.load(f)
+tiers = {r["tier"]: r["speedup_vs_f64_full"] for r in report["results"]}
+assert tiers.get("f64-full") == 1.0, f"baseline must be 1.0x: {tiers}"
+fast = {t: s for t, s in tiers.items() if t != "f64-full" and s is not None}
+assert fast, f"no fast tiers measured: {tiers}"
+best_tier, best = max(fast.items(), key=lambda kv: kv[1])
+assert best >= 2.0, f"no fast tier reaches 2x over compiled f64: {tiers}"
+print(f"ci: simd_forward best tier {best_tier} at {best:.2f}x (kernel {report['kernel']})")
+EOF
+
 echo "ci: all gates green"
