@@ -508,6 +508,22 @@ mod tests {
     }
 
     #[test]
+    fn save_to_unwritable_path_is_typed_io_error_not_panic() {
+        let ckpt = sample_checkpoint(false);
+        let dir = std::env::temp_dir().join("photon_zo_ckpt_unwritable_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The would-be parent directory is a regular file: both the
+        // create_dir_all and the tmp+rename must fail with a typed error.
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "i am a file").unwrap();
+        let err = ckpt.save(&blocker.join("run.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        // No stray temp file may be left behind.
+        assert!(!dir.join("blocker/run.ckpt.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn eo_activation_roundtrips() {
         let arch = Architecture::two_mesh_eo_classifier(4, 2, 0.125, 1.75).unwrap();
         let theta = RVector::zeros(arch.param_count());

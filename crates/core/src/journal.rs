@@ -94,6 +94,15 @@ pub enum JournalError {
         /// What went wrong.
         message: String,
     },
+    /// Another live writer holds the journal's advisory lock. A second
+    /// appender must fail fast here rather than interleave frames into a
+    /// torn WAL.
+    Locked {
+        /// The journal path (not the lockfile path).
+        path: PathBuf,
+        /// The holder's process id, when the lockfile recorded one.
+        holder: Option<u32>,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -101,6 +110,18 @@ impl fmt::Display for JournalError {
         match self {
             JournalError::Io(e) => write!(f, "journal i/o failed: {e}"),
             JournalError::Parse { message } => write!(f, "journal parse error: {message}"),
+            JournalError::Locked { path, holder } => match holder {
+                Some(pid) => write!(
+                    f,
+                    "journal {} is locked by another writer (pid {pid})",
+                    path.display()
+                ),
+                None => write!(
+                    f,
+                    "journal {} is locked by another writer",
+                    path.display()
+                ),
+            },
         }
     }
 }
@@ -109,7 +130,7 @@ impl std::error::Error for JournalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JournalError::Io(e) => Some(e),
-            JournalError::Parse { .. } => None,
+            JournalError::Parse { .. } | JournalError::Locked { .. } => None,
         }
     }
 }
@@ -123,6 +144,96 @@ impl From<io::Error> for JournalError {
 fn perr(message: impl Into<String>) -> JournalError {
     JournalError::Parse {
         message: message.into(),
+    }
+}
+
+/// Advisory single-writer lock on a journal path.
+///
+/// A sibling `<journal>.lock` file is created with `O_EXCL` and records the
+/// owning process id. A second writer on the same path — another
+/// [`RunJournal::create`] or [`RunJournal::open_append`] while the first
+/// handle is live — fails fast with [`JournalError::Locked`] instead of
+/// interleaving appends into a torn WAL. A lock left behind by a SIGKILLed
+/// process (the chaos gate does exactly this) is detected as stale — its
+/// pid no longer exists — and reclaimed, so crash-resume needs no manual
+/// cleanup. [`RunJournal::replay`] stays lock-free: it only read-repairs,
+/// and resume acquires the writer lock immediately afterwards.
+#[derive(Debug)]
+struct JournalLock {
+    path: PathBuf,
+}
+
+fn lock_path(journal_path: &Path) -> PathBuf {
+    let mut os = journal_path.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+fn process_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        // No portable liveness probe: treat any recorded holder as live
+        // (fail-safe; a genuinely stale lock then needs manual removal).
+        true
+    }
+}
+
+impl JournalLock {
+    fn acquire(journal_path: &Path) -> Result<Self, JournalError> {
+        let path = lock_path(journal_path);
+        // Two passes: the first may reclaim one stale lock, the second must
+        // then win `create_new` outright or report the (live) holder.
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_data();
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if !process_alive(pid) => {
+                            // Stale: the holder died without releasing.
+                            // Reclaim and retry; two racers can both see
+                            // staleness, but `create_new` admits only one.
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                        _ => {
+                            return Err(JournalError::Locked {
+                                path: journal_path.to_path_buf(),
+                                holder,
+                            });
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(JournalError::Locked {
+            path: journal_path.to_path_buf(),
+            holder: None,
+        })
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
     }
 }
 
@@ -220,27 +331,37 @@ pub struct RunJournal {
     file: fs::File,
     path: PathBuf,
     records: u64,
+    /// Held for the lifetime of the handle; releasing (via drop) lets the
+    /// next writer — e.g. a resume on another farm worker — take over.
+    _lock: JournalLock,
 }
 
 impl RunJournal {
     /// Creates (truncating any previous file) a new journal at `path` and
-    /// writes the header record durably.
+    /// writes the header record durably. Missing parent directories are
+    /// created first.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// [`JournalError::Locked`] when another live writer holds the path;
+    /// [`JournalError::Io`] on filesystem failures (unwritable parent,
+    /// path is a directory, …) — typed, never a panic.
     pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, JournalError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 fs::create_dir_all(parent)?;
             }
         }
+        // Lock before truncating: a second `create` racing a live run must
+        // fail fast here, not blank the live WAL first.
+        let lock = JournalLock::acquire(path)?;
         fs::write(path, format!("{JOURNAL_MAGIC}\n"))?;
         let file = fs::OpenOptions::new().append(true).open(path)?;
         let mut journal = RunJournal {
             file,
             path: path.to_path_buf(),
             records: 0,
+            _lock: lock,
         };
         journal.append_payload(&header_payload(header))?;
         sync_parent_dir(path);
@@ -252,13 +373,16 @@ impl RunJournal {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// [`JournalError::Locked`] when another live writer holds the path;
+    /// otherwise propagates I/O failures.
     pub fn open_append(path: &Path) -> Result<Self, JournalError> {
+        let lock = JournalLock::acquire(path)?;
         let file = fs::OpenOptions::new().append(true).open(path)?;
         Ok(RunJournal {
             file,
             path: path.to_path_buf(),
             records: 0,
+            _lock: lock,
         })
     }
 
@@ -1166,6 +1290,87 @@ mod tests {
         drop(journal);
         let err = RunJournal::replay(&path).unwrap_err();
         assert!(err.to_string().contains("out of order"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_writer_fails_fast_with_locked_error() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_lock");
+        let path = dir.join("run.journal");
+        let journal = RunJournal::create(&path, &header()).unwrap();
+
+        // A second creator must not blank the live WAL…
+        let before = fs::read(&path).unwrap();
+        let err = RunJournal::create(&path, &header()).unwrap_err();
+        assert!(matches!(err, JournalError::Locked { .. }), "{err}");
+        assert!(err.to_string().contains("locked"));
+        assert_eq!(fs::read(&path).unwrap(), before, "live WAL must be untouched");
+
+        // …and a second appender must fail the same way.
+        let err = RunJournal::open_append(&path).unwrap_err();
+        assert!(matches!(
+            err,
+            JournalError::Locked {
+                holder: Some(pid), ..
+            } if pid == std::process::id()
+        ));
+
+        // Dropping the first handle releases the lock.
+        drop(journal);
+        let _ = RunJournal::open_append(&path).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_process_is_reclaimed() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_stale_lock");
+        let path = dir.join("run.journal");
+        let journal = RunJournal::create(&path, &header()).unwrap();
+        drop(journal);
+        // Forge the lock a SIGKILLed writer would leave behind: an absurdly
+        // large pid that cannot name a live process.
+        fs::write(lock_path(&path), "4194304999").unwrap();
+        let journal = RunJournal::open_append(&path).expect("stale lock must be reclaimed");
+        drop(journal);
+        assert!(!lock_path(&path).exists(), "lock released on drop");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparseable_lockfile_is_treated_as_live() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_garbage_lock");
+        let path = dir.join("run.journal");
+        let journal = RunJournal::create(&path, &header()).unwrap();
+        drop(journal);
+        // A lockfile whose holder cannot be identified must fail safe.
+        fs::write(lock_path(&path), "not-a-pid").unwrap();
+        let err = RunJournal::open_append(&path).unwrap_err();
+        assert!(matches!(err, JournalError::Locked { holder: None, .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_makes_missing_parent_directories() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_parents");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("deeply/nested/run.journal");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_epoch(&sample_entry(1)).unwrap();
+        drop(journal);
+        assert_eq!(RunJournal::replay(&path).unwrap().entries.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_path_is_typed_io_error_not_panic() {
+        let dir = std::env::temp_dir().join("photon_zo_journal_unwritable");
+        fs::create_dir_all(&dir).unwrap();
+        // The "parent directory" is actually a file, so neither the dir
+        // creation nor the journal write can succeed.
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, "i am a file").unwrap();
+        let err = RunJournal::create(&blocker.join("run.journal"), &header()).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -444,6 +444,45 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                      in {wall_secs:.2}s"
                 );
             }
+            TraceEvent::ChipHealth {
+                worker,
+                from,
+                to,
+                reason,
+            } => {
+                let _ = writeln!(out, "  chip        {worker}: {from} -> {to} ({reason})");
+            }
+            TraceEvent::JobState {
+                job,
+                tenant,
+                state,
+                worker,
+                detail,
+            } => {
+                let place = if worker.is_empty() {
+                    String::new()
+                } else {
+                    format!(" on {worker}")
+                };
+                let note = if detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({detail})")
+                };
+                let _ = writeln!(out, "  job         {job} [{tenant}]: {state}{place}{note}");
+            }
+            TraceEvent::TenantLedger {
+                tenant,
+                queries,
+                jobs_completed,
+                jobs_rejected,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "tenant {tenant}: {queries} chip queries, \
+                     {jobs_completed} completed, {jobs_rejected} rejected"
+                );
+            }
         }
     }
     if ledger.total() > 0 {

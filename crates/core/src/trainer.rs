@@ -479,6 +479,13 @@ pub struct DurableOptions {
     pub root_seed: u64,
     /// Deadline / retry policy guarding each epoch's chip queries.
     pub watchdog: WatchdogPolicy,
+    /// Maximum number of *new* epochs this invocation may complete before
+    /// returning a resumable [`AbortReason::Preempted`] abort. `None` (the
+    /// default) runs to the configured epoch count. This is the preemption
+    /// primitive a slice scheduler is built on: the journal already holds
+    /// every completed epoch, so a preempted run resumes anywhere —
+    /// including on a different worker — bitwise identically.
+    pub epoch_budget: Option<usize>,
 }
 
 impl DurableOptions {
@@ -488,6 +495,7 @@ impl DurableOptions {
             journal_path: journal_path.into(),
             root_seed,
             watchdog: WatchdogPolicy::standard(),
+            epoch_budget: None,
         }
     }
 
@@ -495,6 +503,14 @@ impl DurableOptions {
     #[must_use]
     pub fn with_watchdog(mut self, watchdog: WatchdogPolicy) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Caps the number of new epochs this invocation may complete
+    /// (preemption quantum). The run aborts resumably once the cap is hit.
+    #[must_use]
+    pub fn with_epoch_budget(mut self, epochs: usize) -> Self {
+        self.epoch_budget = Some(epochs);
         self
     }
 }
@@ -509,6 +525,13 @@ pub enum AbortReason {
         epoch: usize,
         /// Timed-out attempts, including the final one.
         timeouts: u32,
+    },
+    /// The invocation's [`DurableOptions::epoch_budget`] ran out with
+    /// epochs still to go. Always resumable: the journal holds every
+    /// epoch completed so far.
+    Preempted {
+        /// The first epoch this invocation did *not* run.
+        epoch: usize,
     },
 }
 
@@ -845,7 +868,23 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
         let ctx = self.finetune_ctx(method, config, state.theta.len());
         let backoff = opts.watchdog.backoff();
         let first_epoch = state.epoch + 1;
+        let budget_limit = opts
+            .epoch_budget
+            .map(|b| state.epoch.saturating_add(b));
         for epoch in first_epoch..=config.epochs {
+            if let Some(limit) = budget_limit {
+                if epoch > limit {
+                    // Preemption quantum exhausted: stop cleanly at the
+                    // epoch boundary. Everything completed is journaled, so
+                    // resume (on any worker) continues bitwise identically.
+                    trace.flush();
+                    return Ok(RunOutcome::Aborted {
+                        resumable: true,
+                        epochs_completed: state.epoch,
+                        reason: AbortReason::Preempted { epoch },
+                    });
+                }
+            }
             let mut timeouts: u32 = 0;
             loop {
                 // Each attempt starts from the canonical journaled state: a

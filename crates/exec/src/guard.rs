@@ -77,14 +77,22 @@ fn splitmix64(mut x: u64) -> u64 {
 
 impl BackoffSchedule {
     /// Delay before retry `attempt` (1-based): `base · 2^(attempt-1)`,
-    /// jittered into `[0.5×, 1.5×)` by a hash of `(seed, attempt)`, capped
+    /// jittered into `[1.0×, 1.5×)` by a hash of `(seed, attempt)`, capped
     /// at `max`. Pure in `(self, attempt)`.
+    ///
+    /// The jitter band sits *above* the nominal value so the schedule is
+    /// monotone non-decreasing in `attempt`: doubling the nominal always
+    /// clears the previous attempt's ≤1.5× jitter, and once an attempt
+    /// saturates at `max` every later one does too. A band straddling 1.0
+    /// (e.g. `[0.5, 1.5)`) would let a lucky later retry fire *sooner* than
+    /// an earlier one — exactly the thundering-herd pattern jitter exists
+    /// to avoid.
     pub fn delay(&self, attempt: u32) -> Duration {
         let exp = attempt.saturating_sub(1).min(20);
         let nominal = self.base.saturating_mul(1u32 << exp).min(self.max);
         let h = splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9E6D));
-        // Map the hash to [0.5, 1.5).
-        let factor = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+        // Map the hash to [1.0, 1.5).
+        let factor = 1.0 + (h >> 11) as f64 / (1u64 << 54) as f64;
         nominal.mul_f64(factor).min(self.max)
     }
 }
@@ -179,11 +187,11 @@ mod tests {
             let d = sched.delay(attempt);
             assert_eq!(d, again.delay(attempt), "schedule must be pure");
             assert!(d <= Duration::from_millis(200), "cap violated: {d:?}");
-            // Jitter stays within [0.5, 1.5) of the nominal value.
+            // Jitter stays within [1.0, 1.5) of the nominal value.
             let nominal = Duration::from_millis(10)
                 .saturating_mul(1 << (attempt - 1).min(20))
                 .min(Duration::from_millis(200));
-            assert!(d >= nominal / 2, "{d:?} < half of {nominal:?}");
+            assert!(d >= nominal, "{d:?} < nominal {nominal:?}");
         }
         let other = BackoffSchedule {
             base: Duration::from_millis(10),
@@ -191,5 +199,31 @@ mod tests {
             seed: 10,
         };
         assert_ne!(sched.delay(1), other.delay(1), "seed must matter");
+    }
+
+    #[test]
+    fn backoff_delays_are_monotone_and_capped_across_seeds() {
+        // The retry schedule must never wait *less* after failing *more*,
+        // for any jitter seed, and must respect the cap everywhere.
+        for seed in 0..64u64 {
+            let sched = BackoffSchedule {
+                base: Duration::from_millis(7),
+                max: Duration::from_millis(500),
+                seed,
+            };
+            let mut prev = Duration::ZERO;
+            for attempt in 1..=24 {
+                let d = sched.delay(attempt);
+                assert!(
+                    d >= prev,
+                    "seed {seed}: delay({attempt}) = {d:?} < delay({}) = {prev:?}",
+                    attempt - 1
+                );
+                assert!(d <= Duration::from_millis(500), "seed {seed}: {d:?} over cap");
+                prev = d;
+            }
+            // Deep attempts saturate at the cap exactly.
+            assert_eq!(sched.delay(24), Duration::from_millis(500));
+        }
     }
 }

@@ -291,6 +291,47 @@ pub enum TraceEvent {
         /// Wall-clock seconds for the whole run.
         wall_secs: f64,
     },
+    /// A farm worker's chip changed health state (emitted by the chip-farm
+    /// supervisor when its rolling error window or a chaos schedule moves a
+    /// worker between healthy / degraded / quarantined / dead).
+    ChipHealth {
+        /// Worker name.
+        worker: String,
+        /// State before the transition.
+        from: String,
+        /// State after the transition.
+        to: String,
+        /// What drove it (e.g. "error window 3/4", "chaos quarantine").
+        reason: String,
+    },
+    /// A farm job changed state (submitted / dispatched / preempted /
+    /// migrated / completed / rejected).
+    JobState {
+        /// Job name (unique within the farm run).
+        job: String,
+        /// Owning tenant.
+        tenant: String,
+        /// The new state, as a stable lowercase word.
+        state: String,
+        /// Worker involved, or empty when not placed.
+        worker: String,
+        /// Free-form detail (rejection reason, epochs completed, …).
+        detail: String,
+    },
+    /// Per-tenant end-of-farm ledger line: total chip spend attributed to
+    /// the tenant across every slice of every job, for reconciliation
+    /// against the per-worker chip counters.
+    TenantLedger {
+        /// Tenant name.
+        tenant: String,
+        /// Chip queries attributed to the tenant (discarded attempts
+        /// included — this is raw chip spend, not just journaled spend).
+        queries: u64,
+        /// Jobs that finished with a completed outcome.
+        jobs_completed: u64,
+        /// Jobs that ended rejected (admission or mid-run load-shed).
+        jobs_rejected: u64,
+    },
 }
 
 /// Formats an `f64` as a JSON value; non-finite values become `null`
@@ -346,6 +387,9 @@ impl TraceEvent {
             TraceEvent::JournalFlush { .. } => "journal_flush",
             TraceEvent::Resume { .. } => "resume",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::ChipHealth { .. } => "chip_health",
+            TraceEvent::JobState { .. } => "job_state",
+            TraceEvent::TenantLedger { .. } => "tenant_ledger",
         }
     }
 
@@ -471,6 +515,41 @@ impl TraceEvent {
                 "{{\"type\":{kind},\"method\":{},\"training_queries\":{training_queries},\"eval_queries\":{eval_queries},\"run_queries\":{run_queries},\"chip_query_count\":{chip_query_count},\"wall_secs\":{}}}",
                 json_str(method),
                 json_f64(*wall_secs),
+            ),
+            TraceEvent::ChipHealth {
+                worker,
+                from,
+                to,
+                reason,
+            } => format!(
+                "{{\"type\":{kind},\"worker\":{},\"from\":{},\"to\":{},\"reason\":{}}}",
+                json_str(worker),
+                json_str(from),
+                json_str(to),
+                json_str(reason),
+            ),
+            TraceEvent::JobState {
+                job,
+                tenant,
+                state,
+                worker,
+                detail,
+            } => format!(
+                "{{\"type\":{kind},\"job\":{},\"tenant\":{},\"state\":{},\"worker\":{},\"detail\":{}}}",
+                json_str(job),
+                json_str(tenant),
+                json_str(state),
+                json_str(worker),
+                json_str(detail),
+            ),
+            TraceEvent::TenantLedger {
+                tenant,
+                queries,
+                jobs_completed,
+                jobs_rejected,
+            } => format!(
+                "{{\"type\":{kind},\"tenant\":{},\"queries\":{queries},\"jobs_completed\":{jobs_completed},\"jobs_rejected\":{jobs_rejected}}}",
+                json_str(tenant),
             ),
         }
     }

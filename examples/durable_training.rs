@@ -154,12 +154,18 @@ fn main() -> ExitCode {
         Ok(RunOutcome::Aborted {
             resumable,
             epochs_completed,
-            reason: AbortReason::QueryDeadline { epoch, timeouts },
+            reason,
         }) => {
-            eprintln!(
-                "run aborted at epoch {epoch} after {timeouts} timed-out attempts \
-                 ({epochs_completed} epochs journaled, resumable: {resumable})"
-            );
+            match reason {
+                AbortReason::QueryDeadline { epoch, timeouts } => eprintln!(
+                    "run aborted at epoch {epoch} after {timeouts} timed-out attempts \
+                     ({epochs_completed} epochs journaled, resumable: {resumable})"
+                ),
+                AbortReason::Preempted { epoch } => eprintln!(
+                    "run preempted before epoch {epoch} \
+                     ({epochs_completed} epochs journaled, resumable: {resumable})"
+                ),
+            }
             ExitCode::from(3)
         }
         Err(e) => {

@@ -42,6 +42,17 @@ EOF
 # pools 1 and 3.
 scripts/chaos_resume.sh
 
+# Farm chaos gate: the multi-tenant chip farm under a seeded schedule of
+# worker kills, forced quarantines, and hang-prone lab links. Every
+# submitted job must end Completed — bitwise-equal to an uninterrupted
+# single-chip run of the same spec — or Rejected with a typed reason: zero
+# lost jobs, and the per-tenant ledgers must reconcile exactly with the
+# per-worker and per-job chip query counters (the example exits non-zero
+# otherwise). Pinned to the scalar kernel so the gate replays identically
+# on every host.
+PHOTON_KERNEL=scalar cargo test -q --offline --test farm_chaos
+PHOTON_KERNEL=scalar cargo run --release --offline --example chip_farm >/dev/null
+
 # Perf gate: quick run of the compiled-vs-interpreted forward bench. This
 # regenerates BENCH_gemm.json at the workspace root and fails loudly if the
 # compiled path stops beating the interpreted one (guards against silent

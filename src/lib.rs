@@ -25,6 +25,7 @@
 //! | [`exec`] | `photon-exec` | deterministic worker-pool evaluation |
 //! | [`faults`] | `photon-faults` | seeded fault injection for chip robustness studies |
 //! | [`trace`] | `photon-trace` | structured telemetry: trace sinks, typed events, query ledger |
+//! | [`farm`] | `photon-farm` | fault-tolerant multi-tenant chip farm: scheduling, quarantine, admission |
 //!
 //! # Quickstart
 //!
@@ -96,6 +97,11 @@ pub mod trace {
     pub use photon_trace::*;
 }
 
+/// Fault-tolerant multi-tenant chip farm (re-export of `photon-farm`).
+pub mod farm {
+    pub use photon_farm::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use photon_calib::{calibrate, calibrate_traced, evaluate_model, CalibrationSettings};
@@ -105,6 +111,10 @@ pub mod prelude {
         TaskSpec, TrainConfig, Trainer, WatchdogPolicy,
     };
     pub use photon_data::{Dataset, GaussianClusters, SyntheticFashion, SyntheticMnist};
+    pub use photon_farm::{
+        ChaosPlan, ChipHealth, Farm, FarmConfig, FarmReport, HealthPolicy, JobSpec, RejectReason,
+        TenantSpec, WorkerSpec,
+    };
     pub use photon_faults::{DriftConfig, FaultPlan, FaultyChip, StuckShifter, TransientConfig};
     pub use photon_linalg::{CVector, RVector, C64};
     pub use photon_opt::{Adam, CmaEs, LcngSettings, Optimizer, Perturbation, Sgd, ZoSettings};

@@ -294,6 +294,7 @@ fn watchdog_converts_hung_chip_into_resumable_abort() {
             assert_eq!(timeouts, 2, "max_timeouts + 1 attempts before abort");
         }
         RunOutcome::Completed(_) => panic!("a permanently hung chip cannot complete"),
+        RunOutcome::Aborted { reason, .. } => panic!("unexpected abort reason: {reason:?}"),
     }
 
     // The abort left a valid journal: resuming on a healthy chip finishes
@@ -318,5 +319,62 @@ fn watchdog_converts_hung_chip_into_resumable_abort() {
         .completed()
         .unwrap();
     assert_same_outcome(&control, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Preemption via `epoch_budget` is a first-class resumable abort: a run
+/// sliced into 1-2 epoch quanta — each slice a separate invocation, as a
+/// farm scheduler would issue them — lands bitwise on the uninterrupted
+/// control.
+#[test]
+fn epoch_budget_slices_reassemble_bitwise() {
+    let dir = tmp_dir("preempt");
+    let config = quick_config(1);
+
+    let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let control = trainer
+        .train_durable(
+            Method::ZoGaussian,
+            &config,
+            &DurableOptions::new(dir.join("control.journal"), ROOT_SEED),
+        )
+        .unwrap()
+        .completed()
+        .expect("control completes");
+
+    // Sliced run: fresh chip + trainer per slice (the farm rebuilds both
+    // on whichever worker a slice lands on).
+    let sliced_path = dir.join("sliced.journal");
+    let quanta = [1usize, 2, 1, 2, 1];
+    let mut outcome = None;
+    for (i, &quantum) in quanta.iter().enumerate() {
+        let task_i = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+        let trainer_i = Trainer::new(&task_i.chip, &task_i.train, &task_i.test, task_i.head);
+        let opts = DurableOptions::new(&sliced_path, ROOT_SEED).with_epoch_budget(quantum);
+        let result = if i == 0 {
+            trainer_i.train_durable(Method::ZoGaussian, &config, &opts)
+        } else {
+            trainer_i.resume(&config, &opts)
+        }
+        .unwrap();
+        match result {
+            RunOutcome::Completed(out) => {
+                outcome = Some(out);
+                break;
+            }
+            RunOutcome::Aborted {
+                resumable,
+                reason: AbortReason::Preempted { epoch },
+                epochs_completed,
+            } => {
+                assert!(resumable, "preemption must be resumable");
+                assert_eq!(epoch, epochs_completed + 1, "preempted at the next epoch");
+            }
+            RunOutcome::Aborted { reason, .. } => panic!("unexpected abort: {reason:?}"),
+        }
+    }
+    let sliced = outcome.expect("slices must finish all epochs");
+    assert_same_outcome(&control, &sliced);
     let _ = fs::remove_dir_all(&dir);
 }
