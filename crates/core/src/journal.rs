@@ -175,7 +175,7 @@ fn process_alive(pid: u32) -> bool {
     }
     #[cfg(target_os = "linux")]
     {
-        Path::new("/proc").join(pid.to_string()).exists()
+        process_alive_under(Path::new("/proc"), pid)
     }
     #[cfg(not(target_os = "linux"))]
     {
@@ -183,6 +183,24 @@ fn process_alive(pid: u32) -> bool {
         // (fail-safe; a genuinely stale lock then needs manual removal).
         true
     }
+}
+
+/// Procfs-based liveness probe, parameterized on the procfs root so the
+/// no-`/proc` branch is unit-testable on any host.
+///
+/// When the procfs root itself is absent — minimal containers and chroots
+/// routinely run without `/proc` mounted — there is no liveness signal at
+/// all, and `join(pid).exists()` would report *every* pid dead. That way
+/// lies misreclaiming a live writer's lock and interleaving two WALs, so
+/// the absence of procfs degrades to "holder is live": the lock stays held
+/// and a genuinely stale one needs manual removal, which is the safe
+/// failure direction.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn process_alive_under(proc_root: &Path, pid: u32) -> bool {
+    if !proc_root.is_dir() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
 }
 
 impl JournalLock {
@@ -1333,6 +1351,27 @@ mod tests {
         let journal = RunJournal::open_append(&path).expect("stale lock must be reclaimed");
         drop(journal);
         assert!(!lock_path(&path).exists(), "lock released on drop");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_procfs_treats_holder_as_live() {
+        // Hosts without /proc mounted (minimal containers, chroots) have no
+        // liveness signal; the probe must fail safe to "live" instead of
+        // declaring every pid dead and misreclaiming a live writer's lock.
+        let dir = std::env::temp_dir().join("photon_zo_journal_no_procfs");
+        let _ = fs::remove_dir_all(&dir);
+        let absent_proc = dir.join("proc");
+        assert!(process_alive_under(&absent_proc, 1), "no procfs → live");
+        assert!(
+            process_alive_under(&absent_proc, 4194304999),
+            "even an absurd pid must read as live without procfs"
+        );
+
+        // With a procfs root present, the per-pid lookup decides.
+        fs::create_dir_all(absent_proc.join("42")).unwrap();
+        assert!(process_alive_under(&dir.join("proc"), 42));
+        assert!(!process_alive_under(&dir.join("proc"), 43));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -292,6 +292,7 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     let mut ledger = LedgerCounts::new();
     let mut epochs = 0u64;
+    let mut epoch_losses: Vec<f64> = Vec::new();
     for event in events {
         match event {
             TraceEvent::RunStart {
@@ -317,6 +318,7 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                 ..
             } => {
                 epochs = epochs.max(*epoch);
+                epoch_losses.push(*train_loss);
                 let acc = match test_accuracy {
                     Some(a) => format!("{:.2}%", a * 100.0),
                     None => "--".to_string(),
@@ -483,7 +485,42 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                      {jobs_completed} completed, {jobs_rejected} rejected"
                 );
             }
+            TraceEvent::ServingStats {
+                tenant,
+                arrivals,
+                completed,
+                shed,
+                p50_ns,
+                p99_ns,
+                p999_ns,
+                throughput_rps,
+                peak_queue_depth,
+                mean_batch,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "serving {tenant}: {completed}/{arrivals} served ({shed} shed), \
+                     {throughput_rps:.0} rps, p50/p99/p999 \
+                     {:.1}/{:.1}/{:.1} us, peak queue {peak_queue_depth}, \
+                     mean batch {mean_batch:.2}",
+                    p50_ns / 1e3,
+                    p99_ns / 1e3,
+                    p999_ns / 1e3,
+                );
+            }
         }
+    }
+    if epoch_losses.len() >= 4 {
+        // Loss quantiles give long traced runs a one-line shape summary
+        // (median vs p90 separating steady progress from spiky rollbacks).
+        let q = crate::stats::percentiles(&epoch_losses, &[0.5, 0.9]);
+        let _ = writeln!(
+            out,
+            "epoch loss quantiles: p50 {:.4e}, p90 {:.4e} over {} epochs",
+            q[0],
+            q[1],
+            epoch_losses.len()
+        );
     }
     if ledger.total() > 0 {
         let _ = writeln!(out, "query ledger ({} total):", ledger.total());
@@ -547,6 +584,48 @@ mod tests {
         assert!(s.contains("probe"));
         assert!(s.contains("90.00%"));
         assert!(s.contains("40 training + 10 eval = 50 run queries"));
+    }
+
+    #[test]
+    fn trace_summary_renders_serving_stats() {
+        let events = vec![TraceEvent::ServingStats {
+            tenant: "alice".to_string(),
+            arrivals: 1000,
+            completed: 990,
+            shed: 10,
+            p50_ns: 12_500.0,
+            p99_ns: 96_000.0,
+            p999_ns: 250_000.0,
+            throughput_rps: 131_000.0,
+            peak_queue_depth: 37,
+            mean_batch: 7.5,
+        }];
+        let s = trace_summary(&events);
+        assert!(s.contains("serving alice: 990/1000 served (10 shed)"), "{s}");
+        assert!(s.contains("131000 rps"), "{s}");
+        assert!(s.contains("12.5/96.0/250.0 us"), "{s}");
+        assert!(s.contains("peak queue 37"), "{s}");
+        assert!(s.contains("mean batch 7.50"), "{s}");
+    }
+
+    #[test]
+    fn trace_summary_loss_quantile_footer() {
+        let events: Vec<TraceEvent> = (1..=10)
+            .map(|epoch| TraceEvent::EpochSpan {
+                epoch,
+                train_loss: epoch as f64 / 10.0,
+                test_accuracy: None,
+                test_loss: None,
+                learning_rate: 0.01,
+                wall_secs: 0.1,
+                training_queries: 40,
+            })
+            .collect();
+        let s = trace_summary(&events);
+        assert!(s.contains("epoch loss quantiles"), "{s}");
+        // p50 of 0.1..=1.0 is 0.55 via linear interpolation.
+        assert!(s.contains("p50 5.5000e-1"), "{s}");
+        assert!(s.contains("over 10 epochs"), "{s}");
     }
 
     #[test]

@@ -164,6 +164,51 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
     }
 }
 
+/// NaN-safe percentile extraction with linear interpolation.
+///
+/// Sorts a copy of `values` under IEEE total order (`f64::total_cmp`, so NaNs
+/// never panic the sort — they collect at the top end) and evaluates each
+/// quantile `q ∈ [0, 1]` at fractional rank `q · (n − 1)`, interpolating
+/// linearly between the two bracketing order statistics. This is the
+/// "linear" / type-7 definition used by numpy's default `percentile`.
+///
+/// Serving reports lean on this for p50/p99/p999 latency; a fault-hung query
+/// that recorded a NaN latency lands in the top tail instead of poisoning the
+/// whole distribution.
+///
+/// # Panics
+///
+/// Panics when `values` is empty or any `q` lies outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use photon_core::percentiles;
+///
+/// let v = [4.0, 1.0, 3.0, 2.0];
+/// let p = percentiles(&v, &[0.0, 0.5, 1.0]);
+/// assert_eq!(p, vec![1.0, 2.5, 4.0]);
+/// ```
+pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot take percentiles of zero values");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    qs.iter()
+        .map(|&q| {
+            assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+            let rank = q * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                sorted[lo] + frac * (sorted[hi] - sorted[lo])
+            }
+        })
+        .collect()
+}
+
 /// Standard normal survival function `P(Z > z)` via the complementary error
 /// function (Abramowitz-Stegun 7.1.26 rational approximation, |ε| < 1.5e-7).
 pub fn normal_sf(z: f64) -> f64 {
@@ -284,5 +329,55 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_sample_panics() {
         let _ = mann_whitney_u(&[], &[1.0]);
+    }
+
+    #[test]
+    fn percentiles_known_quantiles() {
+        // Median of an even-length set interpolates between the two middle
+        // order statistics.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentiles(&v, &[0.5]), vec![2.5]);
+        // 1..=101 has exact integer quantiles at every hundredth.
+        let big: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let p = percentiles(&big, &[0.0, 0.25, 0.5, 0.75, 0.99, 1.0]);
+        assert_eq!(p, vec![1.0, 26.0, 51.0, 76.0, 100.0, 101.0]);
+        // Fractional ranks interpolate linearly: q=0.1 over [10, 20, 30]
+        // lands at rank 0.2 → 12.
+        let p = percentiles(&[30.0, 10.0, 20.0], &[0.1]);
+        assert!((p[0] - 12.0).abs() < 1e-12, "{}", p[0]);
+    }
+
+    #[test]
+    fn percentiles_single_value_and_order() {
+        assert_eq!(percentiles(&[7.0], &[0.0, 0.5, 1.0]), vec![7.0, 7.0, 7.0]);
+        // Input order must not matter.
+        let a = percentiles(&[5.0, 1.0, 4.0, 2.0, 3.0], &[0.25, 0.75]);
+        let b = percentiles(&[1.0, 2.0, 3.0, 4.0, 5.0], &[0.25, 0.75]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn percentiles_nan_safe() {
+        // NaNs sort to the top under total order: they occupy the extreme
+        // tail rather than panicking the sort or infecting the median.
+        let v = [1.0, f64::NAN, 2.0, 3.0];
+        let p = percentiles(&v, &[0.0, 1.0]);
+        assert_eq!(p[0], 1.0);
+        assert!(p[1].is_nan());
+        let median = percentiles(&v, &[0.5]);
+        assert_eq!(median, vec![2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero values")]
+    fn percentiles_empty_panics() {
+        let _ = percentiles(&[], &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentiles_bad_quantile_panics() {
+        let _ = percentiles(&[1.0], &[1.5]);
     }
 }

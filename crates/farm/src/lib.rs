@@ -52,10 +52,12 @@
 mod chaos;
 mod health;
 mod scheduler;
+mod serving;
 
 pub use chaos::{ChaosPlan, KillSpec, QuarantineSpec};
 pub use health::{ChipHealth, HealthMonitor, HealthPolicy, HealthTransition};
 pub use scheduler::{JobId, JobSpec, RejectReason, Rejection, TenantSpec};
+pub use serving::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest};
 
 use std::path::PathBuf;
 use std::time::Duration;

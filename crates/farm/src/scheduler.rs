@@ -273,6 +273,19 @@ pub(crate) struct DrrScheduler {
 
 impl DrrScheduler {
     pub fn new(specs: Vec<TenantSpec>) -> Self {
+        // `TenantSpec::with_quantum` clamps to 1, but `quantum` is a public
+        // field: a hand-built spec can still carry 0. Reject it here — a
+        // zero-quantum tenant earns no credit and would starve forever
+        // (`pick`'s `.max(1)` papers over it, but silently granting epochs
+        // a spec said the tenant should never get is worse than refusing
+        // the spec outright).
+        for spec in &specs {
+            assert!(
+                spec.quantum >= 1,
+                "tenant {:?} has a zero DRR quantum and could never be scheduled",
+                spec.name
+            );
+        }
         DrrScheduler {
             tenants: specs.into_iter().map(TenantState::new).collect(),
             cursor: 0,
@@ -421,5 +434,73 @@ mod tests {
     fn idle_when_all_queues_empty() {
         let mut s = sched(&[2, 2, 2]);
         assert_eq!(s.pick(&|_| 1), Pick::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero DRR quantum")]
+    fn zero_quantum_tenant_rejected_at_construction() {
+        // `with_quantum` clamps, but the field is public — forge the
+        // invalid spec directly.
+        let mut spec = TenantSpec::new("freeloader");
+        spec.quantum = 0;
+        let _ = DrrScheduler::new(vec![spec]);
+    }
+
+    #[test]
+    fn banked_deficit_never_exceeds_one_quantum_after_idle_round() {
+        // Quantum 3, a 1-epoch job: the visit banks 2 epochs of credit,
+        // but the queue empties with the grant, so classic DRR forfeits
+        // the bank. After the idle round, the next job must be granted
+        // exactly one quantum — not quantum + stale credit.
+        let mut s = sched(&[3]);
+        s.tenants[0].queue.push_back(JobId(0));
+        match s.pick(&|_| 1) {
+            Pick::Run { grant, .. } => assert_eq!(grant, 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.pick(&|_| 1), Pick::Idle, "queue drained");
+        assert_eq!(s.tenants[0].deficit, 0, "idle queue forfeits its bank");
+        s.tenants[0].queue.push_back(JobId(1));
+        match s.pick(&|_| 100) {
+            Pick::Run { job, grant, .. } => {
+                assert_eq!(job, JobId(1));
+                assert_eq!(grant, 3, "one fresh quantum, no stale credit");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_tenant_degenerates_to_fifo() {
+        // With one tenant there is no cross-tenant fairness to arbitrate:
+        // jobs must complete strictly in submission order, each running to
+        // completion (across possibly several slices) before the next
+        // starts.
+        let mut s = sched(&[2]);
+        for id in 0..3 {
+            s.tenants[0].queue.push_back(JobId(id));
+        }
+        let mut left = [3usize, 2, 1];
+        let mut slices = Vec::new();
+        loop {
+            let l = left;
+            match s.pick(&move |j: JobId| l[j.0 as usize]) {
+                Pick::Run { job, tenant, grant } => {
+                    slices.push((job.0, grant));
+                    left[job.0 as usize] -= grant;
+                    if left[job.0 as usize] > 0 {
+                        s.requeue_front(tenant, job);
+                    }
+                }
+                Pick::Idle => break,
+                other => panic!("unexpected pick: {other:?}"),
+            }
+        }
+        assert_eq!(left, [0, 0, 0]);
+        assert_eq!(
+            slices,
+            vec![(0, 2), (0, 1), (1, 2), (2, 1)],
+            "strict FIFO: each job finishes before its successor starts"
+        );
     }
 }

@@ -390,6 +390,10 @@ pub struct FabricatedChip {
     noise_rng: Mutex<StdRng>,
     crosstalk: f64,
     pinned: Mutex<Option<Arc<PinnedBase>>>,
+    /// The *raw* deployment theta the pin was compiled from. The pin itself
+    /// stores post-crosstalk effective phases; serving must re-enter through
+    /// the raw theta so crosstalk is resolved exactly once.
+    pinned_theta: Mutex<Option<RVector>>,
     fast32: bool,
 }
 
@@ -419,6 +423,7 @@ impl FabricatedChip {
             noise_rng: Mutex::new(StdRng::seed_from_u64(rng.gen())),
             crosstalk: 0.0,
             pinned: Mutex::new(None),
+            pinned_theta: Mutex::new(None),
             fast32: false,
         }
     }
@@ -439,6 +444,7 @@ impl FabricatedChip {
             noise_rng: Mutex::new(StdRng::seed_from_u64(0)),
             crosstalk: 0.0,
             pinned: Mutex::new(None),
+            pinned_theta: Mutex::new(None),
             fast32: false,
         })
     }
@@ -746,12 +752,45 @@ impl FabricatedChip {
         let mut eff = RVector::zeros(0);
         let th = self.effective_theta(theta, &mut eff);
         *self.pinned.lock() = PinnedBase::compile(&self.network, th);
+        *self.pinned_theta.lock() = Some(theta.clone());
     }
 
     /// Drops the pinned compile base, if any: batched measurements fall
     /// back to plain per-theta compiles.
     pub fn unpin_compile_base(&self) {
         *self.pinned.lock() = None;
+        *self.pinned_theta.lock() = None;
+    }
+
+    /// Whether a compile base is currently pinned.
+    pub fn has_pinned_base(&self) -> bool {
+        self.pinned_theta.lock().is_some()
+    }
+
+    /// Serving entry point: measures a whole microbatch at the *deployed*
+    /// theta — the phases [`pin_compile_base`](Self::pin_compile_base) was
+    /// last called with. Returns `None` when nothing is pinned.
+    ///
+    /// This is the coalesced path the farm's serving layer drains request
+    /// queues into: because every request in the batch shares the pinned
+    /// base, the walk reduces to the pin's precompiled stage matrices plus
+    /// one multi-RHS GEMM per stage, amortizing per-call setup over the
+    /// whole batch. The request theta is looked up here (not passed by the
+    /// caller) so crosstalk is resolved exactly once — the pin stores
+    /// post-crosstalk phases, and re-submitting those through the public
+    /// batch path would apply crosstalk twice.
+    ///
+    /// Counts `xs.len()` chip queries, like every measurement path.
+    pub fn serve_pinned_batch_into<'s>(
+        &self,
+        xs: &[&CVector],
+        scratch: &'s mut BatchScratch,
+    ) -> Option<&'s [CVector]> {
+        // Clone out of the lock: `forward_batch_into` re-locks `pinned`
+        // internally, and holding one chip lock across that call is a
+        // deadlock with a non-reentrant mutex.
+        let theta = self.pinned_theta.lock().clone()?;
+        Some(self.forward_batch_into(xs, &theta, scratch))
     }
 
     /// Resolves thermal crosstalk once per measurement: returns `theta`
@@ -1009,6 +1048,74 @@ mod tests {
             FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng).oracle_errors()
         };
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn serve_pinned_batch_requires_a_pin() {
+        let (chip, mut rng) = chip_and_rng();
+        let x = photon_linalg::random::normal_cvector(4, &mut rng);
+        let mut scratch = BatchScratch::new();
+        assert!(!chip.has_pinned_base());
+        assert!(chip.serve_pinned_batch_into(&[&x], &mut scratch).is_none());
+        assert_eq!(chip.query_count(), 0, "a refused serve must not count");
+    }
+
+    #[test]
+    fn serve_pinned_batch_matches_batch_path_and_hits_the_pin() {
+        let (chip, mut rng) = chip_and_rng();
+        let theta = chip.init_params(&mut rng);
+        let xs: Vec<CVector> = (0..6)
+            .map(|_| photon_linalg::random::normal_cvector(4, &mut rng))
+            .collect();
+        let refs: Vec<&CVector> = xs.iter().collect();
+
+        chip.pin_compile_base(&theta);
+        assert!(chip.has_pinned_base());
+        let mut scratch = BatchScratch::new();
+        let served: Vec<CVector> = chip
+            .serve_pinned_batch_into(&refs, &mut scratch)
+            .unwrap()
+            .to_vec();
+        // The serve is the exact-theta fast path: the request phases match
+        // the pin, so the plan commits the pinned base matrices instead of
+        // recompiling — visible as an incremental serve in cache stats.
+        let stats = chip.cache_stats();
+        assert_eq!(stats.incremental, 1, "{stats:?}");
+        assert_eq!(stats.misses, 0, "{stats:?}");
+        assert_eq!(chip.query_count(), 6);
+
+        // And it agrees exactly with the public batch path at the deployed
+        // theta.
+        let mut scratch2 = BatchScratch::new();
+        let direct = chip.forward_batch_into(&refs, &theta, &mut scratch2);
+        for (a, b) in served.iter().zip(direct.iter()) {
+            assert!((a - b).max_abs() == 0.0, "serve must equal batch path");
+        }
+
+        chip.unpin_compile_base();
+        assert!(!chip.has_pinned_base());
+        assert!(chip.serve_pinned_batch_into(&refs, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn serve_pinned_batch_applies_crosstalk_once() {
+        // With crosstalk enabled, the pin stores *effective* phases. The
+        // serve path must reproduce forward_batch_into(raw theta), which
+        // resolves crosstalk once — not forward at the effective phases
+        // with crosstalk applied again.
+        let mut rng = StdRng::seed_from_u64(42);
+        let arch = Architecture::single_mesh(4, 4).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng)
+            .with_thermal_crosstalk(0.05);
+        let theta = chip.init_params(&mut rng);
+        let x = photon_linalg::random::normal_cvector(4, &mut rng);
+
+        chip.pin_compile_base(&theta);
+        let mut scratch = BatchScratch::new();
+        let served = chip.serve_pinned_batch_into(&[&x], &mut scratch).unwrap()[0].clone();
+        let mut scratch2 = BatchScratch::new();
+        let direct = chip.forward_batch_into(&[&x], &theta, &mut scratch2)[0].clone();
+        assert!((&served - &direct).max_abs() == 0.0);
     }
 
     #[test]

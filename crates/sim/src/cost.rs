@@ -1,0 +1,136 @@
+//! The calibrated service-time model.
+//!
+//! The simulator does not execute forwards while simulating — it charges
+//! each dispatch a virtual duration from this model, which is *calibrated*
+//! against the repo's own measured benchmarks so the simulated numbers
+//! mean something. A dispatch of `b` coalesced requests costs
+//!
+//! ```text
+//! service_ns(b) = compile_ns + b · per_sample_ns   (+ hang_ns, rarely)
+//! ```
+//!
+//! i.e. a fixed per-call cost (plan setup + the compiled-unitary walk /
+//! pin commit) amortized over the batch, plus a linear per-sample GEMM
+//! cost. That two-term shape is exactly why microbatch coalescing pays:
+//! at `b = 1` every request carries the full per-call cost, at `b = 16`
+//! it carries 1/16th of it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Virtual-time cost model for one worker serving one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per `forward_batch_into` call (plan setup, pinned-base
+    /// commit / compiled walk), in virtual nanoseconds.
+    pub compile_ns: u64,
+    /// Incremental cost per request in a batch (multi-RHS GEMM column),
+    /// in virtual nanoseconds.
+    pub per_sample_ns: u64,
+    /// Cost of one background recalibration pass (it owns the worker for
+    /// the duration), in virtual nanoseconds.
+    pub recal_service_ns: u64,
+    /// Probability that a dispatch trips a fault-induced lab-link hang.
+    pub hang_prob: f64,
+    /// Extra latency a hang adds to the dispatch it strikes.
+    pub hang_ns: u64,
+}
+
+impl CostModel {
+    /// Constants calibrated from `BENCH_gemm.json` on the 8x8 Clements
+    /// mesh (single thread, compiled path): 364_865 ns measured for 32
+    /// probe-compiles × 16-sample batches ≈ 11_400 ns per call, of which
+    /// the batched GEMM accounts for ≈250 ns/sample — leaving ≈7_400 ns
+    /// of per-call compile/setup to amortize. See DESIGN.md "Serving
+    /// simulator & cost model" for the derivation.
+    pub fn calibrated_8x8() -> Self {
+        CostModel {
+            compile_ns: 7_400,
+            per_sample_ns: 250,
+            recal_service_ns: 2_000_000,
+            hang_prob: 0.0,
+            hang_ns: 0,
+        }
+    }
+
+    /// Adds fault-induced hangs: each dispatch independently stalls an
+    /// extra `hang_ns` with probability `prob` (mirrors the lab-link hang
+    /// model in `photon-faults`, at dispatch granularity).
+    #[must_use]
+    pub fn with_hangs(mut self, prob: f64, hang_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "hang probability {prob}");
+        self.hang_prob = prob;
+        self.hang_ns = hang_ns;
+        self
+    }
+
+    /// Overrides the recalibration pass duration.
+    #[must_use]
+    pub fn with_recal_service_ns(mut self, ns: u64) -> Self {
+        self.recal_service_ns = ns;
+        self
+    }
+
+    /// Virtual service time of one coalesced dispatch of `batch` requests,
+    /// excluding hangs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    pub fn service_ns(&self, batch: usize) -> u64 {
+        assert!(batch >= 1, "cannot serve an empty batch");
+        self.compile_ns + batch as u64 * self.per_sample_ns
+    }
+
+    /// Draws whether a dispatch hangs, from the caller's dedicated service
+    /// RNG stream. Returns the extra nanoseconds (0 almost always).
+    pub fn draw_hang_ns(&self, rng: &mut StdRng) -> u64 {
+        if self.hang_prob > 0.0 && rng.gen::<f64>() < self.hang_prob {
+            self.hang_ns
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_amortizes_the_per_call_cost() {
+        let m = CostModel::calibrated_8x8();
+        let single = m.service_ns(1);
+        let batch16 = m.service_ns(16);
+        // 16 uncoalesced dispatches pay the per-call cost 16 times.
+        assert!(16 * single > 2 * batch16, "{single} vs {batch16}");
+        // Per-request cost shrinks monotonically with batch size.
+        assert!(batch16 / 16 < single);
+        assert_eq!(single, m.compile_ns + m.per_sample_ns);
+        assert_eq!(batch16, m.compile_ns + 16 * m.per_sample_ns);
+    }
+
+    #[test]
+    fn hang_draws_follow_probability_and_seed() {
+        let m = CostModel::calibrated_8x8().with_hangs(0.25, 1_000_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let hangs = (0..10_000).filter(|_| m.draw_hang_ns(&mut rng) > 0).count();
+        assert!((2_000..3_000).contains(&hangs), "got {hangs} hangs");
+        // Same seed → identical hang pattern.
+        let pattern = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| m.draw_hang_ns(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(3), pattern(3));
+        // Zero probability never consumes entropy pathologically.
+        let none = CostModel::calibrated_8x8();
+        assert_eq!(none.draw_hang_ns(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn zero_batch_rejected() {
+        let _ = CostModel::calibrated_8x8().service_ns(0);
+    }
+}

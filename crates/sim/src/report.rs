@@ -1,0 +1,341 @@
+//! The serving report: per-tenant tail latencies, throughput, and overload
+//! accounting, with deterministic text and JSON renderings.
+//!
+//! Both renderings are pure functions of the simulation state — no
+//! timestamps, no host names, no float formatting that could vary between
+//! runs — so "same seed ⇒ byte-identical report" is checkable with `cmp`.
+
+use photon_core::percentiles;
+use photon_trace::{TraceEvent, TraceHandle};
+
+/// Latency/throughput summary for one tenant (or the `"all"` aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantServingStats {
+    /// Tenant name, `"all"` for the aggregate row.
+    pub tenant: String,
+    /// Requests that arrived inside the arrival window.
+    pub arrivals: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Median completion latency, virtual ns (NaN when nothing completed).
+    pub p50_ns: f64,
+    /// 99th-percentile latency, virtual ns.
+    pub p99_ns: f64,
+    /// 99.9th-percentile latency, virtual ns.
+    pub p999_ns: f64,
+    /// Mean latency, virtual ns.
+    pub mean_ns: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// High-water queue depth.
+    pub peak_queue_depth: u64,
+}
+
+impl TenantServingStats {
+    /// Builds one row from raw completion latencies.
+    pub fn from_samples(
+        tenant: &str,
+        arrivals: u64,
+        completed: u64,
+        shed: u64,
+        peak_queue_depth: u64,
+        latencies_ns: &[f64],
+        makespan_ns: u64,
+    ) -> Self {
+        let (p50_ns, p99_ns, p999_ns, mean_ns) = if latencies_ns.is_empty() {
+            (f64::NAN, f64::NAN, f64::NAN, f64::NAN)
+        } else {
+            let q = percentiles(latencies_ns, &[0.5, 0.99, 0.999]);
+            let mean = latencies_ns.iter().sum::<f64>() / latencies_ns.len() as f64;
+            (q[0], q[1], q[2], mean)
+        };
+        TenantServingStats {
+            tenant: tenant.to_string(),
+            arrivals,
+            completed,
+            shed,
+            p50_ns,
+            p99_ns,
+            p999_ns,
+            mean_ns,
+            throughput_rps: completed as f64 / (makespan_ns as f64 / 1e9),
+            peak_queue_depth,
+        }
+    }
+
+    /// The matching [`TraceEvent::ServingStats`] record.
+    pub fn to_event(&self, mean_batch: f64) -> TraceEvent {
+        TraceEvent::ServingStats {
+            tenant: self.tenant.clone(),
+            arrivals: self.arrivals,
+            completed: self.completed,
+            shed: self.shed,
+            p50_ns: self.p50_ns,
+            p99_ns: self.p99_ns,
+            p999_ns: self.p999_ns,
+            throughput_rps: self.throughput_rps,
+            peak_queue_depth: self.peak_queue_depth,
+            mean_batch,
+        }
+    }
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Config label.
+    pub label: String,
+    /// Root seed the run derived every stream from.
+    pub root_seed: u64,
+    /// Arrival window, virtual ns.
+    pub duration_ns: u64,
+    /// Virtual time of the last completion (the drain may outlive the
+    /// arrival window under overload).
+    pub makespan_ns: u64,
+    /// Worker slots.
+    pub workers: usize,
+    /// Coalescer batch bound.
+    pub max_batch: usize,
+    /// Coalescer flush deadline, virtual ns.
+    pub max_wait_ns: u64,
+    /// Per-tenant rows, in tenant order.
+    pub tenants: Vec<TenantServingStats>,
+    /// The all-tenants aggregate row.
+    pub aggregate: TenantServingStats,
+    /// Coalesced dispatches executed.
+    pub batches: u64,
+    /// Mean requests per dispatch (NaN when nothing dispatched).
+    pub mean_batch: f64,
+    /// Dispatches struck by a fault-induced hang.
+    pub hangs: u64,
+    /// Background recalibration passes served.
+    pub recals: u64,
+    /// Chip queries spent when the run drove a real chip
+    /// ([`crate::run_on_chip`]); `None` for model-only runs. Must equal
+    /// [`ServingReport::aggregate`]`.completed` — asserted in tests.
+    pub chip_queries: Option<u64>,
+}
+
+/// Formats an f64 with fixed precision for the text table (NaN → `-`).
+fn fx(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// JSON number: non-finite → null (JSON has no NaN).
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ServingReport {
+    /// Deterministic plain-text rendering (latencies in microseconds).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serving sim [{}] seed {}: {} worker(s), batch<={}, max wait {} us",
+            if self.label.is_empty() { "unlabeled" } else { &self.label },
+            self.root_seed,
+            self.workers,
+            self.max_batch,
+            self.max_wait_ns / 1_000,
+        );
+        let _ = writeln!(
+            out,
+            "  window {} ms, makespan {} ms, {} dispatches (mean batch {}), {} hangs, {} recals",
+            fx(self.duration_ns as f64 / 1e6, 3),
+            fx(self.makespan_ns as f64 / 1e6, 3),
+            self.batches,
+            fx(self.mean_batch, 2),
+            self.hangs,
+            self.recals,
+        );
+        if let Some(q) = self.chip_queries {
+            let _ = writeln!(out, "  chip queries {q} (reconciled against completions)");
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
+            "tenant", "arrivals", "done", "shed", "p50us", "p99us", "p999us", "rps", "peakq"
+        );
+        for row in self.tenants.iter().chain([&self.aggregate]) {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
+                row.tenant,
+                row.arrivals,
+                row.completed,
+                row.shed,
+                fx(row.p50_ns / 1e3, 1),
+                fx(row.p99_ns / 1e3, 1),
+                fx(row.p999_ns / 1e3, 1),
+                fx(row.throughput_rps, 0),
+                row.peak_queue_depth,
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering (one object, latencies in ns).
+    pub fn to_json(&self) -> String {
+        let row = |r: &TenantServingStats| {
+            format!(
+                "{{\"tenant\":{},\"arrivals\":{},\"completed\":{},\"shed\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"mean_ns\":{},\"throughput_rps\":{},\"peak_queue_depth\":{}}}",
+                jstr(&r.tenant),
+                r.arrivals,
+                r.completed,
+                r.shed,
+                jf(r.p50_ns),
+                jf(r.p99_ns),
+                jf(r.p999_ns),
+                jf(r.mean_ns),
+                jf(r.throughput_rps),
+                r.peak_queue_depth,
+            )
+        };
+        let tenants: Vec<String> = self.tenants.iter().map(&row).collect();
+        format!(
+            "{{\"label\":{},\"root_seed\":{},\"duration_ns\":{},\"makespan_ns\":{},\"workers\":{},\"max_batch\":{},\"max_wait_ns\":{},\"batches\":{},\"mean_batch\":{},\"hangs\":{},\"recals\":{},\"chip_queries\":{},\"tenants\":[{}],\"aggregate\":{}}}",
+            jstr(&self.label),
+            self.root_seed,
+            self.duration_ns,
+            self.makespan_ns,
+            self.workers,
+            self.max_batch,
+            self.max_wait_ns,
+            self.batches,
+            jf(self.mean_batch),
+            self.hangs,
+            self.recals,
+            match self.chip_queries {
+                Some(q) => q.to_string(),
+                None => "null".to_string(),
+            },
+            tenants.join(","),
+            row(&self.aggregate),
+        )
+    }
+
+    /// Emits one [`TraceEvent::ServingStats`] per tenant row plus the
+    /// aggregate, then flushes the sink.
+    pub fn emit(&self, trace: &TraceHandle) {
+        for t in self.tenants.iter().chain([&self.aggregate]) {
+            trace.emit(|| t.to_event(self.mean_batch));
+        }
+        trace.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> TenantServingStats {
+        TenantServingStats::from_samples(
+            "t",
+            100,
+            90,
+            10,
+            12,
+            &(1..=90).map(|i| i as f64 * 1_000.0).collect::<Vec<_>>(),
+            1_000_000_000,
+        )
+    }
+
+    #[test]
+    fn from_samples_uses_shared_percentiles() {
+        let s = stats();
+        // 90 samples of 1k..90k ns: median interpolates to 45.5k.
+        assert!((s.p50_ns - 45_500.0).abs() < 1e-9, "{}", s.p50_ns);
+        assert!(s.p99_ns > s.p50_ns && s.p999_ns >= s.p99_ns);
+        assert!((s.throughput_rps - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_latencies_are_nan_not_panic() {
+        let s = TenantServingStats::from_samples("idle", 0, 0, 0, 0, &[], 1_000);
+        assert!(s.p50_ns.is_nan() && s.p999_ns.is_nan() && s.mean_ns.is_nan());
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn report_renderings_are_deterministic_and_nan_safe() {
+        let report = ServingReport {
+            label: "unit".into(),
+            root_seed: 7,
+            duration_ns: 1_000_000,
+            makespan_ns: 1_100_000,
+            workers: 2,
+            max_batch: 16,
+            max_wait_ns: 50_000,
+            tenants: vec![stats()],
+            aggregate: TenantServingStats::from_samples("all", 0, 0, 0, 0, &[], 1_000),
+            batches: 12,
+            mean_batch: 7.5,
+            hangs: 0,
+            recals: 2,
+            chip_queries: Some(90),
+        };
+        assert_eq!(report.render(), report.render());
+        let json = report.to_json();
+        assert_eq!(json, report.to_json());
+        assert!(json.contains("\"chip_queries\":90"));
+        assert!(json.contains("\"p50_ns\":null"), "NaN must become null");
+        assert!(json.contains("\"tenants\":[{\"tenant\":\"t\""));
+        assert!(report.render().contains("chip queries 90"));
+        // NaN rows render as '-' placeholders, not 'NaN'.
+        assert!(report.render().contains('-'));
+        assert!(!report.render().contains("NaN"));
+    }
+
+    #[test]
+    fn emit_produces_one_event_per_row() {
+        let (handle, mem) = TraceHandle::memory(0);
+        let report = ServingReport {
+            label: String::new(),
+            root_seed: 1,
+            duration_ns: 10,
+            makespan_ns: 10,
+            workers: 1,
+            max_batch: 1,
+            max_wait_ns: 0,
+            tenants: vec![stats(), stats()],
+            aggregate: stats(),
+            batches: 1,
+            mean_batch: 1.0,
+            hangs: 0,
+            recals: 0,
+            chip_queries: None,
+        };
+        report.emit(&handle);
+        let events = mem.events();
+        assert_eq!(events.len(), 3, "two tenants + aggregate");
+        assert!(events.iter().all(|e| e.kind() == "serving_stats"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The discrete-event serving simulator.
+//!
+//! One run is a pure function of a [`SimConfig`]: arrivals, dispatch
+//! decisions, service times, and fault hangs all derive from RNG streams
+//! seeded from the config's root seed, and all timing is *virtual*
+//! nanoseconds advanced by the event heap — the simulator never reads a
+//! clock. Identical config ⇒ byte-identical [`ServingReport`], on any
+//! host, at any `PHOTON_THREADS` setting.
+//!
+//! The model: `workers` interchangeable chip slots serve two traffic
+//! classes — open-loop inference requests from per-tenant bounded queues,
+//! and periodic background recalibration passes (which own a worker for
+//! [`CostModel::recal_service_ns`], the way `photon-calib`'s drift
+//! recalibration owns the chip). An idle worker asks the
+//! [`CoalescePolicy`] whether to drain a microbatch now, wait for the
+//! flush deadline, or idle; each dispatch is charged virtual time from the
+//! calibrated [`CostModel`]. Optionally, every dispatch is *also* executed
+//! on a real [`FabricatedChip`] through the pinned serving path
+//! ([`run_on_chip`]), which keeps the simulator honest: the chip's query
+//! counter must reconcile exactly with the simulated completion count.
+
+use photon_farm::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest};
+use photon_linalg::CVector;
+use photon_photonics::{BatchScratch, FabricatedChip};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arrivals::{ArrivalGen, ArrivalProcess};
+use crate::cost::CostModel;
+use crate::heap::EventHeap;
+use crate::report::{ServingReport, TenantServingStats};
+
+/// One tenant's offered load.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant name (reporting only).
+    pub name: String,
+    /// The tenant's arrival process.
+    pub process: ArrivalProcess,
+    /// Bound on the tenant's request queue; arrivals beyond it are shed.
+    pub queue_cap: usize,
+}
+
+impl TenantLoad {
+    /// A tenant with a queue bound of 4096 requests.
+    pub fn new(name: &str, process: ArrivalProcess) -> Self {
+        TenantLoad {
+            name: name.to_string(),
+            process,
+            queue_cap: 4096,
+        }
+    }
+
+    /// Overrides the queue bound.
+    #[must_use]
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+}
+
+/// Background recalibration traffic: one pass every `period_ns`, first
+/// pass at `start_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecalTraffic {
+    /// Virtual time of the first pass.
+    pub start_ns: u64,
+    /// Pass period in virtual nanoseconds.
+    pub period_ns: u64,
+}
+
+/// Full specification of one simulation run. Every field participates in
+/// the deterministic replay contract.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Root seed; every RNG stream in the run derives from it.
+    pub root_seed: u64,
+    /// Arrival window in virtual nanoseconds. Arrivals stop here; the run
+    /// continues until the queues drain.
+    pub duration_ns: u64,
+    /// Interchangeable chip-serving workers.
+    pub workers: usize,
+    /// Microbatch coalescing policy for the serving path.
+    pub coalescer: CoalescePolicy,
+    /// Virtual-time service cost model.
+    pub cost: CostModel,
+    /// Offered load, one entry per tenant.
+    pub tenants: Vec<TenantLoad>,
+    /// Optional background recalibration traffic.
+    pub recalibration: Option<RecalTraffic>,
+    /// Free-form label carried into the report.
+    pub label: String,
+}
+
+impl SimConfig {
+    /// A single-worker, uncoalesced config with the calibrated 8x8 cost
+    /// model and no tenants; add load with [`Self::with_tenant`].
+    pub fn new(root_seed: u64, duration_ns: u64) -> Self {
+        SimConfig {
+            root_seed,
+            duration_ns,
+            workers: 1,
+            coalescer: CoalescePolicy::uncoalesced(),
+            cost: CostModel::calibrated_8x8(),
+            tenants: Vec::new(),
+            recalibration: None,
+            label: String::new(),
+        }
+    }
+
+    /// Adds a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantLoad) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the coalescing policy.
+    #[must_use]
+    pub fn with_coalescer(mut self, policy: CoalescePolicy) -> Self {
+        self.coalescer = policy;
+        self
+    }
+
+    /// Sets the cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables background recalibration traffic.
+    #[must_use]
+    pub fn with_recalibration(mut self, recal: RecalTraffic) -> Self {
+        self.recalibration = Some(recal);
+        self
+    }
+
+    /// Sets the report label.
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+}
+
+/// Runs the simulation purely against the cost model (no chip attached).
+pub fn run(cfg: &SimConfig) -> ServingReport {
+    Simulator::new(cfg).run(None)
+}
+
+/// Runs the simulation with every coalesced dispatch *also* executed on
+/// `chip` through [`FabricatedChip::serve_pinned_batch_into`]. Virtual
+/// timing still comes from the cost model (wall time never leaks in), but
+/// the chip's query counter must reconcile exactly with the simulated
+/// completion count — the report records it in
+/// [`ServingReport::chip_queries`].
+///
+/// # Panics
+///
+/// Panics when `chip` has no pinned compile base — pin the deployment
+/// theta first; serving is defined as evaluation at the pinned base.
+pub fn run_on_chip(cfg: &SimConfig, chip: &FabricatedChip) -> ServingReport {
+    assert!(
+        chip.has_pinned_base(),
+        "serving requires a pinned compile base; call chip.pin_compile_base(theta) first"
+    );
+    let mut backend = ChipBackend::new(cfg, chip);
+    Simulator::new(cfg).run(Some(&mut backend))
+}
+
+/// Derives a child seed for an independent RNG stream (SplitMix64-style
+/// mixing, so adjacent stream ids land far apart).
+fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut z = root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Stream-id tags for seed derivation (arbitrary distinct constants; tenant
+// arrival streams use ARRIVAL_STREAM + tenant index).
+const ARRIVAL_STREAM: u64 = 0x41;
+const SERVICE_STREAM: u64 = 0xFA11;
+const INPUT_STREAM: u64 = 0x1122;
+
+/// Executes dispatches on a real chip via the pinned serving path.
+struct ChipBackend<'c> {
+    chip: &'c FabricatedChip,
+    scratch: BatchScratch,
+    /// A small pool of pre-generated inputs cycled through by dispatch
+    /// order (seeded from the root seed, so chip results are replayable
+    /// too).
+    inputs: Vec<CVector>,
+    cursor: usize,
+}
+
+impl<'c> ChipBackend<'c> {
+    fn new(cfg: &SimConfig, chip: &'c FabricatedChip) -> Self {
+        let dim = chip.input_dim();
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.root_seed, INPUT_STREAM));
+        let pool = cfg.coalescer.max_batch.max(16);
+        let inputs = (0..pool)
+            .map(|_| photon_linalg::random::normal_cvector(dim, &mut rng))
+            .collect();
+        ChipBackend {
+            chip,
+            scratch: BatchScratch::new(),
+            inputs,
+            cursor: 0,
+        }
+    }
+
+    /// Serves one coalesced batch of `len` requests; returns the chip
+    /// queries spent (== `len`).
+    fn serve(&mut self, len: usize) -> u64 {
+        let refs: Vec<&CVector> = (0..len)
+            .map(|k| &self.inputs[(self.cursor + k) % self.inputs.len()])
+            .collect();
+        self.cursor = (self.cursor + len) % self.inputs.len();
+        let out = self
+            .chip
+            .serve_pinned_batch_into(&refs, &mut self.scratch)
+            .expect("pinned base checked at run_on_chip entry");
+        debug_assert_eq!(out.len(), len);
+        len as u64
+    }
+}
+
+/// Simulation events. Workers are interchangeable, so a completion does
+/// not need to name one — it frees a slot.
+#[derive(Debug)]
+enum Ev {
+    /// A request from tenant `i` arrives.
+    Arrival(usize),
+    /// A background recalibration pass becomes due.
+    Recal,
+    /// A coalescer flush deadline fires (possibly stale — harmless).
+    Flush,
+    /// A dispatch finishes, freeing a worker slot.
+    Done,
+}
+
+/// Per-tenant accumulation during a run.
+struct TenantAcc {
+    arrivals: u64,
+    completed: u64,
+    latencies_ns: Vec<f64>,
+}
+
+struct Simulator<'a> {
+    cfg: &'a SimConfig,
+    heap: EventHeap<Ev>,
+    gens: Vec<ArrivalGen>,
+    queues: Vec<RequestQueue>,
+    acc: Vec<TenantAcc>,
+    svc_rng: StdRng,
+    now: u64,
+    next_id: u64,
+    busy: usize,
+    rr_cursor: usize,
+    armed_flush: Option<u64>,
+    recal_pending: u64,
+    recals_done: u64,
+    hangs: u64,
+    batches: u64,
+    batch_requests: u64,
+    last_completion_ns: u64,
+    chip_queries: Option<u64>,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(cfg: &'a SimConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(!cfg.tenants.is_empty(), "need at least one tenant");
+        let gens = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                ArrivalGen::new(t.process, derive_seed(cfg.root_seed, ARRIVAL_STREAM + i as u64))
+            })
+            .collect();
+        let queues = cfg.tenants.iter().map(|t| RequestQueue::new(t.queue_cap)).collect();
+        let acc = cfg
+            .tenants
+            .iter()
+            .map(|_| TenantAcc {
+                arrivals: 0,
+                completed: 0,
+                latencies_ns: Vec::new(),
+            })
+            .collect();
+        Simulator {
+            cfg,
+            heap: EventHeap::new(),
+            gens,
+            queues,
+            acc,
+            svc_rng: StdRng::seed_from_u64(derive_seed(cfg.root_seed, SERVICE_STREAM)),
+            now: 0,
+            next_id: 0,
+            busy: 0,
+            rr_cursor: 0,
+            armed_flush: None,
+            recal_pending: 0,
+            recals_done: 0,
+            hangs: 0,
+            batches: 0,
+            batch_requests: 0,
+            last_completion_ns: 0,
+            chip_queries: None,
+        }
+    }
+
+    fn run(mut self, mut backend: Option<&mut ChipBackend<'_>>) -> ServingReport {
+        if backend.is_some() {
+            self.chip_queries = Some(0);
+        }
+        // Seed the heap: first arrival per tenant, first recal pass.
+        for i in 0..self.gens.len() {
+            let t0 = self.gens[i].next_after(0);
+            if t0 < self.cfg.duration_ns {
+                self.heap.schedule(t0, Ev::Arrival(i));
+            }
+        }
+        if let Some(recal) = self.cfg.recalibration {
+            if recal.start_ns < self.cfg.duration_ns {
+                self.heap.schedule(recal.start_ns, Ev::Recal);
+            }
+        }
+
+        while let Some((at, _seq, ev)) = self.heap.pop() {
+            debug_assert!(at >= self.now, "virtual time must be monotone");
+            self.now = at;
+            match ev {
+                Ev::Arrival(i) => {
+                    self.acc[i].arrivals += 1;
+                    let req = ServeRequest {
+                        id: self.next_id,
+                        tenant: i,
+                        submitted_ns: self.now,
+                    };
+                    self.next_id += 1;
+                    let _ = self.queues[i].push(req); // a full queue sheds
+                    let next = self.gens[i].next_after(self.now);
+                    if next < self.cfg.duration_ns {
+                        self.heap.schedule(next, Ev::Arrival(i));
+                    }
+                }
+                Ev::Recal => {
+                    self.recal_pending += 1;
+                    if let Some(recal) = self.cfg.recalibration {
+                        let next = self.now.saturating_add(recal.period_ns);
+                        if next < self.cfg.duration_ns {
+                            self.heap.schedule(next, Ev::Recal);
+                        }
+                    }
+                }
+                Ev::Flush => {
+                    // Possibly stale (the batch it guarded already served);
+                    // clearing and re-deciding below is always safe.
+                    self.armed_flush = None;
+                }
+                Ev::Done => {
+                    debug_assert!(self.busy > 0);
+                    self.busy -= 1;
+                }
+            }
+            self.dispatch(&mut backend);
+        }
+        debug_assert!(self.queues.iter().all(|q| q.is_empty()), "run must drain");
+        self.report()
+    }
+
+    /// Fills idle workers: recalibration first (it is latency-insensitive
+    /// but must not starve), then coalesced inference batches.
+    fn dispatch(&mut self, backend: &mut Option<&mut ChipBackend<'_>>) {
+        while self.busy < self.cfg.workers {
+            if self.recal_pending > 0 {
+                self.recal_pending -= 1;
+                self.recals_done += 1;
+                let hang = self.cfg.cost.draw_hang_ns(&mut self.svc_rng);
+                if hang > 0 {
+                    self.hangs += 1;
+                }
+                let done = self.now + self.cfg.cost.recal_service_ns + hang;
+                self.last_completion_ns = self.last_completion_ns.max(done);
+                self.busy += 1;
+                self.heap.schedule(done, Ev::Done);
+                continue;
+            }
+            let depth: usize = self.queues.iter().map(|q| q.len()).sum();
+            let oldest = self.queues.iter().filter_map(|q| q.front_submitted_ns()).min();
+            match self.cfg.coalescer.decide(self.now, depth, oldest) {
+                DrainDecision::Idle => return,
+                DrainDecision::WaitUntil(deadline) => {
+                    // Arm one flush timer per live deadline; an already
+                    // armed earlier timer covers this wait too.
+                    if self.armed_flush.is_none_or(|d| deadline < d) {
+                        self.heap.schedule(deadline, Ev::Flush);
+                        self.armed_flush = Some(deadline);
+                    }
+                    return;
+                }
+                DrainDecision::Serve(n) => {
+                    let batch = self.drain_round_robin(n);
+                    debug_assert!(!batch.is_empty());
+                    let hang = self.cfg.cost.draw_hang_ns(&mut self.svc_rng);
+                    if hang > 0 {
+                        self.hangs += 1;
+                    }
+                    let done = self.now + self.cfg.cost.service_ns(batch.len()) + hang;
+                    if let Some(b) = backend.as_deref_mut() {
+                        let spent = b.serve(batch.len());
+                        *self.chip_queries.get_or_insert(0) += spent;
+                    }
+                    for req in &batch {
+                        let acc = &mut self.acc[req.tenant];
+                        acc.completed += 1;
+                        acc.latencies_ns.push((done - req.submitted_ns) as f64);
+                    }
+                    self.batches += 1;
+                    self.batch_requests += batch.len() as u64;
+                    self.last_completion_ns = self.last_completion_ns.max(done);
+                    self.busy += 1;
+                    self.heap.schedule(done, Ev::Done);
+                }
+            }
+        }
+    }
+
+    /// Pops up to `n` requests, visiting tenant queues round-robin from a
+    /// persistent cursor so no tenant's queue monopolizes coalesced
+    /// batches.
+    fn drain_round_robin(&mut self, n: usize) -> Vec<ServeRequest> {
+        let tenants = self.queues.len();
+        let mut batch = Vec::with_capacity(n);
+        'outer: while batch.len() < n {
+            for k in 0..tenants {
+                let i = (self.rr_cursor + k) % tenants;
+                if let Some(req) = self.queues[i].pop_front() {
+                    batch.push(req);
+                    self.rr_cursor = (i + 1) % tenants;
+                    continue 'outer;
+                }
+            }
+            break; // every queue empty
+        }
+        batch
+    }
+
+    fn report(self) -> ServingReport {
+        let makespan_ns = self.last_completion_ns.max(1);
+        let per_tenant: Vec<TenantServingStats> = self
+            .cfg
+            .tenants
+            .iter()
+            .zip(&self.acc)
+            .zip(&self.queues)
+            .map(|((tenant, acc), queue)| {
+                TenantServingStats::from_samples(
+                    &tenant.name,
+                    acc.arrivals,
+                    acc.completed,
+                    queue.shed(),
+                    queue.peak_depth() as u64,
+                    &acc.latencies_ns,
+                    makespan_ns,
+                )
+            })
+            .collect();
+        let all_latencies: Vec<f64> = self
+            .acc
+            .iter()
+            .flat_map(|a| a.latencies_ns.iter().copied())
+            .collect();
+        let aggregate = TenantServingStats::from_samples(
+            "all",
+            self.acc.iter().map(|a| a.arrivals).sum(),
+            self.acc.iter().map(|a| a.completed).sum(),
+            self.queues.iter().map(|q| q.shed()).sum(),
+            self.queues.iter().map(|q| q.peak_depth() as u64).max().unwrap_or(0),
+            &all_latencies,
+            makespan_ns,
+        );
+        let mean_batch = if self.batches > 0 {
+            self.batch_requests as f64 / self.batches as f64
+        } else {
+            f64::NAN
+        };
+        ServingReport {
+            label: self.cfg.label.clone(),
+            root_seed: self.cfg.root_seed,
+            duration_ns: self.cfg.duration_ns,
+            makespan_ns,
+            workers: self.cfg.workers,
+            max_batch: self.cfg.coalescer.max_batch,
+            max_wait_ns: self.cfg.coalescer.max_wait_ns,
+            tenants: per_tenant,
+            aggregate,
+            batches: self.batches,
+            mean_batch,
+            hangs: self.hangs,
+            recals: self.recals_done,
+            chip_queries: self.chip_queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg(seed: u64) -> SimConfig {
+        SimConfig::new(seed, 20_000_000) // 20 virtual ms
+            .with_label("smoke")
+            .with_tenant(TenantLoad::new(
+                "alice",
+                ArrivalProcess::Poisson { rate_hz: 60_000.0 },
+            ))
+            .with_tenant(TenantLoad::new(
+                "bob",
+                ArrivalProcess::Bursty {
+                    on_rate_hz: 120_000.0,
+                    off_rate_hz: 5_000.0,
+                    mean_on_ns: 2_000_000.0,
+                    mean_off_ns: 2_000_000.0,
+                },
+            ))
+    }
+
+    #[test]
+    fn conserves_requests() {
+        let report = run(&smoke_cfg(11));
+        for t in report.tenants.iter().chain([&report.aggregate]) {
+            assert_eq!(
+                t.arrivals,
+                t.completed + t.shed,
+                "tenant {}: every arrival is served or shed",
+                t.tenant
+            );
+        }
+        assert!(report.aggregate.completed > 0);
+        // Uncoalesced: one request per dispatch.
+        assert_eq!(report.aggregate.completed, report.batches);
+    }
+
+    #[test]
+    fn identical_seeds_replay_bitwise() {
+        let a = run(&smoke_cfg(42)).to_json();
+        let b = run(&smoke_cfg(42)).to_json();
+        assert_eq!(a, b);
+        let c = run(&smoke_cfg(43)).to_json();
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn coalescing_amortizes_under_overload() {
+        // Offered load ~4x one worker's uncoalesced capacity
+        // (capacity ≈ 1e9/7650 ≈ 130k rps at the calibrated model).
+        let overload = |coalescer| {
+            let cfg = SimConfig::new(5, 50_000_000)
+                .with_tenant(
+                    TenantLoad::new("flood", ArrivalProcess::Poisson { rate_hz: 500_000.0 })
+                        .with_queue_cap(512),
+                )
+                .with_coalescer(coalescer);
+            run(&cfg)
+        };
+        let un = overload(CoalescePolicy::uncoalesced());
+        let co = overload(CoalescePolicy::new(16, 100_000));
+        assert!(
+            co.aggregate.throughput_rps >= 2.0 * un.aggregate.throughput_rps,
+            "coalesced {} rps vs uncoalesced {} rps",
+            co.aggregate.throughput_rps,
+            un.aggregate.throughput_rps
+        );
+        assert!(co.mean_batch > 4.0, "mean batch {}", co.mean_batch);
+        assert!(
+            co.aggregate.p99_ns <= un.aggregate.p99_ns,
+            "under overload, higher drain rate must not worsen p99: {} vs {}",
+            co.aggregate.p99_ns,
+            un.aggregate.p99_ns
+        );
+    }
+
+    #[test]
+    fn max_wait_bounds_partial_batch_latency() {
+        // Trickle traffic far below one batch per deadline: every request
+        // is served by a deadline flush, so p50 ≈ max_wait + service.
+        let cfg = SimConfig::new(9, 50_000_000)
+            .with_tenant(TenantLoad::new(
+                "trickle",
+                ArrivalProcess::Poisson { rate_hz: 2_000.0 },
+            ))
+            .with_coalescer(CoalescePolicy::new(64, 200_000));
+        let report = run(&cfg);
+        assert!(report.aggregate.completed > 50);
+        let ceiling = 200_000.0 + 64.0 * 250.0 + 7_400.0;
+        assert!(
+            report.aggregate.p50_ns <= ceiling,
+            "p50 {} must be bounded by the flush deadline + service",
+            report.aggregate.p50_ns
+        );
+        assert!(
+            report.aggregate.p50_ns >= 100_000.0,
+            "trickle requests should actually wait near the deadline, p50 {}",
+            report.aggregate.p50_ns
+        );
+    }
+
+    #[test]
+    fn tiny_queues_shed_under_overload() {
+        let cfg = SimConfig::new(3, 10_000_000)
+            .with_tenant(
+                TenantLoad::new("flood", ArrivalProcess::Poisson { rate_hz: 600_000.0 })
+                    .with_queue_cap(8),
+            );
+        let report = run(&cfg);
+        assert!(report.aggregate.shed > 0, "cap 8 under 600k rps must shed");
+        assert_eq!(
+            report.aggregate.arrivals,
+            report.aggregate.completed + report.aggregate.shed
+        );
+        assert!(report.aggregate.peak_queue_depth <= 8);
+    }
+
+    #[test]
+    fn recalibration_steals_capacity() {
+        let base = smoke_cfg(21);
+        let with_recal = smoke_cfg(21).with_recalibration(RecalTraffic {
+            start_ns: 1_000_000,
+            period_ns: 5_000_000,
+        });
+        let a = run(&base);
+        let b = run(&with_recal);
+        assert_eq!(a.recals, 0);
+        assert_eq!(b.recals, 4, "20 ms window, first at 1 ms, every 5 ms");
+        assert!(
+            b.aggregate.p99_ns >= a.aggregate.p99_ns,
+            "recal passes must not improve inference latency: {} vs {}",
+            b.aggregate.p99_ns,
+            a.aggregate.p99_ns
+        );
+    }
+
+    #[test]
+    fn hangs_inflate_the_tail() {
+        let mut calm = smoke_cfg(33);
+        calm.label = "calm".into();
+        let mut hangy = smoke_cfg(33);
+        hangy.cost = hangy.cost.with_hangs(0.01, 3_000_000);
+        hangy.label = "hangy".into();
+        let a = run(&calm);
+        let b = run(&hangy);
+        assert_eq!(a.hangs, 0);
+        assert!(b.hangs > 0);
+        assert!(
+            b.aggregate.p999_ns > a.aggregate.p999_ns,
+            "1% 3ms hangs must be visible at p999: {} vs {}",
+            b.aggregate.p999_ns,
+            a.aggregate.p999_ns
+        );
+    }
+}

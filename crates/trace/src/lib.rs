@@ -332,6 +332,31 @@ pub enum TraceEvent {
         /// Jobs that ended rejected (admission or mid-run load-shed).
         jobs_rejected: u64,
     },
+    /// Per-tenant serving-latency summary from a serving run or the
+    /// discrete-event serving simulator: tail latencies, throughput, and
+    /// what overload cost (shed requests, queue high-water mark).
+    ServingStats {
+        /// Tenant name (or `"all"` for the aggregate row).
+        tenant: String,
+        /// Requests that arrived during the run.
+        arrivals: u64,
+        /// Requests served to completion.
+        completed: u64,
+        /// Requests shed at admission (queue full).
+        shed: u64,
+        /// Median latency in nanoseconds (virtual time in simulation).
+        p50_ns: f64,
+        /// 99th-percentile latency in nanoseconds.
+        p99_ns: f64,
+        /// 99.9th-percentile latency in nanoseconds.
+        p999_ns: f64,
+        /// Completed requests per second of makespan.
+        throughput_rps: f64,
+        /// High-water queue depth observed.
+        peak_queue_depth: u64,
+        /// Mean requests per coalesced dispatch.
+        mean_batch: f64,
+    },
 }
 
 /// Formats an `f64` as a JSON value; non-finite values become `null`
@@ -390,6 +415,7 @@ impl TraceEvent {
             TraceEvent::ChipHealth { .. } => "chip_health",
             TraceEvent::JobState { .. } => "job_state",
             TraceEvent::TenantLedger { .. } => "tenant_ledger",
+            TraceEvent::ServingStats { .. } => "serving_stats",
         }
     }
 
@@ -550,6 +576,26 @@ impl TraceEvent {
             } => format!(
                 "{{\"type\":{kind},\"tenant\":{},\"queries\":{queries},\"jobs_completed\":{jobs_completed},\"jobs_rejected\":{jobs_rejected}}}",
                 json_str(tenant),
+            ),
+            TraceEvent::ServingStats {
+                tenant,
+                arrivals,
+                completed,
+                shed,
+                p50_ns,
+                p99_ns,
+                p999_ns,
+                throughput_rps,
+                peak_queue_depth,
+                mean_batch,
+            } => format!(
+                "{{\"type\":{kind},\"tenant\":{},\"arrivals\":{arrivals},\"completed\":{completed},\"shed\":{shed},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"throughput_rps\":{},\"peak_queue_depth\":{peak_queue_depth},\"mean_batch\":{}}}",
+                json_str(tenant),
+                json_f64(*p50_ns),
+                json_f64(*p99_ns),
+                json_f64(*p999_ns),
+                json_f64(*throughput_rps),
+                json_f64(*mean_batch),
             ),
         }
     }
@@ -918,6 +964,35 @@ mod tests {
         assert!(s.contains("\"type\":\"resume\""));
         assert!(s.contains("\"records_replayed\":3"));
         assert!(s.contains("\"truncated_bytes\":0"));
+    }
+
+    #[test]
+    fn serving_stats_serializes() {
+        let e = TraceEvent::ServingStats {
+            tenant: "alice".into(),
+            arrivals: 1000,
+            completed: 990,
+            shed: 10,
+            p50_ns: 12_000.0,
+            p99_ns: 95_000.5,
+            p999_ns: f64::NAN,
+            throughput_rps: 125_000.0,
+            peak_queue_depth: 42,
+            mean_batch: 7.75,
+        };
+        assert_eq!(e.kind(), "serving_stats");
+        let s = e.to_json();
+        assert!(s.contains("\"type\":\"serving_stats\""));
+        assert!(s.contains("\"tenant\":\"alice\""));
+        assert!(s.contains("\"arrivals\":1000"));
+        assert!(s.contains("\"completed\":990"));
+        assert!(s.contains("\"shed\":10"));
+        assert!(s.contains("\"p50_ns\":12000"));
+        assert!(s.contains("\"p99_ns\":95000.5"));
+        // NaN tail (no samples) must serialize as null, not poison the line.
+        assert!(s.contains("\"p999_ns\":null"));
+        assert!(s.contains("\"peak_queue_depth\":42"));
+        assert!(s.contains("\"mean_batch\":7.75"));
     }
 
     #[test]

@@ -92,4 +92,47 @@ assert best >= 2.0, f"no fast tier reaches 2x over compiled f64: {tiers}"
 print(f"ci: simd_forward best tier {best_tier} at {best:.2f}x (kernel {report['kernel']})")
 EOF
 
+# Serving-sim gate. Three properties make "a million requests" a number
+# you can trust:
+#   1. No wall clock anywhere in the simulator crate — all timing is
+#      virtual, so reports are host-independent (grep-gated here).
+#   2. Bitwise determinism: the integration suite asserts same-seed
+#      replay across runs and PHOTON_THREADS settings, and the example
+#      (which reconciles chip query counters against simulated
+#      completions) must print byte-identical output on back-to-back runs.
+#   3. The headline claim: microbatch coalescing must not lose to
+#      uncoalesced serving on any benchmarked workload (and the JSON rows
+#      must carry tail latencies plus the host-honesty fields).
+if grep -rn "Instant::now" crates/sim/src; then
+    echo "ci: wall-clock read inside crates/sim breaks virtual-time determinism" >&2
+    exit 1
+fi
+PHOTON_KERNEL=scalar cargo test -q --offline --test serving_sim
+mkdir -p results
+PHOTON_KERNEL=scalar cargo run --release --offline --example serving_sim >results/serving_sim_a.txt
+PHOTON_KERNEL=scalar cargo run --release --offline --example serving_sim >results/serving_sim_b.txt
+cmp results/serving_sim_a.txt results/serving_sim_b.txt
+echo "ci: serving_sim example output is byte-identical across runs"
+PHOTON_KERNEL=scalar cargo bench -q --offline -p photon-bench --bench serving >/dev/null
+python3 - <<'EOF'
+import json
+with open("BENCH_serving.json") as f:
+    report = json.load(f)
+rows = report["results"]
+required = {"workload", "mode", "throughput_rps", "p50_ns", "p99_ns", "p999_ns",
+            "kernel", "host_available_parallelism"}
+for row in rows:
+    missing = required - row.keys()
+    assert not missing, f"row {row.get('workload')}/{row.get('mode')} missing {missing}"
+by_arm = {(r["workload"], r["mode"]): r for r in rows}
+workloads = {w for w, _ in by_arm}
+assert workloads == {"poisson", "bursty"}, f"unexpected workload grid: {workloads}"
+for w in sorted(workloads):
+    un = by_arm[(w, "uncoalesced")]["throughput_rps"]
+    co = by_arm[(w, "coalesced")]["throughput_rps"]
+    assert co >= un, f"{w}: coalesced {co:.0f} rps lost to uncoalesced {un:.0f} rps"
+    print(f"ci: serving {w} coalesced {co/un:.2f}x uncoalesced "
+          f"(p99 {by_arm[(w,'coalesced')]['p99_ns']/1e3:.1f} us)")
+EOF
+
 echo "ci: all gates green"

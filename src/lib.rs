@@ -26,6 +26,7 @@
 //! | [`faults`] | `photon-faults` | seeded fault injection for chip robustness studies |
 //! | [`trace`] | `photon-trace` | structured telemetry: trace sinks, typed events, query ledger |
 //! | [`farm`] | `photon-farm` | fault-tolerant multi-tenant chip farm: scheduling, quarantine, admission |
+//! | [`sim`] | `photon-sim` | deterministic discrete-event serving simulator + microbatch coalescing |
 //!
 //! # Quickstart
 //!
@@ -102,6 +103,11 @@ pub mod farm {
     pub use photon_farm::*;
 }
 
+/// Discrete-event serving simulator (re-export of `photon-sim`).
+pub mod sim {
+    pub use photon_sim::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use photon_calib::{calibrate, calibrate_traced, evaluate_model, CalibrationSettings};
@@ -122,6 +128,7 @@ pub mod prelude {
         ideal_model, Architecture, ErrorModel, FabricatedChip, MeshModule, Network, OnnChip,
         OnnModule,
     };
+    pub use photon_sim::{ArrivalProcess, CostModel, ServingReport, SimConfig, TenantLoad};
     pub use photon_trace::{
         JsonlSink, MemorySink, NullSink, QueryCategory, TeeSink, TraceEvent, TraceHandle,
     };
