@@ -199,8 +199,76 @@ pub fn calibrate_traced<C: OnnChip, R: Rng + ?Sized>(
     Ok(outcome)
 }
 
+/// Incremental recalibration: re-fit an already-calibrated chip whose
+/// physical errors have drifted, warm-starting the Gauss-Newton fit from a
+/// prior [`ErrorVector`] instead of zeros.
+///
+/// Under slow drift (e.g. OU thermal walks) the prior estimate is already
+/// close to the new optimum, so the warm start converges in a fraction of
+/// the iterations of a cold [`calibrate`] and tolerates much smaller probe
+/// sweeps — this is the entry point the online-recalibration controller
+/// uses between serving windows, where every chip query steals a microbatch
+/// slot from live traffic.
+///
+/// # Errors
+///
+/// See [`CalibError`].
+///
+/// # Panics
+///
+/// Panics when `prior`'s flat layout does not match the chip architecture's
+/// error slots.
+pub fn recalibrate<C: OnnChip, R: Rng + ?Sized>(
+    chip: &C,
+    prior: &ErrorVector,
+    settings: &CalibrationSettings,
+    rng: &mut R,
+) -> Result<CalibrationOutcome, CalibError> {
+    let plan = ProbePlan::for_chip(
+        chip,
+        settings.include_basis,
+        settings.random_inputs,
+        settings.num_settings,
+        rng,
+    );
+    let measured = measure_chip(chip, &plan);
+    recalibrate_from_measurements(chip, &plan, &measured, &settings.lm, prior)
+}
+
+/// [`recalibrate`] from an existing measurement sweep: warm-starts the fit
+/// at `prior` instead of zeros. Useful when the probe sweep was collected
+/// piggybacked on live traffic (so measurement and fitting happen at
+/// different times).
+///
+/// # Errors
+///
+/// See [`CalibError`].
+///
+/// # Panics
+///
+/// Panics when `prior`'s flat layout does not match the chip architecture's
+/// error slots.
+pub fn recalibrate_from_measurements<C: OnnChip>(
+    chip: &C,
+    plan: &ProbePlan,
+    measured: &Measurements,
+    lm: &LmSettings,
+    prior: &ErrorVector,
+) -> Result<CalibrationOutcome, CalibError> {
+    let (n_bs, n_ps) = chip.architecture().error_slots();
+    let flat = prior.to_flat();
+    assert_eq!(
+        flat.len(),
+        n_bs + 2 * n_ps,
+        "prior error vector does not match the chip architecture"
+    );
+    fit_measurements(chip, plan, measured, lm, RVector::from_vec(flat))
+}
+
 /// Calibrates from an existing measurement sweep (useful when the sweep is
-/// shared across calibration budgets in an experiment).
+/// shared across calibration budgets in an experiment). The fit cold-starts
+/// from the ideal model (zero errors); see [`recalibrate_from_measurements`]
+/// for the warm-started variant.
 ///
 /// # Errors
 ///
@@ -210,6 +278,20 @@ pub fn calibrate_from_measurements<C: OnnChip>(
     plan: &ProbePlan,
     measured: &Measurements,
     lm: &LmSettings,
+) -> Result<CalibrationOutcome, CalibError> {
+    let (n_bs, n_ps) = chip.architecture().error_slots();
+    fit_measurements(chip, plan, measured, lm, RVector::zeros(n_bs + 2 * n_ps))
+}
+
+/// Shared fit body: damped Gauss-Newton on the power residuals, starting
+/// from `init` (zeros for a cold calibration, the prior errors for an
+/// incremental recalibration).
+fn fit_measurements<C: OnnChip>(
+    chip: &C,
+    plan: &ProbePlan,
+    measured: &Measurements,
+    lm: &LmSettings,
+    init: RVector,
 ) -> Result<CalibrationOutcome, CalibError> {
     let arch = chip.architecture().clone();
     let (n_bs, n_ps) = arch.error_slots();
@@ -244,7 +326,6 @@ pub fn calibrate_from_measurements<C: OnnChip>(
         r
     };
 
-    let init = RVector::zeros(n_bs + 2 * n_ps);
     let fit = levenberg_marquardt(&mut residual, &init, lm)?;
     let errors = ErrorVector::from_flat(n_bs, n_ps, fit.params.as_slice())
         .expect("length constructed to match");
@@ -330,6 +411,60 @@ mod tests {
         assert!(outcome.fit_cost < 1e-15);
         let flat = outcome.errors.to_flat();
         assert!(flat.iter().all(|&e| e.abs() < 1e-6));
+    }
+
+    #[test]
+    fn warm_start_recalibration_converges_faster_than_cold() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(2.0), &mut rng);
+        // The prior is the chip's own oracle errors nudged slightly — the
+        // situation after a short stretch of OU drift since the previous
+        // calibration.
+        let mut flat = chip.oracle_errors().to_flat();
+        for (i, e) in flat.iter_mut().enumerate() {
+            *e += 0.01 * (i as f64 * 0.7).sin();
+        }
+        let (n_bs, n_ps) = arch.error_slots();
+        let prior = ErrorVector::from_flat(n_bs, n_ps, &flat).unwrap();
+        let lm = LmSettings {
+            max_iters: 12,
+            ..LmSettings::default()
+        };
+        let plan = ProbePlan::for_chip(&chip, true, 6, 2, &mut rng);
+        let measured = measure_chip(&chip, &plan);
+        let cold = calibrate_from_measurements(&chip, &plan, &measured, &lm).unwrap();
+        let warm = recalibrate_from_measurements(&chip, &plan, &measured, &lm, &prior).unwrap();
+        assert!(
+            warm.initial_cost < cold.initial_cost,
+            "warm start must begin closer: warm {} vs cold {}",
+            warm.initial_cost,
+            cold.initial_cost
+        );
+        assert!(warm.fit_cost <= warm.initial_cost);
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn recalibrate_entry_point_spends_the_probe_budget() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let arch = Architecture::single_mesh(4, 2).unwrap();
+        let chip = FabricatedChip::fabricate(&arch, &ErrorModel::with_beta(1.0), &mut rng);
+        chip.reset_query_count();
+        let settings = CalibrationSettings {
+            random_inputs: 2,
+            num_settings: 2,
+            lm: LmSettings {
+                max_iters: 4,
+                ..LmSettings::default()
+            },
+            ..CalibrationSettings::default()
+        };
+        let outcome = recalibrate(&chip, &chip.oracle_errors(), &settings, &mut rng).unwrap();
+        assert_eq!(outcome.chip_queries, 12);
+        assert_eq!(chip.query_count(), 12);
+        // From the oracle prior the residual is already ~zero.
+        assert!(outcome.initial_cost < 1e-12, "{}", outcome.initial_cost);
     }
 
     #[test]

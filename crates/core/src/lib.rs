@@ -55,7 +55,10 @@ pub use metrics::{
     model_batch_loss_and_grad_pooled, Evaluation,
 };
 pub use report::{downsample, recovery_report, sparkline, trace_summary, CsvWriter, TextTable};
-pub use stats::{mann_whitney_u, normal_sf, percentiles, MannWhitney, RunSummary};
+pub use stats::{
+    mann_whitney_u, normal_sf, percentiles, MannWhitney, RunSummary,
+    MANN_WHITNEY_EXACT_MAX_POOLED_N,
+};
 pub use photon_exec::WatchdogPolicy;
 pub use trainer::{
     AbortReason, DurableOptions, EpochRecord, Method, ModelChoice, RecoveryEvent, RecoveryPolicy,

@@ -485,6 +485,43 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                      {jobs_completed} completed, {jobs_rejected} rejected"
                 );
             }
+            TraceEvent::CanaryVerdict {
+                cycle,
+                samples,
+                baseline_loss,
+                shadow_loss,
+                p_value,
+                promote,
+            } => {
+                let verdict = if *promote { "promote" } else { "reject" };
+                let _ = writeln!(
+                    out,
+                    "  canary      cycle {cycle:>3}: loss {baseline_loss:.4e} vs \
+                     {shadow_loss:.4e} over {samples}/arm, p={p_value:.4} -> {verdict}"
+                );
+            }
+            TraceEvent::Promotion {
+                cycle,
+                step,
+                shadow_epochs,
+                shadow_loss,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  promote     cycle {cycle:>3} step {step:>5}: shadow theta \
+                     ({shadow_epochs} epochs, loss {shadow_loss:.4e}) pinned"
+                );
+            }
+            TraceEvent::ShadowRollback {
+                cycle,
+                step,
+                reason,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  shadow-drop cycle {cycle:>3} step {step:>5}: {reason}"
+                );
+            }
             TraceEvent::ServingStats {
                 tenant,
                 arrivals,
@@ -606,6 +643,37 @@ mod tests {
         assert!(s.contains("12.5/96.0/250.0 us"), "{s}");
         assert!(s.contains("peak queue 37"), "{s}");
         assert!(s.contains("mean batch 7.50"), "{s}");
+    }
+
+    #[test]
+    fn trace_summary_renders_online_recal_events() {
+        let events = vec![
+            TraceEvent::CanaryVerdict {
+                cycle: 1,
+                samples: 8,
+                baseline_loss: 0.8,
+                shadow_loss: 0.2,
+                p_value: 0.0125,
+                promote: true,
+            },
+            TraceEvent::Promotion {
+                cycle: 1,
+                step: 320,
+                shadow_epochs: 3,
+                shadow_loss: 0.2,
+            },
+            TraceEvent::ShadowRollback {
+                cycle: 2,
+                step: 640,
+                reason: "canary_not_better".to_string(),
+            },
+        ];
+        let s = trace_summary(&events);
+        assert!(s.contains("canary      cycle   1"), "{s}");
+        assert!(s.contains("p=0.0125 -> promote"), "{s}");
+        assert!(s.contains("promote     cycle   1 step   320"), "{s}");
+        assert!(s.contains("3 epochs"), "{s}");
+        assert!(s.contains("shadow-drop cycle   2 step   640: canary_not_better"), "{s}");
     }
 
     #[test]

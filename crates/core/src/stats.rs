@@ -54,8 +54,12 @@ pub struct MannWhitney {
     /// The U statistic of the first sample.
     pub u: f64,
     /// Standard-normal z-score (tie-corrected, continuity-corrected).
+    /// Reported for reference even when the p-value comes from the exact
+    /// small-sample distribution.
     pub z: f64,
-    /// Two-sided p-value from the normal approximation.
+    /// Two-sided p-value: exact permutation distribution when the pooled
+    /// sample has at most [`MANN_WHITNEY_EXACT_MAX_POOLED_N`] values, the
+    /// normal approximation above that.
     pub p_value: f64,
 }
 
@@ -75,8 +79,57 @@ impl MannWhitney {
     }
 }
 
-/// Two-sided Mann-Whitney U test via the normal approximation with tie
-/// correction — adequate for the ≥8-run samples used in the experiments.
+/// Pooled-sample ceiling below which [`mann_whitney_u`] computes the
+/// two-sided p-value from the **exact** permutation distribution of U
+/// (enumerating every assignment of pooled midranks to the first sample)
+/// instead of the normal approximation. At canary-slice sizes (n ≤ ~8 per
+/// arm) the normal approximation mis-sizes the gate — the exact tail is
+/// discrete and the smallest attainable p is `2 / C(n, n1)` — so a gate
+/// sized from the approximation can promote a worse shadow theta.
+/// `C(20, 10) = 184 756` arrangements keep the exact path microseconds
+/// cheap.
+pub const MANN_WHITNEY_EXACT_MAX_POOLED_N: usize = 20;
+
+/// Exact two-sided permutation p-value over pooled midranks: the fraction
+/// of the `C(n, n1)` equally likely rank assignments whose U deviates from
+/// the null mean `n1·n2/2` by at least the observed deviation. Midranks
+/// make tie handling exact (tied arrangements share a U value).
+fn mann_whitney_exact_p(ranks: &[f64], n1: usize, u_obs: f64, mean_u: f64) -> f64 {
+    let total = ranks.len();
+    debug_assert!((1..total).contains(&n1) && total <= MANN_WHITNEY_EXACT_MAX_POOLED_N);
+    let threshold = (u_obs - mean_u).abs() - 1e-9;
+    let base = n1 as f64 * (n1 as f64 + 1.0) / 2.0;
+    let mut extreme: u64 = 0;
+    let mut arrangements: u64 = 0;
+    let mut mask: u64 = (1u64 << n1) - 1;
+    let last: u64 = mask << (total - n1);
+    loop {
+        let mut r1 = 0.0;
+        let mut m = mask;
+        while m != 0 {
+            r1 += ranks[m.trailing_zeros() as usize];
+            m &= m - 1;
+        }
+        if (r1 - base - mean_u).abs() >= threshold {
+            extreme += 1;
+        }
+        arrangements += 1;
+        if mask == last {
+            break;
+        }
+        // Gosper's hack: next larger integer with the same popcount.
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        mask = (((r ^ mask) >> 2) / c) | r;
+    }
+    extreme as f64 / arrangements as f64
+}
+
+/// Two-sided Mann-Whitney U test. For pooled samples of at most
+/// [`MANN_WHITNEY_EXACT_MAX_POOLED_N`] values the p-value comes from the
+/// exact permutation distribution (ties handled via midranks); larger
+/// pools use the tie-corrected, continuity-corrected normal approximation
+/// — adequate for the ≥8-run samples used in the experiments.
 ///
 /// # Panics
 ///
@@ -156,7 +209,11 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
     // Continuity correction toward the mean.
     let diff = u1 - mean_u;
     let z = (diff.abs() - 0.5).max(0.0) / var_u.sqrt() * diff.signum();
-    let p = 2.0 * normal_sf(z.abs());
+    let p = if total <= MANN_WHITNEY_EXACT_MAX_POOLED_N {
+        mann_whitney_exact_p(&ranks, a.len(), u1, mean_u)
+    } else {
+        2.0 * normal_sf(z.abs())
+    };
     MannWhitney {
         u: u1,
         z,
@@ -302,6 +359,50 @@ mod tests {
         assert_eq!(t.p_value, 1.0);
         assert_eq!(t.z, 0.0);
         assert_eq!(t.annotation(), "ns");
+    }
+
+    /// Regression test for the exact small-sample path: at canary sizes
+    /// the normal approximation mis-sizes the tail (3-vs-3 full
+    /// separation approximates to p ≈ 0.081 where the exact discrete
+    /// distribution gives exactly 2/C(6,3) = 0.1), so these pins fail on
+    /// approximation-only code.
+    #[test]
+    fn exact_small_sample_p_values_are_pinned() {
+        // 3 vs 3, fully separated: only U = 0 and U = 9 are as extreme,
+        // out of C(6,3) = 20 arrangements.
+        let t = mann_whitney_u(&[1.0, 2.0, 3.0], &[10.0, 11.0, 12.0]);
+        assert!((t.p_value - 2.0 / 20.0).abs() < 1e-12, "p {}", t.p_value);
+        // 2 vs 3, fully separated: 2 extreme of C(5,2) = 10.
+        let t = mann_whitney_u(&[1.0, 2.0], &[10.0, 11.0, 12.0]);
+        assert!((t.p_value - 2.0 / 10.0).abs() < 1e-12, "p {}", t.p_value);
+        // 8 vs 8, fully separated: 2 extreme of C(16,8) = 12870 — the
+        // smallest attainable two-sided p at this size.
+        let a: Vec<f64> = (1..=8).map(f64::from).collect();
+        let b: Vec<f64> = (11..=18).map(f64::from).collect();
+        let t = mann_whitney_u(&a, &b);
+        assert!((t.p_value - 2.0 / 12870.0).abs() < 1e-12, "p {}", t.p_value);
+        // 4 vs 4 interleaved: |U − 8| ≥ 2 covers 48 of C(8,4) = 70.
+        let t = mann_whitney_u(&[1.0, 3.0, 5.0, 7.0], &[2.0, 4.0, 6.0, 8.0]);
+        assert!((t.p_value - 48.0 / 70.0).abs() < 1e-12, "p {}", t.p_value);
+    }
+
+    #[test]
+    fn exact_path_handles_ties_and_matches_symmetry() {
+        // Tied pools stay exact: midranks give tied arrangements a shared
+        // U, and swapping the samples must not change the p-value.
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 3.0, 4.0];
+        let t_ab = mann_whitney_u(&a, &b);
+        let t_ba = mann_whitney_u(&b, &a);
+        assert!((t_ab.p_value - t_ba.p_value).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&t_ab.p_value));
+        // Above the documented pooled-size ceiling the normal
+        // approximation takes over and must still produce a sane p.
+        let big_a: Vec<f64> = (0..11).map(f64::from).collect();
+        let big_b: Vec<f64> = (6..17).map(f64::from).collect();
+        assert!(big_a.len() + big_b.len() > MANN_WHITNEY_EXACT_MAX_POOLED_N);
+        let t = mann_whitney_u(&big_a, &big_b);
+        assert!(t.p_value > 0.0 && t.p_value < 1.0, "p {}", t.p_value);
     }
 
     #[test]

@@ -778,6 +778,43 @@ impl<'a, C: OnnChip> Trainer<'a, C> {
         self.durable_loop(method, config, opts, journal, state, Vec::new())
     }
 
+    /// Starts a durable run from caller-supplied parameters, skipping the
+    /// warm start entirely — the fine-tune primitive of online
+    /// recalibration, where the shadow run continues from the *deployed*
+    /// theta rather than a fresh random draw.
+    ///
+    /// Identical to [`Trainer::train_durable`] otherwise: same journal
+    /// format, same epoch streams derived from `opts.root_seed`, same
+    /// determinism contract. One caveat for resumption: a journal with
+    /// zero landed epochs cannot reconstruct `theta` (the file does not
+    /// record it), so [`Trainer::resume`] would redo the *warm start*
+    /// instead. Callers must treat an empty journal as "not started" and
+    /// call this method again with the same `theta` — which is exactly
+    /// what the online controller does, since the deployed theta is part
+    /// of its own write-ahead state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trainer::train_durable`].
+    pub fn train_durable_from(
+        &self,
+        method: Method,
+        config: &TrainConfig,
+        opts: &DurableOptions,
+        theta: &RVector,
+    ) -> Result<RunOutcome, CoreError> {
+        let header = JournalHeader {
+            method,
+            root_seed: opts.root_seed,
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            q: config.q,
+        };
+        let journal = RunJournal::create(&opts.journal_path, &header)?;
+        let state = self.initial_run_state(method, config, theta);
+        self.durable_loop(method, config, opts, journal, state, Vec::new())
+    }
+
     /// Resumes a durable run from its journal: replays the log (truncating
     /// any torn tail), restores the last journaled [`RunState`], re-derives
     /// the next epoch's RNG stream from the root seed, and continues

@@ -51,11 +51,15 @@
 
 mod chaos;
 mod health;
+mod online;
 mod scheduler;
 mod serving;
 
 pub use chaos::{ChaosPlan, KillSpec, QuarantineSpec};
 pub use health::{ChipHealth, HealthMonitor, HealthPolicy, HealthTransition};
+pub use online::{
+    run_online, CycleRecord, OnlineError, OnlineOptions, OnlineOutcome, ONLINE_WAL,
+};
 pub use scheduler::{JobId, JobSpec, RejectReason, Rejection, TenantSpec};
 pub use serving::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest};
 

@@ -300,6 +300,10 @@ struct FaultState {
     /// Fault totals last forwarded to the trace handle (emission happens
     /// only at the serial control point, so event order is deterministic).
     reported: FaultCounts,
+    /// Logical theta last passed to `pin_compile_base` — the *deployed*
+    /// phases, before drift/stuck resolution (the inner chip only ever
+    /// sees fault-effective phases).
+    pinned_theta: Option<RVector>,
 }
 
 /// An [`OnnChip`] decorator that injects the [`FaultPlan`]'s faults into
@@ -363,6 +367,7 @@ impl<C: OnnChip> FaultyChip<C> {
                 rng: StdRng::seed_from_u64(splitmix64(seed)),
                 attempts: HashMap::new(),
                 reported: FaultCounts::default(),
+                pinned_theta: None,
             }),
             dropped: AtomicU64::new(0),
             spiked: AtomicU64::new(0),
@@ -700,7 +705,8 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
     /// Serial control point, like [`OnnChip::advance_to`].
     fn pin_compile_base(&self, theta: &RVector) {
         let eff = {
-            let st = self.state.lock();
+            let mut st = self.state.lock();
+            st.pinned_theta = Some(theta.clone());
             let mut eff = theta.clone();
             if self.plan.drift.is_some() {
                 eff.axpy(1.0, &st.drift);
@@ -711,6 +717,12 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
             eff
         };
         self.inner.pin_compile_base(&eff);
+    }
+
+    /// The *logical* deployed theta — what the caller pinned, not the
+    /// fault-effective phases forwarded to the inner chip.
+    fn pinned_theta(&self) -> Option<RVector> {
+        self.state.lock().pinned_theta.clone()
     }
 
     /// The real cancellation flag hung reads poll. A watchdog that raises
@@ -878,6 +890,21 @@ mod tests {
         if b.iter().all(|v| v.is_finite()) && b2.iter().all(|v| v.is_finite()) {
             assert_eq!(b.as_slice(), b2.as_slice());
         }
+    }
+
+    #[test]
+    fn pinned_theta_reports_logical_not_effective_phases() {
+        let (faulty, _rng, theta) = base_chip(17);
+        assert!(faulty.pinned_theta().is_none());
+        faulty.advance_to(3); // accumulate some drift first
+        faulty.pin_compile_base(&theta);
+        // The wrapper reports the deployed theta verbatim...
+        assert_eq!(faulty.pinned_theta().unwrap(), theta);
+        // ...while the inner chip was pinned at fault-effective phases
+        // (drift plus the stuck shifter override), which must differ.
+        let inner_pin = faulty.inner().pinned_theta().unwrap();
+        assert_ne!(inner_pin, theta);
+        assert_eq!(inner_pin.as_slice()[3], 0.5, "stuck override applied");
     }
 
     #[test]

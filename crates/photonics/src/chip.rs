@@ -291,6 +291,16 @@ pub trait OnnChip: Sync {
     fn pin_compile_base(&self, theta: &RVector) {
         let _ = theta;
     }
+
+    /// The logical theta currently deployed via
+    /// [`pin_compile_base`](Self::pin_compile_base), or `None` when the
+    /// chip has no pin (including chips that ignore pinning entirely).
+    ///
+    /// Wrapper chips report the theta *they* were pinned with, not
+    /// whatever transformed phases they forwarded to an inner chip.
+    fn pinned_theta(&self) -> Option<RVector> {
+        None
+    }
 }
 
 /// Optional measurement-noise model of the chip's readout chain.
@@ -755,6 +765,23 @@ impl FabricatedChip {
         *self.pinned_theta.lock() = Some(theta.clone());
     }
 
+    /// Atomically replaces the deployed pin with `theta`, returning the
+    /// previously deployed theta (if any) — the promote primitive of
+    /// online recalibration. The new base is compiled *before* either pin
+    /// slot changes, so the swap itself is a pointer exchange.
+    ///
+    /// Like [`pin_compile_base`](Self::pin_compile_base), call only from a
+    /// serial control point: a serve racing the swap could pair the old
+    /// deployed theta with the new base.
+    pub fn swap_pinned_base(&self, theta: &RVector) -> Option<RVector> {
+        let mut eff = RVector::zeros(0);
+        let th = self.effective_theta(theta, &mut eff);
+        let pin = PinnedBase::compile(&self.network, th);
+        let prev = self.pinned_theta.lock().replace(theta.clone());
+        *self.pinned.lock() = pin;
+        prev
+    }
+
     /// Drops the pinned compile base, if any: batched measurements fall
     /// back to plain per-theta compiles.
     pub fn unpin_compile_base(&self) {
@@ -765,6 +792,13 @@ impl FabricatedChip {
     /// Whether a compile base is currently pinned.
     pub fn has_pinned_base(&self) -> bool {
         self.pinned_theta.lock().is_some()
+    }
+
+    /// The deployed theta — the raw phases
+    /// [`pin_compile_base`](Self::pin_compile_base) was last called with,
+    /// or `None` when nothing is pinned.
+    pub fn pinned_theta(&self) -> Option<RVector> {
+        self.pinned_theta.lock().clone()
     }
 
     /// Serving entry point: measures a whole microbatch at the *deployed*
@@ -914,6 +948,10 @@ impl OnnChip for FabricatedChip {
 
     fn pin_compile_base(&self, theta: &RVector) {
         FabricatedChip::pin_compile_base(self, theta)
+    }
+
+    fn pinned_theta(&self) -> Option<RVector> {
+        FabricatedChip::pinned_theta(self)
     }
 
     fn oracle_errors(&self) -> ErrorVector {
@@ -1095,6 +1133,31 @@ mod tests {
         chip.unpin_compile_base();
         assert!(!chip.has_pinned_base());
         assert!(chip.serve_pinned_batch_into(&refs, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn swap_pinned_base_promotes_atomically() {
+        let (chip, mut rng) = chip_and_rng();
+        let old = chip.init_params(&mut rng);
+        let new = chip.init_params(&mut rng);
+        assert!(chip.pinned_theta().is_none());
+
+        // First deployment: swap on an unpinned chip returns no predecessor.
+        assert!(chip.swap_pinned_base(&old).is_none());
+        assert_eq!(chip.pinned_theta().unwrap(), old);
+
+        // Promotion: the old theta comes back for rollback bookkeeping and
+        // serves immediately reflect the new deployment.
+        let prev = chip.swap_pinned_base(&new).expect("old pin returned");
+        assert_eq!(prev, old);
+        assert_eq!(chip.pinned_theta().unwrap(), new);
+
+        let x = photon_linalg::random::normal_cvector(4, &mut rng);
+        let mut scratch = BatchScratch::new();
+        let served = chip.serve_pinned_batch_into(&[&x], &mut scratch).unwrap()[0].clone();
+        let mut scratch2 = BatchScratch::new();
+        let direct = chip.forward_batch_into(&[&x], &new, &mut scratch2)[0].clone();
+        assert!((&served - &direct).max_abs() == 0.0);
     }
 
     #[test]

@@ -38,9 +38,12 @@ pub struct QMatrix {
 
 impl QMatrix {
     /// Quantizes a dense complex matrix with one symmetric scale per row
-    /// (the row's max absolute real/imaginary component maps to
+    /// (the row's max absolute *finite* real/imaginary component maps to
     /// `i16::MAX`). An all-zero row gets scale `0`, reproducing it
-    /// exactly.
+    /// exactly; non-finite components saturate per component (±`i16::MAX`
+    /// for ±∞, `0` for NaN) instead of poisoning the row scale — a row
+    /// scale of `0`, a denormal, or ∞ would dequantize every entry of the
+    /// row into NaN or garbage.
     pub fn quantize(m: &CMatrix) -> QMatrix {
         let (rows, cols) = (m.rows(), m.cols());
         let mut row_scale = Vec::with_capacity(rows);
@@ -50,9 +53,10 @@ impl QMatrix {
             let row = m.row(r);
             let amax = row
                 .iter()
-                .map(|z| z.re.abs().max(z.im.abs()))
-                .fold(0.0f64, f64::max);
-            let scale = if amax == 0.0 { 0.0 } else { amax as f32 / QMAX };
+                .flat_map(|z| [z.re, z.im])
+                .filter(|v| v.is_finite())
+                .fold(0.0f64, |acc, v| acc.max(v.abs()));
+            let scale = row_quant_scale(amax);
             row_scale.push(scale);
             let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale as f64 };
             for z in row {
@@ -150,8 +154,24 @@ impl QMatrix {
     }
 }
 
+/// Guarded per-row dequantization scale for a row whose largest finite
+/// component magnitude is `amax`: `0` for an all-zero (or all-non-finite)
+/// row, and otherwise clamped into `[f32::MIN_POSITIVE, f32::MAX]` so the
+/// stored `f32` scale can never be zero, subnormal, or infinite — a
+/// subnormal scale flushes rows to garbage on dequantize and an infinite
+/// one turns the whole row into NaN via `0 · ∞`.
+fn row_quant_scale(amax: f64) -> f32 {
+    if amax.is_nan() || amax <= 0.0 {
+        return 0.0;
+    }
+    ((amax / QMAX as f64) as f32).clamp(f32::MIN_POSITIVE, f32::MAX)
+}
+
 /// Rounds `v / scale` to the nearest representable `i16` step
-/// (`inv = 1/scale`, `0` for an all-zero row).
+/// (`inv = 1/scale`, `0` for an all-zero row), saturating explicitly:
+/// out-of-range and ±∞ values clamp to the `i16` range and NaN maps to
+/// `0` (NaN passes through `clamp` into Rust's saturating float→int
+/// cast), so no input can overflow the integer plane.
 fn quantize_component(v: f64, inv: f64) -> i16 {
     let q = (v * inv).round();
     q.clamp(i16::MIN as f64, i16::MAX as f64) as i16
@@ -369,6 +389,120 @@ mod tests {
         let back = QuantizedNetwork::from_bytes(&bytes).expect("valid buffer");
         assert_eq!(back, q);
         assert_eq!(back.to_bytes(), bytes, "re-serialization is byte-exact");
+    }
+
+    /// Regression test for the row-scale guard: a non-finite component
+    /// used to drive the row scale to ∞ (`inv = 0`, every quantized entry
+    /// NaN→0, dequantize `0 · ∞ = NaN`), poisoning the whole row. Now it
+    /// saturates per component and every served value stays finite.
+    #[test]
+    fn non_finite_rows_saturate_instead_of_nan() {
+        let m = CMatrix::from_rows(&[
+            vec![C64::new(1.0, 0.0), C64::new(f64::INFINITY, 0.0)],
+            vec![C64::new(0.5, f64::NAN), C64::new(-0.25, 0.0)],
+            vec![C64::new(f64::NEG_INFINITY, f64::NAN), C64::new(f64::INFINITY, 0.0)],
+        ]);
+        let qm = QMatrix::quantize(&m);
+        assert!(
+            qm.row_scale.iter().all(|s| s.is_finite()),
+            "row scales must be finite: {:?}",
+            qm.row_scale
+        );
+        let q = QuantizedNetwork { stages: vec![qm] };
+        let x = CVector::from_vec(vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0)]);
+        let y = q.forward(&x);
+        assert!(
+            y.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+            "serving a quantized non-finite row must stay finite: {y:?}"
+        );
+        // The ∞ component saturated to the quantization ceiling rather
+        // than flattening its row to zero.
+        assert_eq!(q.stages[0].re[1], i16::MAX);
+        // The finite neighbours of a poisoned component survive.
+        assert!(q.stages[0].re[0] > 0);
+        assert!(q.stages[0].re[3] < 0);
+    }
+
+    /// A huge-but-finite row must not overflow the f32 row scale into ∞,
+    /// and a tiny row must not store a zero/subnormal scale.
+    #[test]
+    fn extreme_magnitude_rows_keep_normal_scales() {
+        let m = CMatrix::from_rows(&[
+            vec![C64::new(1e300, 0.0), C64::new(-1e299, 0.0)],
+            vec![C64::new(1e-44, 0.0), C64::new(0.0, -1e-45)],
+            vec![C64::new(0.0, 0.0), C64::new(0.0, 0.0)],
+        ]);
+        let qm = QMatrix::quantize(&m);
+        assert_eq!(qm.row_scale[0], f32::MAX, "huge rows clamp, not overflow");
+        assert!(
+            qm.row_scale[1] == 0.0 || qm.row_scale[1].is_normal(),
+            "tiny rows must not store a subnormal scale: {:?}",
+            qm.row_scale[1]
+        );
+        assert_eq!(qm.row_scale[2], 0.0, "all-zero row keeps scale 0");
+        assert!(qm.re.iter().chain(&qm.im).skip(4).all(|&v| v == 0));
+        let q = QuantizedNetwork { stages: vec![qm] };
+        let y = q.forward(&CVector::from_vec(vec![C64::new(1.0, 0.5), C64::new(-0.5, 1.0)]));
+        assert!(y.iter().all(|z| z.re.is_finite() && z.im.is_finite()), "{y:?}");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One matrix row drawn from the adversarial classes the scale
+        /// guard must survive: all-zero, near the f64 magnitude ceiling,
+        /// and ordinary O(1) values.
+        fn arb_component() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                Just(0.0f64),
+                (0.5f64..1e308).prop_flat_map(|m| prop_oneof![Just(m), Just(-m)]),
+                -2.0f64..2.0,
+            ]
+        }
+
+        fn arb_row(cols: usize) -> impl Strategy<Value = Vec<C64>> {
+            prop_oneof![
+                Just(vec![C64::new(0.0, 0.0); cols]),
+                proptest::collection::vec(
+                    (arb_component(), arb_component()).prop_map(|(re, im)| C64::new(re, im)),
+                    cols
+                ),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Quantizing any mix of zero / max-magnitude / ordinary rows
+            /// yields finite normal-or-zero scales, and the serialized
+            /// artifact round-trips byte-exactly in both directions.
+            #[test]
+            fn adversarial_rows_roundtrip_byte_exactly(
+                rows in proptest::collection::vec(arb_row(3), 1..5),
+            ) {
+                let m = CMatrix::from_rows(&rows);
+                let qm = QMatrix::quantize(&m);
+                for s in &qm.row_scale {
+                    prop_assert!(*s == 0.0 || s.is_normal(), "bad scale {s:?}");
+                }
+                let q = QuantizedNetwork { stages: vec![qm] };
+                let bytes = q.to_bytes();
+                let back = QuantizedNetwork::from_bytes(&bytes).expect("valid buffer");
+                prop_assert_eq!(&back, &q);
+                prop_assert_eq!(back.to_bytes(), bytes);
+                let x = CVector::from_vec(vec![
+                    C64::new(1.0, 0.0),
+                    C64::new(0.0, -1.0),
+                    C64::new(0.5, 0.5),
+                ]);
+                let y = q.forward(&x);
+                prop_assert!(
+                    y.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+                    "quantized serve must stay finite: {:?}", y
+                );
+            }
+        }
     }
 
     #[test]

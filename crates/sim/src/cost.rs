@@ -30,6 +30,10 @@ pub struct CostModel {
     /// Cost of one background recalibration pass (it owns the worker for
     /// the duration), in virtual nanoseconds.
     pub recal_service_ns: u64,
+    /// Cost of one piggybacked calibration probe — a single-input
+    /// measurement against the live chip, dispatched into an idle
+    /// microbatch slot — in virtual nanoseconds.
+    pub probe_service_ns: u64,
     /// Probability that a dispatch trips a fault-induced lab-link hang.
     pub hang_prob: f64,
     /// Extra latency a hang adds to the dispatch it strikes.
@@ -48,6 +52,9 @@ impl CostModel {
             compile_ns: 7_400,
             per_sample_ns: 250,
             recal_service_ns: 2_000_000,
+            // One probe = one fresh compile at the probe setting plus one
+            // sample: the same two-term shape as service_ns(1).
+            probe_service_ns: 7_650,
             hang_prob: 0.0,
             hang_ns: 0,
         }
@@ -68,6 +75,13 @@ impl CostModel {
     #[must_use]
     pub fn with_recal_service_ns(mut self, ns: u64) -> Self {
         self.recal_service_ns = ns;
+        self
+    }
+
+    /// Overrides the per-probe duration.
+    #[must_use]
+    pub fn with_probe_service_ns(mut self, ns: u64) -> Self {
+        self.probe_service_ns = ns;
         self
     }
 

@@ -52,4 +52,6 @@ pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use cost::CostModel;
 pub use heap::EventHeap;
 pub use report::{ServingReport, TenantServingStats};
-pub use sim::{run, run_on_chip, RecalTraffic, SimConfig, TenantLoad};
+pub use sim::{
+    run, run_on_chip, CanaryTraffic, ProbeTraffic, RecalTraffic, SimConfig, TenantLoad,
+};

@@ -112,6 +112,11 @@ pub struct ServingReport {
     pub hangs: u64,
     /// Background recalibration passes served.
     pub recals: u64,
+    /// Piggybacked calibration probes served (dispatched only into idle
+    /// microbatch slots, budgeted per window).
+    pub probes: u64,
+    /// Canary comparison batches served.
+    pub canaries: u64,
     /// Chip queries spent when the run drove a real chip
     /// ([`crate::run_on_chip`]); `None` for model-only runs. Must equal
     /// [`ServingReport::aggregate`]`.completed` — asserted in tests.
@@ -168,13 +173,15 @@ impl ServingReport {
         );
         let _ = writeln!(
             out,
-            "  window {} ms, makespan {} ms, {} dispatches (mean batch {}), {} hangs, {} recals",
+            "  window {} ms, makespan {} ms, {} dispatches (mean batch {}), {} hangs, {} recals, {} probes, {} canaries",
             fx(self.duration_ns as f64 / 1e6, 3),
             fx(self.makespan_ns as f64 / 1e6, 3),
             self.batches,
             fx(self.mean_batch, 2),
             self.hangs,
             self.recals,
+            self.probes,
+            self.canaries,
         );
         if let Some(q) = self.chip_queries {
             let _ = writeln!(out, "  chip queries {q} (reconciled against completions)");
@@ -221,7 +228,7 @@ impl ServingReport {
         };
         let tenants: Vec<String> = self.tenants.iter().map(&row).collect();
         format!(
-            "{{\"label\":{},\"root_seed\":{},\"duration_ns\":{},\"makespan_ns\":{},\"workers\":{},\"max_batch\":{},\"max_wait_ns\":{},\"batches\":{},\"mean_batch\":{},\"hangs\":{},\"recals\":{},\"chip_queries\":{},\"tenants\":[{}],\"aggregate\":{}}}",
+            "{{\"label\":{},\"root_seed\":{},\"duration_ns\":{},\"makespan_ns\":{},\"workers\":{},\"max_batch\":{},\"max_wait_ns\":{},\"batches\":{},\"mean_batch\":{},\"hangs\":{},\"recals\":{},\"probes\":{},\"canaries\":{},\"chip_queries\":{},\"tenants\":[{}],\"aggregate\":{}}}",
             jstr(&self.label),
             self.root_seed,
             self.duration_ns,
@@ -233,6 +240,8 @@ impl ServingReport {
             jf(self.mean_batch),
             self.hangs,
             self.recals,
+            self.probes,
+            self.canaries,
             match self.chip_queries {
                 Some(q) => q.to_string(),
                 None => "null".to_string(),
@@ -300,12 +309,16 @@ mod tests {
             mean_batch: 7.5,
             hangs: 0,
             recals: 2,
+            probes: 5,
+            canaries: 1,
             chip_queries: Some(90),
         };
         assert_eq!(report.render(), report.render());
         let json = report.to_json();
         assert_eq!(json, report.to_json());
         assert!(json.contains("\"chip_queries\":90"));
+        assert!(json.contains("\"probes\":5,\"canaries\":1"));
+        assert!(report.render().contains("5 probes, 1 canaries"));
         assert!(json.contains("\"p50_ns\":null"), "NaN must become null");
         assert!(json.contains("\"tenants\":[{\"tenant\":\"t\""));
         assert!(report.render().contains("chip queries 90"));
@@ -331,6 +344,8 @@ mod tests {
             mean_batch: 1.0,
             hangs: 0,
             recals: 0,
+            probes: 0,
+            canaries: 0,
             chip_queries: None,
         };
         report.emit(&handle);

@@ -332,6 +332,46 @@ pub enum TraceEvent {
         /// Jobs that ended rejected (admission or mid-run load-shed).
         jobs_rejected: u64,
     },
+    /// A canary comparison between the deployed theta and a shadow theta
+    /// finished: seeded traffic was served by both, and the Mann-Whitney
+    /// gate on the per-sample losses produced a verdict.
+    CanaryVerdict {
+        /// Online-recalibration cycle (1-based).
+        cycle: u64,
+        /// Canary samples routed to each arm.
+        samples: u64,
+        /// Mean per-sample loss of the deployed (baseline) theta.
+        baseline_loss: f64,
+        /// Mean per-sample loss of the shadow theta.
+        shadow_loss: f64,
+        /// Two-sided Mann-Whitney p-value of the loss comparison.
+        p_value: f64,
+        /// Whether the gate decided to promote the shadow.
+        promote: bool,
+    },
+    /// The shadow theta was atomically promoted to the deployed pinned
+    /// base at a serial control point.
+    Promotion {
+        /// Online-recalibration cycle (1-based).
+        cycle: u64,
+        /// Serial `advance_to` step the re-pin happened at.
+        step: u64,
+        /// Shadow fine-tune epochs that produced the promoted theta.
+        shadow_epochs: u64,
+        /// Canary loss of the promoted theta.
+        shadow_loss: f64,
+    },
+    /// The shadow theta lost (or tied) the canary and was discarded; the
+    /// deployed theta keeps serving.
+    ShadowRollback {
+        /// Online-recalibration cycle (1-based).
+        cycle: u64,
+        /// Serial `advance_to` step the decision was taken at.
+        step: u64,
+        /// Why the shadow was rejected (stable lowercase words, e.g.
+        /// "canary_not_better", "finetune_diverged").
+        reason: String,
+    },
     /// Per-tenant serving-latency summary from a serving run or the
     /// discrete-event serving simulator: tail latencies, throughput, and
     /// what overload cost (shed requests, queue high-water mark).
@@ -415,6 +455,9 @@ impl TraceEvent {
             TraceEvent::ChipHealth { .. } => "chip_health",
             TraceEvent::JobState { .. } => "job_state",
             TraceEvent::TenantLedger { .. } => "tenant_ledger",
+            TraceEvent::CanaryVerdict { .. } => "canary_verdict",
+            TraceEvent::Promotion { .. } => "promotion",
+            TraceEvent::ShadowRollback { .. } => "shadow_rollback",
             TraceEvent::ServingStats { .. } => "serving_stats",
         }
     }
@@ -576,6 +619,36 @@ impl TraceEvent {
             } => format!(
                 "{{\"type\":{kind},\"tenant\":{},\"queries\":{queries},\"jobs_completed\":{jobs_completed},\"jobs_rejected\":{jobs_rejected}}}",
                 json_str(tenant),
+            ),
+            TraceEvent::CanaryVerdict {
+                cycle,
+                samples,
+                baseline_loss,
+                shadow_loss,
+                p_value,
+                promote,
+            } => format!(
+                "{{\"type\":{kind},\"cycle\":{cycle},\"samples\":{samples},\"baseline_loss\":{},\"shadow_loss\":{},\"p_value\":{},\"promote\":{promote}}}",
+                json_f64(*baseline_loss),
+                json_f64(*shadow_loss),
+                json_f64(*p_value),
+            ),
+            TraceEvent::Promotion {
+                cycle,
+                step,
+                shadow_epochs,
+                shadow_loss,
+            } => format!(
+                "{{\"type\":{kind},\"cycle\":{cycle},\"step\":{step},\"shadow_epochs\":{shadow_epochs},\"shadow_loss\":{}}}",
+                json_f64(*shadow_loss),
+            ),
+            TraceEvent::ShadowRollback {
+                cycle,
+                step,
+                reason,
+            } => format!(
+                "{{\"type\":{kind},\"cycle\":{cycle},\"step\":{step},\"reason\":{}}}",
+                json_str(reason),
             ),
             TraceEvent::ServingStats {
                 tenant,
@@ -993,6 +1066,49 @@ mod tests {
         assert!(s.contains("\"p999_ns\":null"));
         assert!(s.contains("\"peak_queue_depth\":42"));
         assert!(s.contains("\"mean_batch\":7.75"));
+    }
+
+    #[test]
+    fn online_recal_events_serialize() {
+        let e = TraceEvent::CanaryVerdict {
+            cycle: 2,
+            samples: 8,
+            baseline_loss: 0.75,
+            shadow_loss: 0.25,
+            p_value: 0.0125,
+            promote: true,
+        };
+        assert_eq!(e.kind(), "canary_verdict");
+        let s = e.to_json();
+        assert!(s.contains("\"type\":\"canary_verdict\""));
+        assert!(s.contains("\"cycle\":2"));
+        assert!(s.contains("\"samples\":8"));
+        assert!(s.contains("\"baseline_loss\":0.75"));
+        assert!(s.contains("\"shadow_loss\":0.25"));
+        assert!(s.contains("\"p_value\":0.0125"));
+        assert!(s.contains("\"promote\":true"));
+
+        let e = TraceEvent::Promotion {
+            cycle: 2,
+            step: 640,
+            shadow_epochs: 3,
+            shadow_loss: 0.25,
+        };
+        assert_eq!(e.kind(), "promotion");
+        let s = e.to_json();
+        assert!(s.contains("\"type\":\"promotion\""));
+        assert!(s.contains("\"step\":640"));
+        assert!(s.contains("\"shadow_epochs\":3"));
+
+        let e = TraceEvent::ShadowRollback {
+            cycle: 3,
+            step: 960,
+            reason: "canary_not_better".into(),
+        };
+        assert_eq!(e.kind(), "shadow_rollback");
+        let s = e.to_json();
+        assert!(s.contains("\"type\":\"shadow_rollback\""));
+        assert!(s.contains("\"reason\":\"canary_not_better\""));
     }
 
     #[test]

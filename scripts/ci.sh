@@ -135,4 +135,25 @@ for w in sorted(workloads):
           f"(p99 {by_arm[(w,'coalesced')]['p99_ns']/1e3:.1f} us)")
 EOF
 
+# Online-recalibration gate. The in-situ loop on a drifting chip must
+# (a) recover: the example exits non-zero unless >=1 canary promotion
+#     fired and the online deployment beats the stale no-recal baseline
+#     on both accuracy and loss;
+# (b) replay bitwise: two invocations — the second resuming from the
+#     first's write-ahead journal — must print byte-identical reports
+#     (pinned to the scalar kernel so the gate holds on every host);
+# (c) hold its seams: the e2e suite covers pool-size/restart bitwise
+#     determinism, kill-at-any-byte promote/rollback atomicity, and the
+#     probe traffic's p99 budget in the serving sim.
+PHOTON_KERNEL=scalar cargo test -q --offline --test online_recal --test durable_resume
+rm -rf results/online-recal
+PHOTON_KERNEL=scalar cargo run --release --offline --example online_recal -- \
+    --dir results/online-recal >results/online_recal_a.txt
+PHOTON_KERNEL=scalar cargo run --release --offline --example online_recal -- \
+    --dir results/online-recal >results/online_recal_b.txt
+cmp results/online_recal_a.txt results/online_recal_b.txt
+grep -q "PROMOTED" results/online_recal_a.txt
+grep -q "recovered: yes" results/online_recal_a.txt
+echo "ci: online recalibration recovers, promotes, and replays byte-identically"
+
 echo "ci: all gates green"

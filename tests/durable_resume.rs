@@ -378,3 +378,278 @@ fn epoch_budget_slices_reassemble_bitwise() {
     assert_same_outcome(&control, &sliced);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// `train_durable_from` seeds the run with a caller-supplied theta instead
+/// of the warm start, and the journal it writes kill-resumes bitwise like
+/// any other durable run (as long as at least one epoch committed — the
+/// zero-entry journal is the caller's responsibility, per its docs).
+#[test]
+fn train_durable_from_starts_at_given_theta_and_kill_resumes_bitwise() {
+    let dir = tmp_dir("from-theta");
+    let config = quick_config(1);
+    let method = Method::ZoGaussian;
+
+    let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer = Trainer::new(&task.chip, &task.train, &task.test, task.head);
+    let mut rng = StdRng::seed_from_u64(500);
+    let theta0 = task.chip.init_params(&mut rng);
+
+    let control_path = dir.join("control.journal");
+    let control = trainer
+        .train_durable_from(
+            method,
+            &config,
+            &DurableOptions::new(&control_path, ROOT_SEED),
+            &theta0,
+        )
+        .unwrap()
+        .completed()
+        .expect("from-theta control completes");
+
+    // Regression: the warm start must actually be skipped — a plain
+    // warm-started run with the same seeds lands elsewhere.
+    let warm = trainer
+        .train_durable(
+            method,
+            &config,
+            &DurableOptions::new(dir.join("warm.journal"), ROOT_SEED),
+        )
+        .unwrap()
+        .completed()
+        .unwrap();
+    assert_ne!(
+        bits(&control.theta),
+        bits(&warm.theta),
+        "train_durable_from must not redo the warm start"
+    );
+
+    // Floor the simulated kill at one committed epoch: a one-epoch
+    // preempted run of the same spec yields exactly that journal prefix.
+    let floor_path = dir.join("floor.journal");
+    let task_f = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer_f = Trainer::new(&task_f.chip, &task_f.train, &task_f.test, task_f.head);
+    match trainer_f
+        .train_durable_from(
+            method,
+            &config,
+            &DurableOptions::new(&floor_path, ROOT_SEED).with_epoch_budget(1),
+            &theta0,
+        )
+        .unwrap()
+    {
+        RunOutcome::Aborted {
+            resumable: true,
+            epochs_completed: 1,
+            ..
+        } => {}
+        other => panic!("expected a one-epoch preemption, got {other:?}"),
+    }
+    let floor = fs::metadata(&floor_path).unwrap().len();
+    let full = fs::metadata(&control_path).unwrap().len();
+    assert!(floor < full);
+
+    let mut rng = StdRng::seed_from_u64(404);
+    let cut = rng.gen_range(floor..full);
+    let killed = dir.join("killed.journal");
+    fs::copy(&control_path, &killed).unwrap();
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&killed)
+        .unwrap()
+        .set_len(cut)
+        .unwrap();
+
+    let task2 = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+    let trainer2 = Trainer::new(&task2.chip, &task2.train, &task2.test, task2.head);
+    let resumed = trainer2
+        .resume(&config, &DurableOptions::new(&killed, ROOT_SEED))
+        .unwrap()
+        .completed()
+        .expect("killed from-theta run resumes");
+    assert_same_outcome(&control, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+mod online_atomicity {
+    use super::*;
+    use photon_zo::core::evaluate_chip_pooled;
+    use photon_zo::exec::ExecPool;
+    use photon_zo::farm::{run_online, OnlineOptions, OnlineOutcome, ONLINE_WAL};
+    use photon_zo::faults::{DriftConfig, FaultyChip};
+    use photon_zo::photonics::{ErrorVector, OnnChip};
+
+    const ONLINE_SEED: u64 = 61;
+
+    /// `tmp_dir` that also clears leftovers from a previously failed run —
+    /// the online controller is idempotent-by-journal, so a stale journal
+    /// would silently skip the cycles this test means to execute.
+    fn fresh_tmp(tag: &str) -> PathBuf {
+        let dir = tmp_dir(tag);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn options(cycles: usize) -> OnlineOptions {
+        let mut shadow = TrainConfig::quick(4);
+        shadow.epochs = 4;
+        shadow.threads = Some(1);
+        OnlineOptions::new(cycles, ONLINE_SEED, shadow)
+            .with_canary(8, 0.05)
+            .with_canary_batch(6)
+    }
+
+    /// Fresh drifting chip + deployment for one controller invocation, as
+    /// a restarted process would rebuild them.
+    fn invoke(dir: &Path, cycles: usize) -> OnlineOutcome {
+        let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+        let chip = FaultyChip::new(
+            task.chip,
+            FaultPlan::new(19).with_drift(DriftConfig {
+                sigma: 0.05,
+                tau: 20.0,
+            }),
+        );
+        let mut rng = StdRng::seed_from_u64(500);
+        let deployed = chip.init_params(&mut rng);
+        let (n_bs, n_ps) = chip.architecture().error_slots();
+        run_online(
+            &chip,
+            &task.train,
+            &task.test,
+            task.head,
+            &deployed,
+            &ErrorVector::zeros(n_bs, n_ps),
+            &options(cycles),
+            dir,
+        )
+        .unwrap()
+    }
+
+    fn copy_dir(from: &Path, to: &Path) {
+        fs::create_dir_all(to).unwrap();
+        for entry in fs::read_dir(from).unwrap() {
+            let entry = entry.unwrap();
+            fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+        }
+    }
+
+    /// The atomic promote/rollback guarantee: kill the controller at ANY
+    /// byte of its write-ahead journal — including between a canary
+    /// verdict's committed record and the re-pin that follows it — and the
+    /// restarted controller deploys either the cycle's old theta or its
+    /// new one (bitwise equal to the uninterrupted control's), never a
+    /// torn mix, and then converges to the control's final state.
+    #[test]
+    fn online_promote_and_rollback_survive_kills_untorn() {
+        let control_dir = fresh_tmp("online-control");
+        let control = invoke(&control_dir, 2);
+        assert_eq!(control.cycles.len(), 2);
+        assert!(
+            control.promotions >= 1,
+            "scenario must exercise the promote path: {:?}",
+            control
+                .cycles
+                .iter()
+                .map(|c| (c.promoted, c.p_value))
+                .collect::<Vec<_>>()
+        );
+
+        // Record boundaries, measured rather than assumed: header-only and
+        // one-record journals from runs asked for 0 and 1 cycles.
+        let len0_dir = fresh_tmp("online-len0");
+        invoke(&len0_dir, 0);
+        let len0 = fs::metadata(len0_dir.join(ONLINE_WAL)).unwrap().len();
+        let len1_dir = fresh_tmp("online-len1");
+        invoke(&len1_dir, 1);
+        let len1 = fs::metadata(len1_dir.join(ONLINE_WAL)).unwrap().len();
+        let len2 = fs::metadata(control_dir.join(ONLINE_WAL)).unwrap().len();
+        assert!(len0 < len1 && len1 < len2);
+
+        // (cut byte, intact records after replay)
+        let cuts = [
+            ((len0 + len1) / 2, 0usize), // killed mid-append of record 1
+            (len1, 1),                   // killed between record 1 and re-pin
+            ((len1 + len2) / 2, 1),      // killed mid-append of record 2
+            (len2 - 1, 1),               // killed one byte short of commit 2
+        ];
+        for (i, &(cut, intact)) in cuts.iter().enumerate() {
+            let dir = fresh_tmp(&format!("online-cut{i}"));
+            let _ = fs::remove_dir_all(&dir);
+            copy_dir(&control_dir, &dir);
+            fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(ONLINE_WAL))
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+
+            // First restart, asked to do no further cycles: what does the
+            // replayed journal say is deployed? Exactly the control's
+            // committed deployment at that cycle — old theta if the cycle
+            // rolled back, new if it promoted, never a mix of the two.
+            let replayed = invoke(&dir, intact);
+            assert_eq!(replayed.cycles.len(), intact, "cut {i}");
+            let expected = if intact == 0 {
+                let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+                let chip = FaultyChip::new(task.chip, FaultPlan::new(19));
+                let mut rng = StdRng::seed_from_u64(500);
+                chip.init_params(&mut rng)
+            } else {
+                control.cycles[intact - 1].theta.clone()
+            };
+            assert_eq!(
+                bits(&replayed.deployed),
+                bits(&expected),
+                "cut {i}: deployment must be the committed record's theta"
+            );
+
+            // Second restart finishes the remaining cycles and must land
+            // bitwise on the uninterrupted control — journal bytes and all.
+            let finished = invoke(&dir, 2);
+            assert_eq!(
+                bits(&finished.deployed),
+                bits(&control.deployed),
+                "cut {i}: resumed run diverged from control"
+            );
+            assert_eq!(
+                fs::read(dir.join(ONLINE_WAL)).unwrap(),
+                fs::read(control_dir.join(ONLINE_WAL)).unwrap(),
+                "cut {i}: journals must converge byte-identically"
+            );
+            assert_eq!(
+                finished.final_eval.accuracy.to_bits(),
+                control.final_eval.accuracy.to_bits(),
+                "cut {i}"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        // Sanity: the no-recal deployment really is worse than what the
+        // promoted loop ends at (the whole point of recalibrating live).
+        let task = build_task(&TaskSpec::quick(4), TASK_SEED).unwrap();
+        let chip = FaultyChip::new(
+            task.chip,
+            FaultPlan::new(19).with_drift(DriftConfig {
+                sigma: 0.05,
+                tau: 20.0,
+            }),
+        );
+        let mut rng = StdRng::seed_from_u64(500);
+        let stale = chip.init_params(&mut rng);
+        let final_step = control.cycles.last().unwrap().next_step;
+        chip.advance_to(final_step);
+        let pool = ExecPool::with_threads(Some(1));
+        let stale_eval = evaluate_chip_pooled(&chip, &task.test, &task.head, &stale, &pool);
+        assert!(
+            control.final_eval.loss < stale_eval.loss,
+            "online loop must beat the stale deployment: {} vs {}",
+            control.final_eval.loss,
+            stale_eval.loss
+        );
+
+        for d in [control_dir, len0_dir, len1_dir] {
+            let _ = fs::remove_dir_all(&d);
+        }
+    }
+}

@@ -165,6 +165,46 @@ impl_tuple_strategy! {
     (A, B, C, D, E, F)
 }
 
+/// Strategy choosing uniformly among boxed alternatives. Built by the
+/// [`prop_oneof!`] macro; unlike upstream there are no per-branch weights —
+/// every alternative is equally likely.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`. Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+        Union { options }
+    }
+}
+
+impl<T> core::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample_value(rng)
+    }
+}
+
+/// Pick uniformly among several strategies producing the same value type
+/// (upstream `prop_oneof!` without per-branch weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
 /// Types with a canonical "any value" strategy (see [`any`]).
 pub trait ArbitraryValue: Sized {
     /// Draw an arbitrary value of this type.

@@ -1,5 +1,6 @@
 //! Glob-import surface matching `proptest::prelude::*`.
 
 pub use crate::{
-    any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+    Strategy, Union,
 };
