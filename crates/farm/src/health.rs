@@ -16,8 +16,9 @@
 //! jobs journaled on them migrate to surviving workers and resume bitwise
 //! identically, because the journal — not the worker — owns the run state.
 
-use std::collections::VecDeque;
 use std::fmt;
+
+use crate::resilience::RollingWindow;
 
 /// Where a worker sits on the healthy → degraded → quarantined ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,11 +116,14 @@ pub struct HealthTransition {
 }
 
 /// Rolling-window health tracker for one worker.
+///
+/// The window math (bounded outcome history, failure count, success
+/// streak, recovery wipe) is the shared [`RollingWindow`] — the same
+/// helper behind the serving layer's [`CircuitBreaker`](crate::CircuitBreaker).
 #[derive(Debug)]
 pub struct HealthMonitor {
     policy: HealthPolicy,
-    window: VecDeque<bool>,
-    ok_streak: u32,
+    window: RollingWindow,
     state: ChipHealth,
 }
 
@@ -128,8 +132,7 @@ impl HealthMonitor {
     pub fn new(policy: HealthPolicy) -> Self {
         HealthMonitor {
             policy,
-            window: VecDeque::with_capacity(policy.window.max(1)),
-            ok_streak: 0,
+            window: RollingWindow::new(policy.window),
             state: ChipHealth::Healthy,
         }
     }
@@ -146,12 +149,8 @@ impl HealthMonitor {
         if !self.state.can_serve() {
             return None;
         }
-        self.window.push_back(ok);
-        while self.window.len() > self.policy.window.max(1) {
-            self.window.pop_front();
-        }
-        self.ok_streak = if ok { self.ok_streak.saturating_add(1) } else { 0 };
-        let failures = self.window.iter().filter(|&&b| !b).count() as u32;
+        self.window.push(ok);
+        let failures = self.window.failures();
         let from = self.state;
         let (to, reason) = if failures >= self.policy.quarantine_after {
             (
@@ -161,11 +160,13 @@ impl HealthMonitor {
                     self.window.len()
                 ),
             )
-        } else if from == ChipHealth::Degraded && ok && self.ok_streak >= self.policy.recover_after
+        } else if from == ChipHealth::Degraded
+            && ok
+            && self.window.ok_streak() >= self.policy.recover_after
         {
             (
                 ChipHealth::Healthy,
-                format!("{} clean slices in a row", self.ok_streak),
+                format!("{} clean slices in a row", self.window.ok_streak()),
             )
         } else if failures >= self.policy.degrade_after {
             (
@@ -185,7 +186,6 @@ impl HealthMonitor {
         if to == ChipHealth::Healthy {
             // Fresh slate after a recovery: old failures no longer count.
             self.window.clear();
-            self.ok_streak = 0;
         }
         Some(HealthTransition { from, to, reason })
     }

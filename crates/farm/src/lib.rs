@@ -48,10 +48,12 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod chaos;
 mod health;
 mod online;
+mod resilience;
 mod scheduler;
 mod serving;
 
@@ -60,8 +62,13 @@ pub use health::{ChipHealth, HealthMonitor, HealthPolicy, HealthTransition};
 pub use online::{
     run_online, CycleRecord, OnlineError, OnlineOptions, OnlineOutcome, ONLINE_WAL,
 };
+pub use resilience::{
+    rung_label, BreakerPolicy, BreakerState, BreakerTransition, BrownoutController,
+    BrownoutPolicy, CircuitBreaker, DedupLedger, HedgeDelayTracker, HedgePolicy, RollingWindow,
+    TierTransition,
+};
 pub use scheduler::{JobId, JobSpec, RejectReason, Rejection, TenantSpec};
-pub use serving::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest};
+pub use serving::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest, NO_DEADLINE};
 
 use std::path::PathBuf;
 use std::time::Duration;

@@ -28,6 +28,22 @@ pub struct ServeRequest {
     pub tenant: usize,
     /// Arrival timestamp in virtual nanoseconds.
     pub submitted_ns: u64,
+    /// Absolute completion deadline in virtual nanoseconds
+    /// ([`NO_DEADLINE`] when the request carries none). A request past its
+    /// deadline is dead weight: serving it wastes chip time on an answer
+    /// the caller has already abandoned, so drains check expiry and drop
+    /// such requests as *expired* instead of serving them.
+    pub deadline_ns: u64,
+}
+
+/// Deadline sentinel: the request never expires.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+impl ServeRequest {
+    /// Whether the request's deadline has passed at `now_ns`.
+    pub fn expired(&self, now_ns: u64) -> bool {
+        now_ns >= self.deadline_ns
+    }
 }
 
 /// Microbatch coalescing policy: how many requests one dispatch may merge,
@@ -159,6 +175,20 @@ impl RequestQueue {
         self.queue.pop_front()
     }
 
+    /// Re-admits a request at the *front* of the queue — watchdog-rescued
+    /// work goes back ahead of newer arrivals, so the time it already
+    /// waited keeps counting toward its deadline rather than being reset
+    /// to the back of the line. Sheds when full, like [`push`](Self::push).
+    pub fn requeue_front(&mut self, req: ServeRequest) -> bool {
+        if self.queue.len() >= self.cap {
+            self.shed += 1;
+            return false;
+        }
+        self.queue.push_front(req);
+        self.peak_depth = self.peak_depth.max(self.queue.len());
+        true
+    }
+
     /// Arrival time of the oldest queued request, if any.
     pub fn front_submitted_ns(&self) -> Option<u64> {
         self.queue.front().map(|r| r.submitted_ns)
@@ -194,7 +224,18 @@ mod tests {
             id,
             tenant: 0,
             submitted_ns: at,
+            deadline_ns: NO_DEADLINE,
         }
+    }
+
+    #[test]
+    fn requests_expire_at_their_deadline() {
+        let mut r = req(0, 100);
+        assert!(!r.expired(u64::MAX - 1), "NO_DEADLINE never expires early");
+        r.deadline_ns = 500;
+        assert!(!r.expired(499));
+        assert!(r.expired(500), "deadline instant counts as expired");
+        assert!(r.expired(501));
     }
 
     #[test]
@@ -250,6 +291,19 @@ mod tests {
         assert!(q.push(req(3, 40)));
         assert_eq!(q.peak_depth(), 2);
         assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    fn requeue_front_preserves_deadline_priority() {
+        let mut q = RequestQueue::new(2);
+        assert!(q.push(req(1, 100)));
+        assert!(q.requeue_front(req(0, 50)), "rescued request jumps the line");
+        assert_eq!(q.front_submitted_ns(), Some(50));
+        // Full queue sheds the requeue like a push.
+        assert!(!q.requeue_front(req(2, 10)));
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.pop_front().map(|r| r.id), Some(0));
+        assert_eq!(q.pop_front().map(|r| r.id), Some(1));
     }
 
     #[test]

@@ -772,6 +772,70 @@ impl<C: OnnChip> OnnChip for FaultyChip<C> {
     }
 }
 
+/// A scripted, seedless infrastructure-failure schedule for one *serving
+/// replica*, keyed on **virtual nanoseconds** — the discrete-event
+/// counterpart of [`ChaosPlan`](https://docs.rs/)-style dispatch-ordinal
+/// scripting in `photon-farm`.
+///
+/// Two failure modes, matching what the calibrated-model line actually
+/// observes in the lab:
+///
+/// * **kill** — the replica dies at `kill_at_ns` and never completes
+///   another dispatch (power loss, fiber cut). Absorbing.
+/// * **hang window** — between `hang_from_ns` and `hang_until_ns` the
+///   replica's lab link stalls: dispatches overlapping the window do not
+///   complete until the window closes (and then re-serve), which is how
+///   transient control-plane freezes present to a serving layer.
+///
+/// Both are plain data evaluated against the caller's virtual clock, so a
+/// chaos scenario replays byte-identically at any worker-pool size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaChaos {
+    /// Virtual time the replica dies, if scripted.
+    pub kill_at_ns: Option<u64>,
+    /// Half-open hang window `[from, until)`, if scripted.
+    pub hang_window_ns: Option<(u64, u64)>,
+}
+
+impl ReplicaChaos {
+    /// No scripted failures.
+    pub fn none() -> Self {
+        ReplicaChaos::default()
+    }
+
+    /// Scripts a kill at virtual time `at_ns`.
+    #[must_use]
+    pub fn kill_at(mut self, at_ns: u64) -> Self {
+        self.kill_at_ns = Some(at_ns);
+        self
+    }
+
+    /// Scripts a hang window `[from_ns, until_ns)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty or inverted.
+    #[must_use]
+    pub fn hang_between(mut self, from_ns: u64, until_ns: u64) -> Self {
+        assert!(from_ns < until_ns, "hang window [{from_ns}, {until_ns}) is empty");
+        self.hang_window_ns = Some((from_ns, until_ns));
+        self
+    }
+
+    /// Whether the replica is dead at virtual time `now_ns`.
+    pub fn is_dead(&self, now_ns: u64) -> bool {
+        self.kill_at_ns.is_some_and(|k| now_ns >= k)
+    }
+
+    /// If a dispatch occupying `[start_ns, done_ns)` overlaps the hang
+    /// window, the virtual time the link un-stalls; `None` when the
+    /// dispatch is unaffected.
+    pub fn hang_release(&self, start_ns: u64, done_ns: u64) -> Option<u64> {
+        let (from, until) = self.hang_window_ns?;
+        (start_ns < until && done_ns > from).then_some(until)
+    }
+}
+
 /// The result of a [`probe_health`] sweep: how many probe reads came back
 /// with all-finite powers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -60,6 +60,7 @@ mod module;
 mod network;
 mod ops;
 mod quantized;
+mod tier;
 
 pub use chip::{
     calibrated_model, ideal_model, AbortFlag, BatchScratch, ChipScratch, FabricatedChip,
@@ -84,3 +85,4 @@ pub use module::{ModuleTape, OnnModule, PsSnapshot};
 pub use network::{Architecture, ModuleSpec, Network, NetworkError, NetworkScratch, NetworkTape};
 pub use ops::Op;
 pub use quantized::{QMatrix, QuantizedNetwork};
+pub use tier::ServingTier;

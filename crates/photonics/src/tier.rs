@@ -1,0 +1,84 @@
+//! The evaluation-tier ladder for serving.
+//!
+//! PR 6 built three ways to evaluate the same deployed network, trading
+//! precision for speed (see DESIGN.md "The evaluation stack"):
+//!
+//! | tier  | path                                         | fidelity        |
+//! |-------|----------------------------------------------|-----------------|
+//! | `F64` | pinned compiled f64 walk + rank-1 increments | bitwise oracle  |
+//! | `F32` | f32 SoA SIMD GEMM kernels                    | ≤1e-5 rel. loss |
+//! | `I16` | frozen [`QuantizedNetwork`] integer artifact | argmax-faithful |
+//!
+//! [`ServingTier`] names a rung of that ladder so serving policy — in
+//! particular the brownout controller in `photon-farm` — can *choose* one
+//! per dispatch: under overload a replica steps down the ladder, degrading
+//! precision instead of shedding traffic, and steps back up once its queue
+//! drains.
+//!
+//! [`QuantizedNetwork`]: crate::QuantizedNetwork
+
+use std::fmt;
+
+/// One rung of the evaluation-tier ladder, fastest-last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServingTier {
+    /// Full-precision pinned compiled path (the bitwise oracle).
+    F64,
+    /// f32 structure-of-arrays SIMD kernels (≤1e-5 relative loss error).
+    F32,
+    /// `i16` fixed-point serving artifact (argmax-faithful).
+    I16,
+}
+
+impl ServingTier {
+    /// All tiers, precision-first (the brownout ladder walks this order).
+    pub const LADDER: [ServingTier; 3] = [ServingTier::F64, ServingTier::F32, ServingTier::I16];
+
+    /// Stable lower-case label used in reports and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingTier::F64 => "f64",
+            ServingTier::F32 => "f32",
+            ServingTier::I16 => "i16",
+        }
+    }
+
+    /// Position on the ladder: 0 = `F64`, 2 = `I16`.
+    pub fn rung(self) -> usize {
+        match self {
+            ServingTier::F64 => 0,
+            ServingTier::F32 => 1,
+            ServingTier::I16 => 2,
+        }
+    }
+
+    /// The tier at ladder position `rung`, if in range.
+    pub fn from_rung(rung: usize) -> Option<ServingTier> {
+        ServingTier::LADDER.get(rung).copied()
+    }
+}
+
+impl fmt::Display for ServingTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_precision_first_and_rungs_roundtrip() {
+        assert_eq!(ServingTier::LADDER[0], ServingTier::F64);
+        assert_eq!(ServingTier::LADDER[2], ServingTier::I16);
+        for (i, t) in ServingTier::LADDER.into_iter().enumerate() {
+            assert_eq!(t.rung(), i);
+            assert_eq!(ServingTier::from_rung(i), Some(t));
+        }
+        assert_eq!(ServingTier::from_rung(3), None);
+        assert!(ServingTier::F64 < ServingTier::I16);
+        assert_eq!(ServingTier::F32.label(), "f32");
+        assert_eq!(format!("{}", ServingTier::I16), "i16");
+    }
+}

@@ -15,6 +15,7 @@
 //! at `b = 1` every request carries the full per-call cost, at `b = 16`
 //! it carries 1/16th of it.
 
+use photon_photonics::ServingTier;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -107,10 +108,116 @@ impl CostModel {
     }
 }
 
+/// Tiered extension of [`CostModel`]: the same two-term dispatch cost,
+/// divided by a per-tier speedup factor matching the evaluation-tier
+/// ladder the brownout controller walks (`f64 → f32 → i16`).
+///
+/// The f64 tier is the base model verbatim. The f32 factor comes from the
+/// repo's own `BENCH_simd.json` (incremental-f32 kernel ≈ 3.57× the f64
+/// path on the 8×8 mesh; 3.5 used here). The i16 factor is an estimate —
+/// the fixed-point artifact trades the complex-valued GEMM for integer
+/// dot products but has no committed benchmark yet, so 5.0 is a
+/// deliberately conservative stand-in (documented, not measured).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierCostModel {
+    /// The f64 (full-precision) base model; hangs and recal/probe costs
+    /// come from here for every tier.
+    pub base: CostModel,
+    /// Speedup of the f32 SIMD tier over the base.
+    pub f32_speedup: f64,
+    /// Speedup of the i16 quantized tier over the base.
+    pub i16_speedup: f64,
+}
+
+impl TierCostModel {
+    /// The calibrated 8×8 ladder (see the type-level docs for provenance).
+    pub fn calibrated_8x8() -> Self {
+        TierCostModel {
+            base: CostModel::calibrated_8x8(),
+            f32_speedup: 3.5,
+            i16_speedup: 5.0,
+        }
+    }
+
+    /// Builds a tiered model over an explicit base.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= f32_speedup <= i16_speedup` — the ladder must
+    /// get strictly cheaper as precision drops, or brownout would be
+    /// pointless.
+    pub fn new(base: CostModel, f32_speedup: f64, i16_speedup: f64) -> Self {
+        assert!(
+            1.0 <= f32_speedup && f32_speedup <= i16_speedup,
+            "tier speedups must satisfy 1 <= f32 ({f32_speedup}) <= i16 ({i16_speedup})"
+        );
+        TierCostModel {
+            base,
+            f32_speedup,
+            i16_speedup,
+        }
+    }
+
+    /// Virtual service time of one dispatch of `batch` requests at `tier`,
+    /// excluding hangs. Integer division of the base cost keeps the result
+    /// exactly reproducible across hosts; the cost never rounds below 1 ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    pub fn service_ns(&self, tier: ServingTier, batch: usize) -> u64 {
+        let base = self.base.service_ns(batch);
+        let factor = match tier {
+            ServingTier::F64 => return base,
+            ServingTier::F32 => self.f32_speedup,
+            ServingTier::I16 => self.i16_speedup,
+        };
+        // Scale in integer nanoseconds via a fixed-point factor so the
+        // division is bit-exact everywhere.
+        let scaled = (base as u128 * 1_000) / (factor * 1_000.0) as u128;
+        (scaled as u64).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn tiers_get_monotonically_cheaper() {
+        let m = TierCostModel::calibrated_8x8();
+        for batch in [1usize, 4, 16, 64] {
+            let f64c = m.service_ns(ServingTier::F64, batch);
+            let f32c = m.service_ns(ServingTier::F32, batch);
+            let i16c = m.service_ns(ServingTier::I16, batch);
+            assert!(f64c > f32c && f32c > i16c, "{f64c} > {f32c} > {i16c} at batch {batch}");
+            assert_eq!(f64c, m.base.service_ns(batch), "f64 tier is the base verbatim");
+        }
+        // The f32 factor lands where BENCH_simd says it should.
+        let b16 = m.base.service_ns(16);
+        assert_eq!(m.service_ns(ServingTier::F32, 16), b16 * 1_000 / 3_500);
+        // Degenerate costs never round to zero virtual time.
+        let tiny = TierCostModel::new(
+            CostModel {
+                compile_ns: 1,
+                per_sample_ns: 0,
+                recal_service_ns: 1,
+                probe_service_ns: 1,
+                hang_prob: 0.0,
+                hang_ns: 0,
+            },
+            3.5,
+            5.0,
+        );
+        assert_eq!(tiny.service_ns(ServingTier::I16, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedups")]
+    fn inverted_tier_speedups_rejected() {
+        let _ = TierCostModel::new(CostModel::calibrated_8x8(), 5.0, 3.5);
+    }
 
     #[test]
     fn batch_amortizes_the_per_call_cost() {

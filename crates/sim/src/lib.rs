@@ -41,17 +41,23 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod arrivals;
 mod cost;
 mod heap;
 mod report;
+mod resilient;
 mod sim;
 
 pub use arrivals::{ArrivalGen, ArrivalProcess};
-pub use cost::CostModel;
+pub use cost::{CostModel, TierCostModel};
 pub use heap::EventHeap;
 pub use report::{ServingReport, TenantServingStats};
+pub use resilient::{
+    run_resilient, run_resilient_on_chip, ReplicaSpec, ReplicaStats, ResilienceReport,
+    ResilientConfig,
+};
 pub use sim::{
     run, run_on_chip, CanaryTraffic, ProbeTraffic, RecalTraffic, SimConfig, TenantLoad,
 };

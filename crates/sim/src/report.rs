@@ -19,6 +19,10 @@ pub struct TenantServingStats {
     pub completed: u64,
     /// Requests shed at admission (queue full).
     pub shed: u64,
+    /// Requests dropped at drain time because their deadline had already
+    /// passed — serving them would have wasted chip time on answers the
+    /// caller abandoned.
+    pub expired: u64,
     /// Median completion latency, virtual ns (NaN when nothing completed).
     pub p50_ns: f64,
     /// 99th-percentile latency, virtual ns.
@@ -35,11 +39,13 @@ pub struct TenantServingStats {
 
 impl TenantServingStats {
     /// Builds one row from raw completion latencies.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_samples(
         tenant: &str,
         arrivals: u64,
         completed: u64,
         shed: u64,
+        expired: u64,
         peak_queue_depth: u64,
         latencies_ns: &[f64],
         makespan_ns: u64,
@@ -56,6 +62,7 @@ impl TenantServingStats {
             arrivals,
             completed,
             shed,
+            expired,
             p50_ns,
             p99_ns,
             p999_ns,
@@ -124,7 +131,7 @@ pub struct ServingReport {
 }
 
 /// Formats an f64 with fixed precision for the text table (NaN → `-`).
-fn fx(v: f64, decimals: usize) -> String {
+pub(crate) fn fx(v: f64, decimals: usize) -> String {
     if v.is_finite() {
         format!("{v:.decimals$}")
     } else {
@@ -133,7 +140,7 @@ fn fx(v: f64, decimals: usize) -> String {
 }
 
 /// JSON number: non-finite → null (JSON has no NaN).
-fn jf(v: f64) -> String {
+pub(crate) fn jf(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -141,7 +148,7 @@ fn jf(v: f64) -> String {
     }
 }
 
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -155,6 +162,25 @@ fn jstr(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// One tenant row as a deterministic JSON object (shared by both report
+/// types).
+pub(crate) fn tenant_row_json(r: &TenantServingStats) -> String {
+    format!(
+        "{{\"tenant\":{},\"arrivals\":{},\"completed\":{},\"shed\":{},\"expired\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"mean_ns\":{},\"throughput_rps\":{},\"peak_queue_depth\":{}}}",
+        jstr(&r.tenant),
+        r.arrivals,
+        r.completed,
+        r.shed,
+        r.expired,
+        jf(r.p50_ns),
+        jf(r.p99_ns),
+        jf(r.p999_ns),
+        jf(r.mean_ns),
+        jf(r.throughput_rps),
+        r.peak_queue_depth,
+    )
 }
 
 impl ServingReport {
@@ -188,17 +214,18 @@ impl ServingReport {
         }
         let _ = writeln!(
             out,
-            "  {:<10} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
-            "tenant", "arrivals", "done", "shed", "p50us", "p99us", "p999us", "rps", "peakq"
+            "  {:<10} {:>9} {:>9} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
+            "tenant", "arrivals", "done", "shed", "expired", "p50us", "p99us", "p999us", "rps", "peakq"
         );
         for row in self.tenants.iter().chain([&self.aggregate]) {
             let _ = writeln!(
                 out,
-                "  {:<10} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
+                "  {:<10} {:>9} {:>9} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
                 row.tenant,
                 row.arrivals,
                 row.completed,
                 row.shed,
+                row.expired,
                 fx(row.p50_ns / 1e3, 1),
                 fx(row.p99_ns / 1e3, 1),
                 fx(row.p999_ns / 1e3, 1),
@@ -211,22 +238,8 @@ impl ServingReport {
 
     /// Deterministic JSON rendering (one object, latencies in ns).
     pub fn to_json(&self) -> String {
-        let row = |r: &TenantServingStats| {
-            format!(
-                "{{\"tenant\":{},\"arrivals\":{},\"completed\":{},\"shed\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"mean_ns\":{},\"throughput_rps\":{},\"peak_queue_depth\":{}}}",
-                jstr(&r.tenant),
-                r.arrivals,
-                r.completed,
-                r.shed,
-                jf(r.p50_ns),
-                jf(r.p99_ns),
-                jf(r.p999_ns),
-                jf(r.mean_ns),
-                jf(r.throughput_rps),
-                r.peak_queue_depth,
-            )
-        };
-        let tenants: Vec<String> = self.tenants.iter().map(&row).collect();
+        let row = tenant_row_json;
+        let tenants: Vec<String> = self.tenants.iter().map(row).collect();
         format!(
             "{{\"label\":{},\"root_seed\":{},\"duration_ns\":{},\"makespan_ns\":{},\"workers\":{},\"max_batch\":{},\"max_wait_ns\":{},\"batches\":{},\"mean_batch\":{},\"hangs\":{},\"recals\":{},\"probes\":{},\"canaries\":{},\"chip_queries\":{},\"tenants\":[{}],\"aggregate\":{}}}",
             jstr(&self.label),
@@ -270,7 +283,8 @@ mod tests {
             "t",
             100,
             90,
-            10,
+            8,
+            2,
             12,
             &(1..=90).map(|i| i as f64 * 1_000.0).collect::<Vec<_>>(),
             1_000_000_000,
@@ -288,7 +302,7 @@ mod tests {
 
     #[test]
     fn empty_latencies_are_nan_not_panic() {
-        let s = TenantServingStats::from_samples("idle", 0, 0, 0, 0, &[], 1_000);
+        let s = TenantServingStats::from_samples("idle", 0, 0, 0, 0, 0, &[], 1_000);
         assert!(s.p50_ns.is_nan() && s.p999_ns.is_nan() && s.mean_ns.is_nan());
         assert_eq!(s.throughput_rps, 0.0);
     }
@@ -304,7 +318,7 @@ mod tests {
             max_batch: 16,
             max_wait_ns: 50_000,
             tenants: vec![stats()],
-            aggregate: TenantServingStats::from_samples("all", 0, 0, 0, 0, &[], 1_000),
+            aggregate: TenantServingStats::from_samples("all", 0, 0, 0, 0, 0, &[], 1_000),
             batches: 12,
             mean_batch: 7.5,
             hangs: 0,
@@ -318,6 +332,8 @@ mod tests {
         assert_eq!(json, report.to_json());
         assert!(json.contains("\"chip_queries\":90"));
         assert!(json.contains("\"probes\":5,\"canaries\":1"));
+        assert!(json.contains("\"shed\":8,\"expired\":2"));
+        assert!(report.render().contains("expired"));
         assert!(report.render().contains("5 probes, 1 canaries"));
         assert!(json.contains("\"p50_ns\":null"), "NaN must become null");
         assert!(json.contains("\"tenants\":[{\"tenant\":\"t\""));

@@ -1,0 +1,1136 @@
+//! The resilient replica-group simulator: circuit breakers, hedged
+//! requests, deadline propagation, and tiered brownout on top of the
+//! discrete-event core.
+//!
+//! Where the base simulator (`crate::sim`) models interchangeable worker
+//! slots, this module models a **replica group**: `N` chips pinned to the
+//! same deployment theta behind one logical endpoint, each with its own
+//! failure modes ([`ReplicaChaos`]: a scripted kill, a scripted hang
+//! window) and its own serving-resilience state:
+//!
+//! * a per-replica [`CircuitBreaker`] fed by dispatch outcomes — a
+//!   dispatch that misses its watchdog deadline is a failure; enough
+//!   failures open the breaker, a virtual-time cooldown later it
+//!   half-opens and probes serially, clean probes re-close it;
+//! * a per-replica [`BrownoutController`] walking the evaluation-tier
+//!   ladder `f64 → f32 → i16 → shed` as queue depth (per live replica)
+//!   crosses hysteresis thresholds, so overload degrades precision before
+//!   it drops traffic;
+//! * **hedged re-dispatch**: once a dispatch outlives its tenants'
+//!   rolling-p99-derived hedge delay, the same microbatch is re-sent to a
+//!   second healthy replica and the first completion wins. The loser's
+//!   work is *idempotently deduplicated* — a duplicate completion is a
+//!   no-op on tenant counters — and its chip spend is attributed to
+//!   [`QueryCategory::Hedge`], so the chip-query ledger still reconciles
+//!   exactly: `chip queries == eval + hedge`.
+//!
+//! Requests carry absolute virtual-time deadlines (mandatory here — they
+//! are what guarantees the run terminates even when every replica is
+//! dead); expired work is cancelled at drain or requeue time, never
+//! served. All of it is deterministic: same [`ResilientConfig`] ⇒
+//! byte-identical [`ResilienceReport`], at any `PHOTON_THREADS`.
+
+use photon_farm::{
+    BreakerPolicy, BreakerState, BreakerTransition, BrownoutController, BrownoutPolicy,
+    CircuitBreaker, CoalescePolicy, DedupLedger, DrainDecision, HedgeDelayTracker, HedgePolicy,
+    RequestQueue, ServeRequest,
+};
+use photon_faults::ReplicaChaos;
+use photon_photonics::{FabricatedChip, ServingTier};
+use photon_trace::{LedgerCounts, QueryCategory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arrivals::ArrivalGen;
+use crate::cost::TierCostModel;
+use crate::heap::EventHeap;
+use crate::report::{fx, jf, jstr, tenant_row_json, TenantServingStats};
+use crate::sim::{derive_seed, ChipBackend, TenantLoad, ARRIVAL_STREAM, SERVICE_STREAM};
+
+/// One replica in the group: a chip slot pinned to the deployment theta,
+/// plus its scripted failure modes.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Replica name (reporting only).
+    pub name: String,
+    /// Scripted chaos for this replica.
+    pub chaos: ReplicaChaos,
+}
+
+impl ReplicaSpec {
+    /// A replica with no scripted failures.
+    pub fn clean(name: &str) -> Self {
+        ReplicaSpec {
+            name: name.to_string(),
+            chaos: ReplicaChaos::none(),
+        }
+    }
+
+    /// Attaches scripted chaos.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ReplicaChaos) -> Self {
+        self.chaos = chaos;
+        self
+    }
+}
+
+/// Full specification of one resilient-serving run. Every field
+/// participates in the deterministic replay contract.
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Root seed; every RNG stream derives from it.
+    pub root_seed: u64,
+    /// Arrival window in virtual nanoseconds.
+    pub duration_ns: u64,
+    /// The replica group.
+    pub replicas: Vec<ReplicaSpec>,
+    /// Microbatch coalescing policy.
+    pub coalescer: CoalescePolicy,
+    /// Tiered virtual-time cost model.
+    pub cost: TierCostModel,
+    /// Offered load, one entry per tenant.
+    pub tenants: Vec<TenantLoad>,
+    /// Relative deadline applied to tenants that don't set their own.
+    /// Deadlines are mandatory in the resilient simulator: with every
+    /// replica dead, expiry is what drains the queues and ends the run.
+    pub default_deadline_ns: u64,
+    /// Per-replica circuit-breaker thresholds.
+    pub breaker: BreakerPolicy,
+    /// Brownout tier-ladder hysteresis thresholds.
+    pub brownout: BrownoutPolicy,
+    /// Hedged re-dispatch policy; `None` disables hedging (the
+    /// no-resilience control arm).
+    pub hedge: Option<HedgePolicy>,
+    /// Watchdog budget per dispatch: a dispatch that has not completed
+    /// this many virtual nanoseconds after it started is abandoned and
+    /// counted as a breaker failure.
+    pub dispatch_timeout_ns: u64,
+    /// Free-form label carried into the report.
+    pub label: String,
+}
+
+impl ResilientConfig {
+    /// Defaults: calibrated tiered cost model, coalescer (16, 100 µs),
+    /// standard breaker/brownout/hedge policies, 5 ms default deadline,
+    /// 500 µs dispatch watchdog, no replicas or tenants (add them with
+    /// the builders).
+    pub fn new(root_seed: u64, duration_ns: u64) -> Self {
+        ResilientConfig {
+            root_seed,
+            duration_ns,
+            replicas: Vec::new(),
+            coalescer: CoalescePolicy::new(16, 100_000),
+            cost: TierCostModel::calibrated_8x8(),
+            tenants: Vec::new(),
+            default_deadline_ns: 5_000_000,
+            breaker: BreakerPolicy::standard(),
+            brownout: BrownoutPolicy::standard(),
+            hedge: Some(HedgePolicy::standard()),
+            dispatch_timeout_ns: 500_000,
+            label: String::new(),
+        }
+    }
+
+    /// Adds a replica.
+    #[must_use]
+    pub fn with_replica(mut self, replica: ReplicaSpec) -> Self {
+        self.replicas.push(replica);
+        self
+    }
+
+    /// Adds a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantLoad) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Sets the coalescing policy.
+    #[must_use]
+    pub fn with_coalescer(mut self, policy: CoalescePolicy) -> Self {
+        self.coalescer = policy;
+        self
+    }
+
+    /// Sets the breaker policy.
+    #[must_use]
+    pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = policy;
+        self
+    }
+
+    /// Sets the brownout policy.
+    #[must_use]
+    pub fn with_brownout(mut self, policy: BrownoutPolicy) -> Self {
+        self.brownout = policy;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the hedging policy.
+    #[must_use]
+    pub fn with_hedge(mut self, policy: Option<HedgePolicy>) -> Self {
+        self.hedge = policy;
+        self
+    }
+
+    /// Sets the default relative deadline.
+    #[must_use]
+    pub fn with_default_deadline_ns(mut self, ns: u64) -> Self {
+        self.default_deadline_ns = ns;
+        self
+    }
+
+    /// Sets the per-dispatch watchdog budget.
+    #[must_use]
+    pub fn with_dispatch_timeout_ns(mut self, ns: u64) -> Self {
+        self.dispatch_timeout_ns = ns;
+        self
+    }
+
+    /// Sets the report label.
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// The no-resilience control arm of the same scenario: breaker never
+    /// trips, brownout never engages, no hedging. Deadlines and the
+    /// watchdog stay — they are the plain timeout-and-retry baseline any
+    /// serving stack has.
+    #[must_use]
+    pub fn without_resilience(mut self) -> Self {
+        self.breaker = BreakerPolicy::disabled();
+        self.brownout = BrownoutPolicy::disabled();
+        self.hedge = None;
+        self
+    }
+}
+
+/// Runs the resilient simulation purely against the cost model.
+pub fn run_resilient(cfg: &ResilientConfig) -> ResilienceReport {
+    ResilientSim::new(cfg).run(None)
+}
+
+/// Runs the resilient simulation with every *non-abandoned* dispatch also
+/// executed on `chip` through the pinned serving path. Abandoned
+/// (timed-out or killed) dispatches never execute, so the chip's query
+/// counter reconciles exactly with the ledger:
+/// `chip queries == eval + hedge`. The simulated tier only affects virtual
+/// timing — chip execution always goes through the pinned f64 path, one
+/// query per request, which is what keeps the accounting exact.
+///
+/// # Panics
+///
+/// Panics when `chip` has no pinned compile base.
+pub fn run_resilient_on_chip(cfg: &ResilientConfig, chip: &FabricatedChip) -> ResilienceReport {
+    assert!(
+        chip.has_pinned_base(),
+        "serving requires a pinned compile base; call chip.pin_compile_base(theta) first"
+    );
+    let mut backend = ChipBackend::new(cfg.root_seed, cfg.coalescer.max_batch, chip);
+    ResilientSim::new(cfg).run(Some(&mut backend))
+}
+
+/// Simulation events.
+#[derive(Debug)]
+enum REv {
+    /// A request from tenant `i` arrives.
+    Arrival(usize),
+    /// A coalescer flush deadline fires (possibly stale — harmless).
+    Flush,
+    /// Dispatch `id` completes on its replica.
+    Done(u64),
+    /// Dispatch `id`'s watchdog budget expires.
+    Timeout(u64),
+    /// Group `id`'s hedge delay elapses.
+    HedgeFire(u64),
+    /// Replica `i`'s breaker cooldown expires (a wake-up; possibly stale).
+    BreakerWake(usize),
+}
+
+/// One physical dispatch (a primary or hedge leg of a group).
+#[derive(Debug)]
+struct Dispatch {
+    group: u64,
+    replica: usize,
+    tier: ServingTier,
+    /// Still in flight: neither completed nor abandoned.
+    live: bool,
+    is_hedge: bool,
+}
+
+/// One logical microbatch: the set of requests plus its dispatch legs.
+#[derive(Debug)]
+struct Group {
+    batch: Vec<ServeRequest>,
+    /// Replica of the primary leg (hedges must pick a different one).
+    primary_replica: usize,
+    /// Legs currently in flight.
+    live_legs: u8,
+    /// No further leg may serve this group: either a leg already completed
+    /// (first completion wins) or every leg was abandoned and the requests
+    /// went back to the queues.
+    resolved: bool,
+    /// A hedge leg was already dispatched (at most one per group).
+    hedged: bool,
+}
+
+struct ReplicaState {
+    spec: ReplicaSpec,
+    breaker: CircuitBreaker,
+    brownout: BrownoutController,
+    busy: bool,
+    dispatches: u64,
+    completions: u64,
+    timeouts: u64,
+    armed_wake: Option<u64>,
+}
+
+struct TenantAcc {
+    arrivals: u64,
+    completed: u64,
+    expired: u64,
+    brownout_shed: u64,
+    latencies_ns: Vec<f64>,
+}
+
+struct ResilientSim<'a> {
+    cfg: &'a ResilientConfig,
+    heap: EventHeap<REv>,
+    gens: Vec<ArrivalGen>,
+    queues: Vec<RequestQueue>,
+    acc: Vec<TenantAcc>,
+    replicas: Vec<ReplicaState>,
+    dispatches: Vec<Dispatch>,
+    groups: Vec<Group>,
+    dedup: DedupLedger,
+    hedge_tracker: Option<HedgeDelayTracker>,
+    /// Group-level controller gating *admission* (per-replica controllers
+    /// pick serving tiers; this one decides when new arrivals are shed).
+    admission: BrownoutController,
+    ledger: LedgerCounts,
+    svc_rng: StdRng,
+    now: u64,
+    next_id: u64,
+    /// Round-robin replica cursor: the next batch starts its replica scan
+    /// here, so consecutive batches spread across the group.
+    cursor: usize,
+    armed_flush: Option<u64>,
+    hangs: u64,
+    batches: u64,
+    batch_requests: u64,
+    hedges_fired: u64,
+    hedge_wins: u64,
+    last_completion_ns: u64,
+    chip_queries: Option<u64>,
+}
+
+impl<'a> ResilientSim<'a> {
+    fn new(cfg: &'a ResilientConfig) -> Self {
+        assert!(!cfg.replicas.is_empty(), "need at least one replica");
+        assert!(!cfg.tenants.is_empty(), "need at least one tenant");
+        assert!(
+            cfg.default_deadline_ns >= 1,
+            "deadlines are mandatory in the resilient simulator"
+        );
+        assert!(
+            cfg.dispatch_timeout_ns > cfg.cost.base.service_ns(cfg.coalescer.max_batch),
+            "the dispatch watchdog must outlast a clean full-precision full batch"
+        );
+        let gens = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                ArrivalGen::new(t.process, derive_seed(cfg.root_seed, ARRIVAL_STREAM + i as u64))
+            })
+            .collect();
+        let queues = cfg.tenants.iter().map(|t| RequestQueue::new(t.queue_cap)).collect();
+        let acc = cfg
+            .tenants
+            .iter()
+            .map(|_| TenantAcc {
+                arrivals: 0,
+                completed: 0,
+                expired: 0,
+                brownout_shed: 0,
+                latencies_ns: Vec::new(),
+            })
+            .collect();
+        let replicas = cfg
+            .replicas
+            .iter()
+            .map(|spec| ReplicaState {
+                spec: spec.clone(),
+                breaker: CircuitBreaker::new(cfg.breaker),
+                brownout: BrownoutController::new(cfg.brownout),
+                busy: false,
+                dispatches: 0,
+                completions: 0,
+                timeouts: 0,
+                armed_wake: None,
+            })
+            .collect();
+        ResilientSim {
+            cfg,
+            heap: EventHeap::new(),
+            gens,
+            queues,
+            acc,
+            replicas,
+            dispatches: Vec::new(),
+            groups: Vec::new(),
+            dedup: DedupLedger::new(),
+            hedge_tracker: cfg
+                .hedge
+                .map(|policy| HedgeDelayTracker::new(policy, cfg.tenants.len())),
+            admission: BrownoutController::new(cfg.brownout),
+            ledger: LedgerCounts::new(),
+            svc_rng: StdRng::seed_from_u64(derive_seed(cfg.root_seed, SERVICE_STREAM)),
+            now: 0,
+            next_id: 0,
+            cursor: 0,
+            armed_flush: None,
+            hangs: 0,
+            batches: 0,
+            batch_requests: 0,
+            hedges_fired: 0,
+            hedge_wins: 0,
+            last_completion_ns: 0,
+            chip_queries: None,
+        }
+    }
+
+    fn run(mut self, mut backend: Option<&mut ChipBackend<'_>>) -> ResilienceReport {
+        if backend.is_some() {
+            self.chip_queries = Some(0);
+        }
+        for i in 0..self.gens.len() {
+            let t0 = self.gens[i].next_after(0);
+            if t0 < self.cfg.duration_ns {
+                self.heap.schedule(t0, REv::Arrival(i));
+            }
+        }
+        while let Some((at, _seq, ev)) = self.heap.pop() {
+            debug_assert!(at >= self.now, "virtual time must be monotone");
+            self.now = at;
+            match ev {
+                REv::Arrival(i) => self.on_arrival(i),
+                REv::Flush => self.armed_flush = None,
+                REv::BreakerWake(r) => self.replicas[r].armed_wake = None,
+                REv::Done(id) => self.on_done(id, &mut backend),
+                REv::Timeout(id) => self.on_timeout(id),
+                REv::HedgeFire(g) => self.on_hedge_fire(g),
+            }
+            self.dispatch_all();
+        }
+        // Safety sweep: with deadlines mandatory the queues drain through
+        // service or expiry before the heap empties; anything left (it
+        // should be nothing) is accounted as expired so conservation holds.
+        for t in 0..self.queues.len() {
+            while let Some(req) = self.queues[t].pop_front() {
+                debug_assert!(false, "queues must drain before the heap empties");
+                self.acc[req.tenant].expired += 1;
+            }
+        }
+        self.report()
+    }
+
+    fn total_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// The brownout signal: queued requests per replica the breakers
+    /// consider dispatchable. Replica deaths shrink the denominator, so
+    /// the same queue reads as deeper brownout — the group degrades
+    /// earlier when capacity is gone.
+    fn brownout_signal(&self, depth: usize) -> usize {
+        let live = self
+            .replicas
+            .iter()
+            .filter(|r| r.breaker.state() != BreakerState::Open)
+            .count()
+            .max(1);
+        depth.div_ceil(live)
+    }
+
+    fn on_arrival(&mut self, i: usize) {
+        self.acc[i].arrivals += 1;
+        let signal = self.brownout_signal(self.total_depth());
+        let _ = self.admission.observe(self.now, signal);
+        if self.admission.shedding() {
+            self.acc[i].brownout_shed += 1;
+        } else {
+            let deadline = self
+                .cfg
+                .tenants[i]
+                .deadline_ns
+                .unwrap_or(self.cfg.default_deadline_ns);
+            let req = ServeRequest {
+                id: self.next_id,
+                tenant: i,
+                submitted_ns: self.now,
+                deadline_ns: self.now.saturating_add(deadline),
+            };
+            self.next_id += 1;
+            let _ = self.queues[i].push(req); // a full queue sheds
+        }
+        let next = self.gens[i].next_after(self.now);
+        if next < self.cfg.duration_ns {
+            self.heap.schedule(next, REv::Arrival(i));
+        }
+    }
+
+    /// Fills idle replicas with coalesced batches, gated by each replica's
+    /// breaker and served at the tier its brownout controller picks.
+    /// Consecutive batches rotate across replicas (a round-robin cursor) —
+    /// the load-balancing a real replica group does, and what spreads
+    /// traffic onto a replica *before* anyone knows it is sick, so the
+    /// breaker has something to observe.
+    fn dispatch_all(&mut self) {
+        let n = self.replicas.len();
+        loop {
+            let depth = self.total_depth();
+            let oldest = self.queues.iter().filter_map(|q| q.front_submitted_ns()).min();
+            match self.cfg.coalescer.decide(self.now, depth, oldest) {
+                DrainDecision::Idle => return,
+                DrainDecision::WaitUntil(deadline) => {
+                    if self.armed_flush.is_none_or(|d| deadline < d) {
+                        self.heap.schedule(deadline, REv::Flush);
+                        self.armed_flush = Some(deadline);
+                    }
+                    return;
+                }
+                DrainDecision::Serve(count) => {
+                    let mut chosen = None;
+                    for k in 0..n {
+                        let r = (self.cursor + k) % n;
+                        if self.replicas[r].busy {
+                            continue;
+                        }
+                        if !self.replicas[r].breaker.would_allow(self.now) {
+                            // Blocked by an open breaker: arm a wake at
+                            // cooldown expiry so queued work is not
+                            // stranded on a quiet heap.
+                            if let Some(w) = self.replicas[r].breaker.wake_at_ns() {
+                                if self.replicas[r].armed_wake.is_none_or(|t| w < t) {
+                                    self.heap.schedule(w, REv::BreakerWake(r));
+                                    self.replicas[r].armed_wake = Some(w);
+                                }
+                            }
+                            continue;
+                        }
+                        chosen = Some(r);
+                        break;
+                    }
+                    // No idle, admitting replica: the batch waits for the
+                    // next Done / Timeout / BreakerWake.
+                    let Some(r) = chosen else { return };
+                    let signal = self.brownout_signal(depth);
+                    let _ = self.replicas[r].brownout.observe(self.now, signal);
+                    let batch = self.drain(count);
+                    if batch.is_empty() {
+                        continue; // everything drained had expired; re-decide
+                    }
+                    let admitted = self.replicas[r].breaker.allow(self.now);
+                    debug_assert!(admitted, "would_allow implies allow");
+                    self.cursor = (r + 1) % n;
+                    let g = self.groups.len() as u64;
+                    self.groups.push(Group {
+                        batch,
+                        primary_replica: r,
+                        live_legs: 0,
+                        resolved: false,
+                        hedged: false,
+                    });
+                    self.start_leg(r, g, false);
+                    if self.hedge_tracker.is_some() {
+                        let delay = self.hedge_delay_for(g);
+                        self.heap.schedule(self.now.saturating_add(delay), REv::HedgeFire(g));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The hedge delay for group `g`: the slowest of its tenants' rolling
+    /// p99-derived delays (a batch is only safe to hedge once *every*
+    /// member has outlived its own tail expectation).
+    fn hedge_delay_for(&mut self, g: u64) -> u64 {
+        let tracker = self
+            .hedge_tracker
+            .as_mut()
+            .expect("caller checked hedging is enabled");
+        let mut delay = 0u64;
+        for t in 0..self.queues.len() {
+            if self.groups[g as usize].batch.iter().any(|r| r.tenant == t) {
+                delay = delay.max(tracker.delay_ns(t));
+            }
+        }
+        delay
+    }
+
+    /// Pops up to `n` servable requests round-robin across tenants,
+    /// dropping expired ones (deadline propagation: expired work is
+    /// cancelled before dispatch, never served).
+    fn drain(&mut self, n: usize) -> Vec<ServeRequest> {
+        let tenants = self.queues.len();
+        let mut batch = Vec::with_capacity(n);
+        // Round-robin without a persistent cursor: the per-replica loop
+        // already interleaves tenants, and a fixed scan order keeps the
+        // drain a pure function of queue contents.
+        'outer: while batch.len() < n {
+            for i in 0..tenants {
+                if let Some(req) = self.queues[i].pop_front() {
+                    if req.expired(self.now) {
+                        self.acc[req.tenant].expired += 1;
+                    } else {
+                        batch.push(req);
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        batch
+    }
+
+    /// Starts one physical dispatch leg of `group` on replica `r`.
+    fn start_leg(&mut self, r: usize, group: u64, is_hedge: bool) {
+        let len = self.groups[group as usize].batch.len();
+        let tier = self.replicas[r].brownout.drain_tier();
+        let id = self.dispatches.len() as u64;
+        self.dispatches.push(Dispatch {
+            group,
+            replica: r,
+            tier,
+            live: true,
+            is_hedge,
+        });
+        self.groups[group as usize].live_legs += 1;
+        let rep = &mut self.replicas[r];
+        rep.busy = true;
+        rep.dispatches += 1;
+        let hang = self.cfg.cost.base.draw_hang_ns(&mut self.svc_rng);
+        if hang > 0 {
+            self.hangs += 1;
+        }
+        let service = self.cfg.cost.service_ns(tier, len) + hang;
+        let mut done = self.now + service;
+        let chaos = rep.spec.chaos;
+        if let Some(release) = chaos.hang_release(self.now, done) {
+            // The dispatch straddles the scripted hang window: it restarts
+            // once the link un-wedges.
+            done = release + service;
+        }
+        // A replica killed before the completion instant never completes
+        // the dispatch — only the watchdog below gets it back.
+        let killed = chaos.kill_at_ns.is_some_and(|k| done >= k);
+        if !killed {
+            self.heap.schedule(done, REv::Done(id));
+        }
+        self.heap
+            .schedule(self.now + self.cfg.dispatch_timeout_ns, REv::Timeout(id));
+        self.batches += 1;
+        self.batch_requests += len as u64;
+    }
+
+    fn on_done(&mut self, id: u64, backend: &mut Option<&mut ChipBackend<'_>>) {
+        let (group, replica, tier, is_hedge) = {
+            let d = &self.dispatches[id as usize];
+            if !d.live {
+                return; // abandoned by the watchdog; the late completion is void
+            }
+            (d.group, d.replica, d.tier, d.is_hedge)
+        };
+        self.dispatches[id as usize].live = false;
+        let g = group as usize;
+        self.groups[g].live_legs -= 1;
+        let len = self.groups[g].batch.len();
+        let rep = &mut self.replicas[replica];
+        rep.busy = false;
+        rep.completions += 1;
+        rep.breaker.record_success(self.now);
+        rep.brownout.record_served(tier, len as u64);
+        if let Some(b) = backend.as_deref_mut() {
+            let spent = b.serve(len);
+            *self.chip_queries.get_or_insert(0) += spent;
+        }
+        let first = !self.groups[g].resolved;
+        if first {
+            self.groups[g].resolved = true;
+            if is_hedge {
+                self.hedge_wins += 1;
+            }
+        }
+        // Idempotent completion: each request counts once, ever. The
+        // winning leg's queries are Eval; a losing (duplicate) leg's are
+        // Hedge — the ledger attribution that keeps chip spend exact.
+        for k in 0..len {
+            let req = self.groups[g].batch[k];
+            if self.dedup.mark_served(req.id) {
+                self.ledger.add(QueryCategory::Eval, 1);
+                let latency = (self.now - req.submitted_ns) as f64;
+                let acc = &mut self.acc[req.tenant];
+                acc.completed += 1;
+                acc.latencies_ns.push(latency);
+                if let Some(tracker) = self.hedge_tracker.as_mut() {
+                    tracker.record(req.tenant, latency);
+                }
+            } else {
+                self.ledger.add(QueryCategory::Hedge, 1);
+            }
+        }
+        self.last_completion_ns = self.last_completion_ns.max(self.now);
+    }
+
+    fn on_timeout(&mut self, id: u64) {
+        let (group, replica) = {
+            let d = &self.dispatches[id as usize];
+            if !d.live {
+                return; // completed before the watchdog fired
+            }
+            (d.group, d.replica)
+        };
+        self.dispatches[id as usize].live = false;
+        let g = group as usize;
+        self.groups[g].live_legs -= 1;
+        let rep = &mut self.replicas[replica];
+        rep.busy = false;
+        rep.timeouts += 1;
+        rep.breaker.record_failure(self.now);
+        if !self.groups[g].resolved && self.groups[g].live_legs == 0 {
+            // No leg can serve this group any more: rescue the requests.
+            // Requeued at the *front* (in original order) so the wait they
+            // already paid keeps counting toward their deadlines; requests
+            // already past theirs are cancelled as expired here.
+            self.groups[g].resolved = true;
+            let batch = std::mem::take(&mut self.groups[g].batch);
+            for req in batch.iter().rev() {
+                if req.expired(self.now) {
+                    self.acc[req.tenant].expired += 1;
+                } else {
+                    let _ = self.queues[req.tenant].requeue_front(*req); // full queue sheds
+                }
+            }
+            self.groups[g].batch = batch;
+        }
+    }
+
+    fn on_hedge_fire(&mut self, g: u64) {
+        let gi = g as usize;
+        if self.groups[gi].resolved || self.groups[gi].hedged {
+            return; // already served, rescued, or hedged — stale timer
+        }
+        debug_assert!(self.groups[gi].live_legs > 0, "unresolved group must have a leg");
+        let primary = self.groups[gi].primary_replica;
+        let candidate = (0..self.replicas.len()).find(|&r| {
+            r != primary && !self.replicas[r].busy && self.replicas[r].breaker.would_allow(self.now)
+        });
+        if let Some(r) = candidate {
+            let admitted = self.replicas[r].breaker.allow(self.now);
+            debug_assert!(admitted, "would_allow implies allow");
+            self.groups[gi].hedged = true;
+            self.hedges_fired += 1;
+            self.start_leg(r, g, true);
+        } else if let Some(tracker) = self.hedge_tracker.as_ref() {
+            // No healthy idle replica right now — retry shortly instead of
+            // abandoning the batch to the full watchdog budget (replicas
+            // free up on microsecond scales; the hedge window is the tail
+            // budget). The retry loop is bounded: once the primary's
+            // watchdog fires the group resolves (served or requeued) and
+            // the pending HedgeFire goes stale.
+            let retry = self.now.saturating_add(tracker.policy().min_delay_ns.max(1));
+            self.heap.schedule(retry, REv::HedgeFire(g));
+        }
+    }
+
+    fn report(self) -> ResilienceReport {
+        let makespan_ns = self.last_completion_ns.max(1);
+        let per_tenant: Vec<TenantServingStats> = self
+            .cfg
+            .tenants
+            .iter()
+            .zip(&self.acc)
+            .zip(&self.queues)
+            .map(|((tenant, acc), queue)| {
+                TenantServingStats::from_samples(
+                    &tenant.name,
+                    acc.arrivals,
+                    acc.completed,
+                    queue.shed() + acc.brownout_shed,
+                    acc.expired,
+                    queue.peak_depth() as u64,
+                    &acc.latencies_ns,
+                    makespan_ns,
+                )
+            })
+            .collect();
+        let all_latencies: Vec<f64> = self
+            .acc
+            .iter()
+            .flat_map(|a| a.latencies_ns.iter().copied())
+            .collect();
+        let aggregate = TenantServingStats::from_samples(
+            "all",
+            self.acc.iter().map(|a| a.arrivals).sum(),
+            self.acc.iter().map(|a| a.completed).sum(),
+            self.queues.iter().map(|q| q.shed()).sum::<u64>()
+                + self.acc.iter().map(|a| a.brownout_shed).sum::<u64>(),
+            self.acc.iter().map(|a| a.expired).sum(),
+            self.queues.iter().map(|q| q.peak_depth() as u64).max().unwrap_or(0),
+            &all_latencies,
+            makespan_ns,
+        );
+        let replicas = self
+            .replicas
+            .iter()
+            .map(|r| ReplicaStats {
+                name: r.spec.name.clone(),
+                dispatches: r.dispatches,
+                completions: r.completions,
+                timeouts: r.timeouts,
+                final_breaker: r.breaker.state(),
+                breaker_transitions: r.breaker.transitions().to_vec(),
+                tier_served: r.brownout.served(),
+                tier_transitions: r.brownout.transitions().len() as u64,
+            })
+            .collect();
+        let mean_batch = if self.batches > 0 {
+            self.batch_requests as f64 / self.batches as f64
+        } else {
+            f64::NAN
+        };
+        ResilienceReport {
+            label: self.cfg.label.clone(),
+            root_seed: self.cfg.root_seed,
+            duration_ns: self.cfg.duration_ns,
+            makespan_ns,
+            tenants: per_tenant,
+            aggregate,
+            replicas,
+            batches: self.batches,
+            mean_batch,
+            hangs: self.hangs,
+            hedges_fired: self.hedges_fired,
+            hedge_wins: self.hedge_wins,
+            duplicates: self.dedup.duplicates(),
+            eval_queries: self.ledger.get(QueryCategory::Eval),
+            hedge_queries: self.ledger.get(QueryCategory::Hedge),
+            chip_queries: self.chip_queries,
+        }
+    }
+}
+
+/// Per-replica shutdown stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Replica name.
+    pub name: String,
+    /// Dispatch legs started on it (primaries and hedges).
+    pub dispatches: u64,
+    /// Legs that completed (including duplicate hedge legs).
+    pub completions: u64,
+    /// Legs abandoned by the watchdog.
+    pub timeouts: u64,
+    /// Breaker state at shutdown.
+    pub final_breaker: BreakerState,
+    /// The breaker's full transition log, oldest first — deterministic
+    /// virtual-time stamps the chaos tests assert on.
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// Requests served per precision tier (`[f64, f32, i16]`).
+    pub tier_served: [u64; 3],
+    /// Brownout rung changes observed.
+    pub tier_transitions: u64,
+}
+
+/// Complete result of one resilient-serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Config label.
+    pub label: String,
+    /// Root seed.
+    pub root_seed: u64,
+    /// Arrival window, virtual ns.
+    pub duration_ns: u64,
+    /// Virtual time of the last completion.
+    pub makespan_ns: u64,
+    /// Per-tenant rows (`shed` folds queue-cap and brownout sheds).
+    pub tenants: Vec<TenantServingStats>,
+    /// The all-tenants aggregate row.
+    pub aggregate: TenantServingStats,
+    /// Per-replica rows, in replica order.
+    pub replicas: Vec<ReplicaStats>,
+    /// Dispatch legs started (primaries and hedges).
+    pub batches: u64,
+    /// Mean requests per dispatch leg.
+    pub mean_batch: f64,
+    /// Dispatches struck by a random fault hang (scripted hang windows are
+    /// counted per replica via timeouts instead).
+    pub hangs: u64,
+    /// Hedge legs dispatched.
+    pub hedges_fired: u64,
+    /// Groups where the hedge leg completed first.
+    pub hedge_wins: u64,
+    /// Duplicate request completions (each was a no-op on counters).
+    pub duplicates: u64,
+    /// Chip queries attributed to first-completion work
+    /// (`QueryCategory::Eval`).
+    pub eval_queries: u64,
+    /// Chip queries attributed to duplicate hedged work
+    /// (`QueryCategory::Hedge`).
+    pub hedge_queries: u64,
+    /// Chip queries spent when the run drove a real chip; must equal
+    /// `eval_queries + hedge_queries` exactly.
+    pub chip_queries: Option<u64>,
+}
+
+impl ResilienceReport {
+    /// Requests lost to overload or failure: shed (queue cap or brownout)
+    /// plus expired. The chaos gates compare this across arms.
+    pub fn lost(&self) -> u64 {
+        self.aggregate.shed + self.aggregate.expired
+    }
+
+    /// Whether every arrival is accounted for exactly once:
+    /// `arrivals == completed + shed + expired`, per tenant and aggregate.
+    pub fn conserves_requests(&self) -> bool {
+        self.tenants.iter().chain([&self.aggregate]).all(|t| {
+            t.arrivals == t.completed + t.shed + t.expired
+        })
+    }
+
+    /// Deterministic plain-text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "resilient serving [{}] seed {}: {} replica(s), window {} ms, makespan {} ms",
+            if self.label.is_empty() { "unlabeled" } else { &self.label },
+            self.root_seed,
+            self.replicas.len(),
+            fx(self.duration_ns as f64 / 1e6, 3),
+            fx(self.makespan_ns as f64 / 1e6, 3),
+        );
+        let _ = writeln!(
+            out,
+            "  {} dispatch legs (mean batch {}), {} hangs, {} hedges ({} wins), {} duplicate completions",
+            self.batches,
+            fx(self.mean_batch, 2),
+            self.hangs,
+            self.hedges_fired,
+            self.hedge_wins,
+            self.duplicates,
+        );
+        let _ = writeln!(
+            out,
+            "  ledger: eval {} + hedge {} queries{}",
+            self.eval_queries,
+            self.hedge_queries,
+            match self.chip_queries {
+                Some(q) => format!(" == chip {q}"),
+                None => String::new(),
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>10} {:>10} {:>9} {:>10} {:>24} {:>9}",
+            "replica", "dispatches", "completed", "timeouts", "breaker", "tiers f64/f32/i16", "rungmoves"
+        );
+        for r in &self.replicas {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>10} {:>10} {:>9} {:>10} {:>24} {:>9}",
+                r.name,
+                r.dispatches,
+                r.completions,
+                r.timeouts,
+                r.final_breaker.label(),
+                format!("{}/{}/{}", r.tier_served[0], r.tier_served[1], r.tier_served[2]),
+                r.tier_transitions,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>9} {:>9} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
+            "tenant", "arrivals", "done", "shed", "expired", "p50us", "p99us", "p999us", "rps", "peakq"
+        );
+        for row in self.tenants.iter().chain([&self.aggregate]) {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9} {:>9} {:>7} {:>7} {:>10} {:>10} {:>10} {:>11} {:>6}",
+                row.tenant,
+                row.arrivals,
+                row.completed,
+                row.shed,
+                row.expired,
+                fx(row.p50_ns / 1e3, 1),
+                fx(row.p99_ns / 1e3, 1),
+                fx(row.p999_ns / 1e3, 1),
+                fx(row.throughput_rps, 0),
+                row.peak_queue_depth,
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        let replica = |r: &ReplicaStats| {
+            let transitions: Vec<String> = r
+                .breaker_transitions
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"at_ns\":{},\"from\":{},\"to\":{}}}",
+                        t.at_ns,
+                        jstr(t.from.label()),
+                        jstr(t.to.label()),
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"name\":{},\"dispatches\":{},\"completions\":{},\"timeouts\":{},\"breaker\":{},\"breaker_transitions\":[{}],\"tier_served\":[{},{},{}],\"tier_transitions\":{}}}",
+                jstr(&r.name),
+                r.dispatches,
+                r.completions,
+                r.timeouts,
+                jstr(r.final_breaker.label()),
+                transitions.join(","),
+                r.tier_served[0],
+                r.tier_served[1],
+                r.tier_served[2],
+                r.tier_transitions,
+            )
+        };
+        let replicas: Vec<String> = self.replicas.iter().map(replica).collect();
+        let tenants: Vec<String> = self.tenants.iter().map(tenant_row_json).collect();
+        format!(
+            "{{\"label\":{},\"root_seed\":{},\"duration_ns\":{},\"makespan_ns\":{},\"batches\":{},\"mean_batch\":{},\"hangs\":{},\"hedges_fired\":{},\"hedge_wins\":{},\"duplicates\":{},\"eval_queries\":{},\"hedge_queries\":{},\"chip_queries\":{},\"replicas\":[{}],\"tenants\":[{}],\"aggregate\":{}}}",
+            jstr(&self.label),
+            self.root_seed,
+            self.duration_ns,
+            self.makespan_ns,
+            self.batches,
+            jf(self.mean_batch),
+            self.hangs,
+            self.hedges_fired,
+            self.hedge_wins,
+            self.duplicates,
+            self.eval_queries,
+            self.hedge_queries,
+            match self.chip_queries {
+                Some(q) => q.to_string(),
+                None => "null".to_string(),
+            },
+            replicas.join(","),
+            tenants.join(","),
+            tenant_row_json(&self.aggregate),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+
+    fn healthy_cfg(seed: u64) -> ResilientConfig {
+        ResilientConfig::new(seed, 20_000_000)
+            .with_label("healthy")
+            .with_replica(ReplicaSpec::clean("r0"))
+            .with_replica(ReplicaSpec::clean("r1"))
+            .with_replica(ReplicaSpec::clean("r2"))
+            .with_tenant(TenantLoad::new(
+                "alice",
+                ArrivalProcess::Poisson { rate_hz: 60_000.0 },
+            ))
+            .with_tenant(TenantLoad::new(
+                "bob",
+                ArrivalProcess::Poisson { rate_hz: 40_000.0 },
+            ))
+    }
+
+    #[test]
+    fn healthy_group_serves_everything_and_replays_bitwise() {
+        let report = run_resilient(&healthy_cfg(7));
+        assert!(report.conserves_requests());
+        assert_eq!(report.lost(), 0, "a healthy, underloaded group loses nothing");
+        assert_eq!(report.duplicates, 0, "no failures → no hedge races");
+        assert_eq!(report.eval_queries, report.aggregate.completed);
+        for r in &report.replicas {
+            assert_eq!(r.final_breaker, BreakerState::Closed);
+            assert!(r.breaker_transitions.is_empty());
+            assert_eq!(r.timeouts, 0);
+        }
+        assert_eq!(report.to_json(), run_resilient(&healthy_cfg(7)).to_json());
+        assert_ne!(report.to_json(), run_resilient(&healthy_cfg(8)).to_json());
+    }
+
+    #[test]
+    fn killed_replica_trips_its_breaker_and_work_reroutes() {
+        let cfg = healthy_cfg(11).with_label("kill").with_replica(ReplicaSpec::clean("extra"));
+        let mut cfg = cfg;
+        cfg.replicas[0].chaos = ReplicaChaos::none().kill_at(2_000_000);
+        let report = run_resilient(&cfg);
+        assert!(report.conserves_requests());
+        let dead = &report.replicas[0];
+        assert_eq!(dead.final_breaker, BreakerState::Open, "killed replica ends open");
+        let first_open = dead
+            .breaker_transitions
+            .iter()
+            .find(|t| t.to == BreakerState::Open)
+            .expect("breaker must open after the kill");
+        assert!(first_open.at_ns >= 2_000_000, "cannot open before the kill");
+        // Everything still lands (deadlines are 5 ms, watchdog 500 us, and
+        // three healthy replicas remain).
+        assert_eq!(report.aggregate.expired + report.aggregate.shed, report.lost());
+        assert!(report.aggregate.completed > 0);
+    }
+
+    #[test]
+    fn brownout_engages_under_overload_and_serves_cheaper_tiers() {
+        let cfg = ResilientConfig::new(3, 20_000_000)
+            .with_label("overload")
+            .with_replica(ReplicaSpec::clean("r0"))
+            .with_tenant(
+                TenantLoad::new("flood", ArrivalProcess::Poisson { rate_hz: 900_000.0 })
+                    .with_queue_cap(256),
+            );
+        let report = run_resilient(&cfg);
+        assert!(report.conserves_requests());
+        let r = &report.replicas[0];
+        assert!(
+            r.tier_served[1] + r.tier_served[2] > 0,
+            "sustained overload must push serving off the f64 tier: {:?}",
+            r.tier_served
+        );
+        assert!(r.tier_transitions > 0);
+        // The control arm at the same load never leaves f64.
+        let control = run_resilient(&cfg.clone().without_resilience());
+        assert_eq!(control.replicas[0].tier_served[1], 0);
+        assert_eq!(control.replicas[0].tier_served[2], 0);
+    }
+
+    #[test]
+    fn hedging_dedups_and_ledger_attributes_duplicates() {
+        // Random 2 ms hangs on 2% of dispatches: hung dispatches outlive
+        // the hedge delay, the hedge serves, and the hung leg completes
+        // later as a pure duplicate.
+        let mut cfg = healthy_cfg(19).with_label("hedgy");
+        cfg.cost.base = cfg.cost.base.with_hangs(0.02, 2_000_000);
+        cfg.dispatch_timeout_ns = 4_000_000; // hangs finish before the watchdog
+        let report = run_resilient(&cfg);
+        assert!(report.conserves_requests());
+        assert!(report.hedges_fired > 0, "2% hangs must trigger hedges");
+        assert!(report.duplicates > 0, "slow legs must complete as duplicates");
+        assert_eq!(
+            report.hedge_queries, report.duplicates,
+            "every duplicate completion is attributed to the hedge ledger"
+        );
+        assert_eq!(report.eval_queries, report.aggregate.completed);
+        assert_eq!(report.to_json(), run_resilient(&cfg).to_json());
+    }
+}

@@ -19,7 +19,7 @@
 //! ([`run_on_chip`]), which keeps the simulator honest: the chip's query
 //! counter must reconcile exactly with the simulated completion count.
 
-use photon_farm::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest};
+use photon_farm::{CoalescePolicy, DrainDecision, RequestQueue, ServeRequest, NO_DEADLINE};
 use photon_linalg::CVector;
 use photon_photonics::{BatchScratch, FabricatedChip};
 use rand::rngs::StdRng;
@@ -39,15 +39,21 @@ pub struct TenantLoad {
     pub process: ArrivalProcess,
     /// Bound on the tenant's request queue; arrivals beyond it are shed.
     pub queue_cap: usize,
+    /// Relative completion deadline each request carries (virtual ns past
+    /// its arrival), `None` for deadline-free requests. A request whose
+    /// deadline has passed by the time a worker drains it is dropped as
+    /// *expired* rather than served — its caller already gave up.
+    pub deadline_ns: Option<u64>,
 }
 
 impl TenantLoad {
-    /// A tenant with a queue bound of 4096 requests.
+    /// A tenant with a queue bound of 4096 requests and no deadlines.
     pub fn new(name: &str, process: ArrivalProcess) -> Self {
         TenantLoad {
             name: name.to_string(),
             process,
             queue_cap: 4096,
+            deadline_ns: None,
         }
     }
 
@@ -55,6 +61,18 @@ impl TenantLoad {
     #[must_use]
     pub fn with_queue_cap(mut self, cap: usize) -> Self {
         self.queue_cap = cap;
+        self
+    }
+
+    /// Attaches a relative completion deadline to every request.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero deadline — every request would expire on arrival.
+    #[must_use]
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        assert!(deadline_ns >= 1, "a zero deadline expires everything at arrival");
+        self.deadline_ns = Some(deadline_ns);
         self
     }
 }
@@ -231,7 +249,7 @@ pub fn run_on_chip(cfg: &SimConfig, chip: &FabricatedChip) -> ServingReport {
         chip.has_pinned_base(),
         "serving requires a pinned compile base; call chip.pin_compile_base(theta) first"
     );
-    let mut backend = ChipBackend::new(cfg, chip);
+    let mut backend = ChipBackend::new(cfg.root_seed, cfg.coalescer.max_batch, chip);
     Simulator::new(cfg).run(Some(&mut backend))
 }
 
@@ -244,7 +262,7 @@ pub fn run_on_chip(cfg: &SimConfig, chip: &FabricatedChip) -> ServingReport {
 /// pre-mix state equal to the root verbatim and make
 /// `derive_seed(r ^ s·γ, 0) == derive_seed(r, s)`: a cross-stream
 /// collision family correlating stream 0 with every other stream.
-fn derive_seed(root: u64, stream: u64) -> u64 {
+pub(crate) fn derive_seed(root: u64, stream: u64) -> u64 {
     let gamma = stream
         .wrapping_mul(2)
         .wrapping_add(1)
@@ -257,12 +275,13 @@ fn derive_seed(root: u64, stream: u64) -> u64 {
 
 // Stream-id tags for seed derivation (arbitrary distinct constants; tenant
 // arrival streams use ARRIVAL_STREAM + tenant index).
-const ARRIVAL_STREAM: u64 = 0x41;
-const SERVICE_STREAM: u64 = 0xFA11;
+pub(crate) const ARRIVAL_STREAM: u64 = 0x41;
+pub(crate) const SERVICE_STREAM: u64 = 0xFA11;
 const INPUT_STREAM: u64 = 0x1122;
 
-/// Executes dispatches on a real chip via the pinned serving path.
-struct ChipBackend<'c> {
+/// Executes dispatches on a real chip via the pinned serving path. Shared
+/// with the resilient replica-group simulator (`crate::resilient`).
+pub(crate) struct ChipBackend<'c> {
     chip: &'c FabricatedChip,
     scratch: BatchScratch,
     /// A small pool of pre-generated inputs cycled through by dispatch
@@ -273,10 +292,10 @@ struct ChipBackend<'c> {
 }
 
 impl<'c> ChipBackend<'c> {
-    fn new(cfg: &SimConfig, chip: &'c FabricatedChip) -> Self {
+    pub(crate) fn new(root_seed: u64, max_batch: usize, chip: &'c FabricatedChip) -> Self {
         let dim = chip.input_dim();
-        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.root_seed, INPUT_STREAM));
-        let pool = cfg.coalescer.max_batch.max(16);
+        let mut rng = StdRng::seed_from_u64(derive_seed(root_seed, INPUT_STREAM));
+        let pool = max_batch.max(16);
         let inputs = (0..pool)
             .map(|_| photon_linalg::random::normal_cvector(dim, &mut rng))
             .collect();
@@ -290,7 +309,7 @@ impl<'c> ChipBackend<'c> {
 
     /// Serves one coalesced batch of `len` requests; returns the chip
     /// queries spent (== `len`).
-    fn serve(&mut self, len: usize) -> u64 {
+    pub(crate) fn serve(&mut self, len: usize) -> u64 {
         let refs: Vec<&CVector> = (0..len)
             .map(|k| &self.inputs[(self.cursor + k) % self.inputs.len()])
             .collect();
@@ -327,6 +346,7 @@ enum Ev {
 struct TenantAcc {
     arrivals: u64,
     completed: u64,
+    expired: u64,
     latencies_ns: Vec<f64>,
 }
 
@@ -379,6 +399,7 @@ impl<'a> Simulator<'a> {
             .map(|_| TenantAcc {
                 arrivals: 0,
                 completed: 0,
+                expired: 0,
                 latencies_ns: Vec::new(),
             })
             .collect();
@@ -448,6 +469,9 @@ impl<'a> Simulator<'a> {
                         id: self.next_id,
                         tenant: i,
                         submitted_ns: self.now,
+                        deadline_ns: self.cfg.tenants[i]
+                            .deadline_ns
+                            .map_or(NO_DEADLINE, |d| self.now.saturating_add(d)),
                     };
                     self.next_id += 1;
                     let _ = self.queues[i].push(req); // a full queue sheds
@@ -555,7 +579,12 @@ impl<'a> Simulator<'a> {
                 }
                 DrainDecision::Serve(n) => {
                     let batch = self.drain_round_robin(n);
-                    debug_assert!(!batch.is_empty());
+                    if batch.is_empty() {
+                        // Every drained request had already expired (e.g. a
+                        // flush timer fired long after the oldest request's
+                        // deadline). The queues changed, so re-decide.
+                        continue;
+                    }
                     let hang = self.cfg.cost.draw_hang_ns(&mut self.svc_rng);
                     if hang > 0 {
                         self.hangs += 1;
@@ -613,9 +642,12 @@ impl<'a> Simulator<'a> {
         true
     }
 
-    /// Pops up to `n` requests, visiting tenant queues round-robin from a
-    /// persistent cursor so no tenant's queue monopolizes coalesced
-    /// batches.
+    /// Pops up to `n` servable requests, visiting tenant queues round-robin
+    /// from a persistent cursor so no tenant's queue monopolizes coalesced
+    /// batches. Expiry is checked *at drain time*: a request whose deadline
+    /// has passed (e.g. the flush timer fired after it) is dropped and
+    /// counted as expired instead of burning a batch slot on an answer its
+    /// caller abandoned.
     fn drain_round_robin(&mut self, n: usize) -> Vec<ServeRequest> {
         let tenants = self.queues.len();
         let mut batch = Vec::with_capacity(n);
@@ -623,8 +655,12 @@ impl<'a> Simulator<'a> {
             for k in 0..tenants {
                 let i = (self.rr_cursor + k) % tenants;
                 if let Some(req) = self.queues[i].pop_front() {
-                    batch.push(req);
                     self.rr_cursor = (i + 1) % tenants;
+                    if req.expired(self.now) {
+                        self.acc[req.tenant].expired += 1;
+                    } else {
+                        batch.push(req);
+                    }
                     continue 'outer;
                 }
             }
@@ -647,6 +683,7 @@ impl<'a> Simulator<'a> {
                     acc.arrivals,
                     acc.completed,
                     queue.shed(),
+                    acc.expired,
                     queue.peak_depth() as u64,
                     &acc.latencies_ns,
                     makespan_ns,
@@ -663,6 +700,7 @@ impl<'a> Simulator<'a> {
             self.acc.iter().map(|a| a.arrivals).sum(),
             self.acc.iter().map(|a| a.completed).sum(),
             self.queues.iter().map(|q| q.shed()).sum(),
+            self.acc.iter().map(|a| a.expired).sum(),
             self.queues.iter().map(|q| q.peak_depth() as u64).max().unwrap_or(0),
             &all_latencies,
             makespan_ns,
@@ -762,14 +800,46 @@ mod tests {
         for t in report.tenants.iter().chain([&report.aggregate]) {
             assert_eq!(
                 t.arrivals,
-                t.completed + t.shed,
-                "tenant {}: every arrival is served or shed",
+                t.completed + t.shed + t.expired,
+                "tenant {}: every arrival is served, shed, or expired",
                 t.tenant
             );
         }
         assert!(report.aggregate.completed > 0);
+        assert_eq!(report.aggregate.expired, 0, "no deadlines configured");
         // Uncoalesced: one request per dispatch.
         assert_eq!(report.aggregate.completed, report.batches);
+    }
+
+    #[test]
+    fn expired_requests_are_dropped_at_drain_not_served() {
+        // One slow worker under overload with a tight deadline: requests
+        // queue far longer than 300 us, so drains must drop them as
+        // expired instead of serving answers their callers abandoned.
+        let strict = SimConfig::new(17, 20_000_000)
+            .with_tenant(
+                TenantLoad::new("dl", ArrivalProcess::Poisson { rate_hz: 2_500_000.0 })
+                    .with_deadline_ns(300_000),
+            )
+            .with_coalescer(CoalescePolicy::new(16, 100_000));
+        let report = run(&strict);
+        assert!(report.aggregate.expired > 0, "overload must expire requests");
+        assert_eq!(
+            report.aggregate.arrivals,
+            report.aggregate.completed + report.aggregate.shed + report.aggregate.expired
+        );
+        // Every latency actually recorded beat its deadline: p999 of the
+        // *served* requests is bounded by the relative deadline (service
+        // starts before expiry; latency counts completion, so allow one
+        // full-batch service on top).
+        let ceiling = 300_000.0 + (7_400 + 16 * 250) as f64;
+        assert!(
+            report.aggregate.p999_ns <= ceiling,
+            "served requests must have been drained before expiry: p999 {}",
+            report.aggregate.p999_ns
+        );
+        // Bitwise replay holds with deadlines in play.
+        assert_eq!(report.to_json(), run(&strict).to_json());
     }
 
     #[test]

@@ -55,17 +55,25 @@ pub enum QueryCategory {
     RecoveryMonitor,
     /// Test-set evaluation sweeps (scheduled and final).
     Eval,
+    /// Duplicate work spent by hedged serving dispatches: a microbatch
+    /// re-dispatched to a second replica whose completion lost the race
+    /// (or a primary completion that arrived after its hedge). The queries
+    /// are real chip spend, so they stay on the ledger — attributed here
+    /// rather than to the winning category — which is what keeps
+    /// "ledger total == chip query delta" exact under hedging.
+    Hedge,
 }
 
 impl QueryCategory {
     /// All categories, in ledger-report order.
-    pub const ALL: [QueryCategory; 6] = [
+    pub const ALL: [QueryCategory; 7] = [
         QueryCategory::Probe,
         QueryCategory::BatchLoss,
         QueryCategory::Fisher,
         QueryCategory::Calibration,
         QueryCategory::RecoveryMonitor,
         QueryCategory::Eval,
+        QueryCategory::Hedge,
     ];
 
     /// Stable snake_case label (used as the JSON value).
@@ -77,6 +85,7 @@ impl QueryCategory {
             QueryCategory::Calibration => "calibration",
             QueryCategory::RecoveryMonitor => "recovery_monitor",
             QueryCategory::Eval => "eval",
+            QueryCategory::Hedge => "hedge",
         }
     }
 }

@@ -103,8 +103,8 @@ EOF
 #   3. The headline claim: microbatch coalescing must not lose to
 #      uncoalesced serving on any benchmarked workload (and the JSON rows
 #      must carry tail latencies plus the host-honesty fields).
-if grep -rn "Instant::now" crates/sim/src; then
-    echo "ci: wall-clock read inside crates/sim breaks virtual-time determinism" >&2
+if grep -rn "Instant::now" crates/sim/src crates/farm/src/resilience.rs; then
+    echo "ci: wall-clock read inside the serving/resilience layer breaks virtual-time determinism" >&2
     exit 1
 fi
 PHOTON_KERNEL=scalar cargo test -q --offline --test serving_sim
@@ -133,7 +133,36 @@ for w in sorted(workloads):
     assert co >= un, f"{w}: coalesced {co:.0f} rps lost to uncoalesced {un:.0f} rps"
     print(f"ci: serving {w} coalesced {co/un:.2f}x uncoalesced "
           f"(p99 {by_arm[(w,'coalesced')]['p99_ns']/1e3:.1f} us)")
+# Resilience grid: same chaos scenario as the e2e suite, three arms. The
+# resilient arm must hold p99 within 2x of healthy and lose strictly fewer
+# requests than the no-resilience control.
+arms = {r["arm"]: r for r in report["resilience"]}
+assert set(arms) == {"healthy-baseline", "resilient-faults", "control-faults"}, \
+    f"unexpected resilience grid: {set(arms)}"
+summary = report["resilience_summary"]
+assert summary["bound_held"], \
+    f"resilient p99 blew the 2x bound: {summary['p99_vs_healthy']:.2f}x healthy"
+assert summary["sheds_less_than_control"], \
+    f"resilient arm lost {summary['resilient_lost']} >= control {summary['control_lost']}"
+print(f"ci: resilience p99 {summary['p99_vs_healthy']:.2f}x healthy (bound 2.0), "
+      f"lost {summary['resilient_lost']} vs control {summary['control_lost']}")
 EOF
+
+# Failover chaos gate. The resilient replica-group layer must
+#   (a) trip and recover circuit breakers at deterministic virtual times,
+#       conserve every request, and reconcile chip queries against the
+#       eval+hedge ledger (the chaos suite and the example assert all of
+#       it; the example exits non-zero on any violation);
+#   (b) replay byte-identically: the failover example twice, cmp'd;
+#   (c) hold the headline claim on this host too: grep the example's own
+#       p99-bound and sheds-less-than-control verdict lines.
+PHOTON_KERNEL=scalar cargo test -q --offline --test serving_resilience
+PHOTON_KERNEL=scalar cargo run --release --offline --example serving_resilience >results/serving_resilience_a.txt
+PHOTON_KERNEL=scalar cargo run --release --offline --example serving_resilience >results/serving_resilience_b.txt
+cmp results/serving_resilience_a.txt results/serving_resilience_b.txt
+grep -q "^p99 bound: .*: yes$" results/serving_resilience_a.txt
+grep -q "^resilient sheds less than control: .*: yes$" results/serving_resilience_a.txt
+echo "ci: failover chaos run holds the 2x p99 bound, sheds less than control, and replays byte-identically"
 
 # Online-recalibration gate. The in-situ loop on a drifting chip must
 # (a) recover: the example exits non-zero unless >=1 canary promotion

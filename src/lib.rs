@@ -118,17 +118,22 @@ pub mod prelude {
     };
     pub use photon_data::{Dataset, GaussianClusters, SyntheticFashion, SyntheticMnist};
     pub use photon_farm::{
-        ChaosPlan, ChipHealth, Farm, FarmConfig, FarmReport, HealthPolicy, JobSpec, RejectReason,
-        TenantSpec, WorkerSpec,
+        BreakerPolicy, BrownoutPolicy, ChaosPlan, ChipHealth, Farm, FarmConfig, FarmReport,
+        HealthPolicy, HedgePolicy, JobSpec, RejectReason, TenantSpec, WorkerSpec,
     };
-    pub use photon_faults::{DriftConfig, FaultPlan, FaultyChip, StuckShifter, TransientConfig};
+    pub use photon_faults::{
+        DriftConfig, FaultPlan, FaultyChip, ReplicaChaos, StuckShifter, TransientConfig,
+    };
     pub use photon_linalg::{CVector, RVector, C64};
     pub use photon_opt::{Adam, CmaEs, LcngSettings, Optimizer, Perturbation, Sgd, ZoSettings};
     pub use photon_photonics::{
         ideal_model, Architecture, ErrorModel, FabricatedChip, MeshModule, Network, OnnChip,
         OnnModule,
     };
-    pub use photon_sim::{ArrivalProcess, CostModel, ServingReport, SimConfig, TenantLoad};
+    pub use photon_sim::{
+        ArrivalProcess, CostModel, ReplicaSpec, ResilienceReport, ResilientConfig, ServingReport,
+        SimConfig, TenantLoad,
+    };
     pub use photon_trace::{
         JsonlSink, MemorySink, NullSink, QueryCategory, TeeSink, TraceEvent, TraceHandle,
     };
